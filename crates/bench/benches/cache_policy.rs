@@ -1,0 +1,67 @@
+//! Software-cache ablation (§4.1.3): LRU vs LFU vs UVM-page caching on a
+//! Zipf-skewed embedding-row trace. The interesting output besides time is
+//! the hit rate / PCIe traffic each policy achieves (printed once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neo_memory::{Policy, SetAssocCache, UvmPageCache};
+use rand::SeedableRng;
+use rand_distr::{Distribution, Zipf};
+
+const ROWS: u64 = 1_000_000;
+const DIM: usize = 32;
+const CACHE_ROWS: usize = 8_192;
+
+fn trace(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(ROWS, 1.05).unwrap();
+    (0..n).map(|_| zipf.sample(&mut rng) as u64 - 1).collect()
+}
+
+fn run_sw_cache(policy: Policy, trace: &[u64]) -> f64 {
+    let mut cache = SetAssocCache::with_capacity_rows(CACHE_ROWS, DIM, policy);
+    let fill = vec![0.5f32; DIM];
+    for &row in trace {
+        if cache.get(row).is_none() {
+            cache.insert(row, &fill);
+        }
+    }
+    cache.stats().hit_rate()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let t = trace(50_000, 9);
+
+    // one-shot quality report alongside the timing
+    let lru = run_sw_cache(Policy::Lru, &t);
+    let lfu = run_sw_cache(Policy::Lfu, &t);
+    let mut uvm = UvmPageCache::with_capacity_rows(CACHE_ROWS, (DIM * 4) as u64);
+    for &row in &t {
+        uvm.access_row(row, false);
+    }
+    println!(
+        "cache quality on Zipf(1.05) trace: LRU hit {:.3}, LFU hit {:.3}, \
+         UVM page hit {:.3}, UVM PCIe traffic {} MB vs row-granular {} MB",
+        lru,
+        lfu,
+        uvm.stats().hit_rate(),
+        uvm.total_traffic() / (1 << 20),
+        (t.len() * DIM * 4) / (1 << 20),
+    );
+
+    let mut group = c.benchmark_group("cache_policy");
+    group.bench_function("lru", |b| b.iter(|| run_sw_cache(Policy::Lru, &t)));
+    group.bench_function("lfu", |b| b.iter(|| run_sw_cache(Policy::Lfu, &t)));
+    group.bench_function("uvm_pages", |b| {
+        b.iter(|| {
+            let mut uvm = UvmPageCache::with_capacity_rows(CACHE_ROWS, (DIM * 4) as u64);
+            for &row in &t {
+                uvm.access_row(row, false);
+            }
+            uvm.stats().hit_rate()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Functional collective benchmarks: threaded AllReduce / AlltoAll /
+//! ReduceScatter across message sizes, plus the quantized-vs-FP32 AlltoAll
+//! volume trade-off of §5.3.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neo_collectives::{ProcessGroup, QuantMode};
+use std::sync::Arc;
+use std::thread;
+
+const WORLD: usize = 4;
+
+fn run_group<R: Send + 'static>(
+    f: impl Fn(usize, &mut neo_collectives::Communicator) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let f = Arc::new(f);
+    ProcessGroup::new(WORLD)
+        .into_iter()
+        .map(|mut c| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || f(c.rank(), &mut c))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("worker"))
+        .collect()
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    for &n in &[1_024usize, 65_536] {
+        group.throughput(Throughput::Bytes((n * 4 * WORLD) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                run_group(move |rank, comm| {
+                    let mut buf = vec![rank as f32; n];
+                    comm.all_reduce(&mut buf);
+                    buf[0]
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_alltoall_quant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoall_wire_precision");
+    let n = 16_384usize; // per-destination payload
+    for mode in [QuantMode::Fp32, QuantMode::Fp16, QuantMode::Bf16] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            b.iter(|| {
+                run_group(move |rank, comm| {
+                    let payload = vec![rank as f32 * 0.1; n];
+                    let sends = vec![payload; WORLD];
+                    comm.all_to_all_v_quant(sends, mode).len()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_scatter_allgather");
+    let n = WORLD * 8_192;
+    group.bench_function("reduce_scatter", |b| {
+        b.iter(|| {
+            run_group(move |rank, comm| {
+                let input = vec![rank as f32; n];
+                comm.reduce_scatter(&input)[0]
+            })
+        });
+    });
+    group.bench_function("all_gather", |b| {
+        b.iter(|| {
+            run_group(move |rank, comm| {
+                let input = vec![rank as f32; n / WORLD];
+                comm.all_gather(&input).len()
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_alltoall_quant, bench_reduce_scatter);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Data-ingestion benchmarks (§4.4): combined-format batch generation,
+//! data-parallel splitting, and the bucketize/permute redistribution
+//! kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neo_dataio::ops::{bucketize_rows, permute_wtb_to_twb};
+use neo_dataio::{SyntheticConfig, SyntheticDataset};
+
+fn bench_generation(c: &mut Criterion) {
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(32, 100_000, 10, 16)).unwrap();
+    let mut group = c.benchmark_group("batch_generation");
+    for &b in &[256usize, 1024] {
+        group.throughput(Throughput::Elements(b as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            let mut k = 0u64;
+            bench.iter(|| {
+                k += 1;
+                ds.batch(b, k)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(32, 100_000, 10, 16)).unwrap();
+    let batch = ds.batch(1024, 0);
+    let mut group = c.benchmark_group("batch_split");
+    for &parts in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &parts| {
+            b.iter(|| batch.split(parts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_redistribution(c: &mut Criterion) {
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(8, 1_000_000, 20, 8)).unwrap();
+    let batch = ds.batch(512, 1);
+    let (lens, idx) = batch.table_inputs(0);
+    let mut group = c.benchmark_group("redistribution_kernels");
+    group.throughput(Throughput::Elements(idx.len() as u64));
+    group.bench_function("bucketize_rows_16", |b| {
+        b.iter(|| bucketize_rows(16, 1_000_000, lens, idx).unwrap());
+    });
+
+    // a (W=8, T=8, B=64) permute
+    let w = 8;
+    let t = 8;
+    let bsz = 64;
+    let lengths: Vec<u32> = (0..w * t * bsz).map(|k| (k % 4) as u32).collect();
+    let total: usize = lengths.iter().map(|&l| l as usize).sum();
+    let indices: Vec<u64> = (0..total as u64).collect();
+    group.bench_function("permute_wtb_to_twb", |b| {
+        b.iter(|| permute_wtb_to_twb(w, t, bsz, &lengths, &indices).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_split, bench_redistribution);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Functional embedding-operator benchmarks (Figures 18/19 + the §4.1.1
+//! fusion ablation): pooled lookup bandwidth FP32 vs FP16, fused multi-
+//! table vs per-table calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neo_embeddings::bag::{fused_pooled_forward, pooled_backward, pooled_forward, TableBatch};
+use neo_embeddings::store::{DenseStore, HalfStore, RowStore};
+use neo_tensor::Tensor2;
+use rand::{Rng, SeedableRng};
+
+const ROWS: u64 = 100_000;
+const DIM: usize = 64;
+const POOLING: usize = 16;
+const BATCH: usize = 256;
+
+fn inputs(tables: usize, seed: u64) -> (Vec<u32>, Vec<Vec<u64>>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let lengths = vec![POOLING as u32; BATCH];
+    let indices = (0..tables)
+        .map(|_| (0..BATCH * POOLING).map(|_| rng.gen_range(0..ROWS)).collect())
+        .collect();
+    (lengths, indices)
+}
+
+fn bench_lookup_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooled_lookup_precision");
+    let (lengths, indices) = inputs(1, 3);
+    let bytes = (BATCH * POOLING * DIM) as u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+
+    let mut fp32 = DenseStore::random(ROWS, DIM, &mut rng);
+    group.throughput(Throughput::Elements(bytes));
+    group.bench_function("fp32", |b| {
+        b.iter(|| pooled_forward(&mut fp32, &lengths, &indices[0]).unwrap());
+    });
+
+    let mut fp16 = HalfStore::random(ROWS, DIM, &mut rng);
+    group.bench_function("fp16", |b| {
+        b.iter(|| pooled_forward(&mut fp16, &lengths, &indices[0]).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_ablation");
+    for &tables in &[4usize, 16] {
+        let (lengths, indices) = inputs(tables, 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut stores: Vec<Box<dyn RowStore>> = (0..tables)
+            .map(|_| Box::new(DenseStore::random(ROWS, DIM, &mut rng)) as Box<dyn RowStore>)
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("fused", tables), &tables, |b, _| {
+            b.iter(|| {
+                let batches: Vec<TableBatch> = indices
+                    .iter()
+                    .map(|idx| TableBatch { lengths: &lengths, indices: idx })
+                    .collect();
+                fused_pooled_forward(&mut stores, &batches).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("per_table", tables), &tables, |b, _| {
+            b.iter(|| {
+                indices
+                    .iter()
+                    .zip(stores.iter_mut())
+                    .map(|(idx, s)| pooled_forward(s.as_mut(), &lengths, idx).unwrap())
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooled_backward");
+    let (lengths, indices) = inputs(1, 7);
+    let grad = Tensor2::from_fn(BATCH, DIM, |i, j| ((i + j) % 3) as f32 * 0.01);
+    group.bench_function("expand_grads", |b| {
+        b.iter(|| pooled_backward(&lengths, &indices[0], &grad).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup_precision, bench_fusion, bench_backward);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Functional GEMM benchmark (the measured counterpart of Figures 14/15).
+//!
+//! Reports achieved FLOP throughput of the pure-Rust blocked GEMM across
+//! square sizes. Absolute numbers are CPU-scale; the *shape* (throughput
+//! rising with size toward a plateau) mirrors the figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neo_tensor::{gemm, Tensor2};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_square");
+    for &n in &[64usize, 128, 256, 512] {
+        let a = Tensor2::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 13) as f32 * 0.1 - 0.6);
+        let b = Tensor2::from_fn(n, n, |i, j| ((i * 17 + j * 3) % 11) as f32 * 0.1 - 0.5);
+        group.throughput(Throughput::Elements(gemm::gemm_flops(n, n, n)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| gemm::matmul(&a, &b).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gemm_transpose_variants");
+    let n = 256;
+    let a = Tensor2::from_fn(n, n, |i, j| (i + j) as f32 * 1e-3);
+    let b = Tensor2::from_fn(n, n, |i, j| (i * 2 + j) as f32 * 1e-3);
+    group.bench_function("a_b", |bench| bench.iter(|| gemm::matmul(&a, &b).unwrap()));
+    group.bench_function("at_b", |bench| bench.iter(|| gemm::matmul_at_b(&a, &b).unwrap()));
+    group.bench_function("a_bt", |bench| bench.iter(|| gemm::matmul_a_bt(&a, &b).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Functional MLP benchmark (the measured counterpart of Figures 16/17):
+//! forward + backward + SGD over a stack of square layers, across batch
+//! sizes — throughput should rise with batch exactly as in the figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neo_tensor::mlp::{Activation, Mlp, MlpConfig};
+use neo_tensor::Tensor2;
+use rand::SeedableRng;
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_train_step");
+    let width = 128usize;
+    let layers = 4usize;
+    for &batch in &[32usize, 128, 512] {
+        let cfg = MlpConfig::new(width, &vec![width; layers], Activation::Relu);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&cfg, &mut rng);
+        let x = Tensor2::from_fn(batch, width, |i, j| ((i + j) % 7) as f32 * 0.1);
+        let flops = 3 * 2 * (batch * width * width * layers) as u64;
+        group.throughput(Throughput::Elements(flops));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bench, _| {
+            bench.iter(|| {
+                let y = mlp.forward(&x);
+                let dy = Tensor2::full(y.rows(), y.cols(), 1e-3);
+                mlp.backward(&dy).unwrap();
+                mlp.sgd_step(1e-4);
+            });
+        });
+    }
+    group.finish();
+
+    // forward-only vs train step: the 1:3 flops ratio of the roofline
+    let mut group = c.benchmark_group("mlp_fwd_vs_train");
+    let cfg = MlpConfig::new(width, &vec![width; layers], Activation::Relu);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut mlp = Mlp::new(&cfg, &mut rng);
+    let x = Tensor2::from_fn(256, width, |i, j| ((i * 3 + j) % 5) as f32 * 0.1);
+    group.bench_function("forward_only", |bench| {
+        bench.iter(|| mlp.forward_inference(&x));
+    });
+    group.bench_function("train_step", |bench| {
+        bench.iter(|| {
+            let y = mlp.forward(&x);
+            let dy = Tensor2::full(y.rows(), y.cols(), 1e-3);
+            mlp.backward(&dy).unwrap();
+            mlp.sgd_step(1e-4);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mlp);
+criterion_main!(benches);

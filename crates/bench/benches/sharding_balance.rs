@@ -1,0 +1,46 @@
+//! Placement-heuristic ablation (§4.2.5): greedy vs Karmarkar–Karp on
+//! production-shaped table mixes — both runtime and achieved balance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neo_bench::table_specs;
+use neo_dlrm_model::ModelProfile;
+use neo_sharding::partition::{greedy, imbalance, karmarkar_karp};
+use neo_sharding::{CostModel, Planner, PlannerConfig};
+
+fn costs_for(p: &ModelProfile) -> Vec<f64> {
+    let cm = CostModel::v100_prototype(65536);
+    table_specs(p).iter().map(|t| cm.table_cost(t)).collect()
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    for p in [ModelProfile::a1(), ModelProfile::a2()] {
+        let costs = costs_for(&p);
+        let bins = 128;
+        // report balance quality once
+        let ig = imbalance(&costs, &greedy(&costs, bins), bins);
+        let ik = imbalance(&costs, &karmarkar_karp(&costs, bins), bins);
+        println!("{}: {} tables on {bins} GPUs — greedy imbalance {ig:.4}, LDM {ik:.4}", p.name, costs.len());
+
+        let mut group = c.benchmark_group(format!("partition_{}", p.name));
+        group.bench_with_input(BenchmarkId::new("greedy", costs.len()), &costs, |b, costs| {
+            b.iter(|| greedy(costs, bins));
+        });
+        group.bench_with_input(BenchmarkId::new("ldm", costs.len()), &costs, |b, costs| {
+            b.iter(|| karmarkar_karp(costs, bins));
+        });
+        group.finish();
+    }
+}
+
+fn bench_full_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_end_to_end");
+    let specs = table_specs(&ModelProfile::a1());
+    let planner = Planner::new(CostModel::v100_prototype(65536), PlannerConfig::default());
+    group.bench_function("a1_128gpus", |b| {
+        b.iter(|| planner.plan(&specs, 128).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_full_planner);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Exact-sparse-optimizer ablation (§4.1.2): sorted-merged updates vs the
+//! naive scatter, plus the cost of the merge itself and the state-size
+//! trade-off of row-wise AdaGrad.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neo_embeddings::bag::SparseGrad;
+use neo_embeddings::optim::merge_grads;
+use neo_embeddings::store::DenseStore;
+use neo_embeddings::{RowWiseAdagrad, SparseAdagrad, SparseOptimizer, SparseSgd};
+use neo_tensor::Tensor2;
+use rand::{Rng, SeedableRng};
+
+const ROWS: u64 = 50_000;
+const DIM: usize = 32;
+
+/// A gradient with heavy duplication, like a hot Zipf row in a big batch.
+fn grad(updates: usize, hot_fraction: f64, seed: u64) -> SparseGrad {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let indices: Vec<u64> = (0..updates)
+        .map(|_| {
+            if rng.gen_bool(hot_fraction) {
+                rng.gen_range(0..64) // hot rows
+            } else {
+                rng.gen_range(0..ROWS)
+            }
+        })
+        .collect();
+    let grads = Tensor2::from_fn(updates, DIM, |i, j| ((i * 7 + j) % 9) as f32 * 1e-3);
+    SparseGrad { indices, grads }
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_grads");
+    for &n in &[1_000usize, 10_000] {
+        let g = grad(n, 0.5, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| merge_grads(&g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adagrad_exact_vs_naive");
+    let g = grad(4_096, 0.5, 2);
+    group.bench_function("exact_merged", |b| {
+        let mut store = DenseStore::zeros(ROWS, DIM);
+        let mut opt = SparseAdagrad::new(0.01, 1e-8, ROWS, DIM);
+        b.iter(|| opt.step(&mut store, &g));
+    });
+    group.bench_function("naive_scatter", |b| {
+        let mut store = DenseStore::zeros(ROWS, DIM);
+        let mut opt = SparseAdagrad::new(0.01, 1e-8, ROWS, DIM);
+        b.iter(|| opt.step_unmerged(&mut store, &g));
+    });
+    group.finish();
+}
+
+fn bench_optimizer_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_rules");
+    let g = grad(4_096, 0.2, 3);
+    group.bench_function("sgd", |b| {
+        let mut store = DenseStore::zeros(ROWS, DIM);
+        let mut opt = SparseSgd::new(0.01);
+        b.iter(|| opt.step(&mut store, &g));
+    });
+    group.bench_function("adagrad", |b| {
+        let mut store = DenseStore::zeros(ROWS, DIM);
+        let mut opt = SparseAdagrad::new(0.01, 1e-8, ROWS, DIM);
+        b.iter(|| opt.step(&mut store, &g));
+    });
+    group.bench_function("rowwise_adagrad", |b| {
+        let mut store = DenseStore::zeros(ROWS, DIM);
+        let mut opt = RowWiseAdagrad::new(0.01, 1e-8, ROWS);
+        b.iter(|| opt.step(&mut store, &g));
+    });
+    group.finish();
+}
+
+fn bench_fused_backward(c: &mut Criterion) {
+    use neo_embeddings::bag::{fused_backward_grads, pooled_backward};
+    // duplicate-heavy bags, the case fusion exists for
+    let batch = 512usize;
+    let pooling = 16u32;
+    let lengths = vec![pooling; batch];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let indices: Vec<u64> =
+        (0..batch * pooling as usize).map(|_| rng.gen_range(0..256)).collect();
+    let grad_out = Tensor2::from_fn(batch, DIM, |i, j| ((i + j) % 5) as f32 * 0.01);
+
+    let mut group = c.benchmark_group("backward_fusion");
+    group.bench_function("fused_merge_direct", |b| {
+        b.iter(|| fused_backward_grads(&lengths, &indices, &grad_out).unwrap());
+    });
+    group.bench_function("expand_then_merge", |b| {
+        b.iter(|| {
+            merge_grads(&pooled_backward(&lengths, &indices, &grad_out).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_exact_vs_naive,
+    bench_optimizer_rules,
+    bench_fused_backward
+);
+criterion_main!(benches);

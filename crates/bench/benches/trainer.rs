@@ -1,0 +1,61 @@
+//! End-to-end trainer step benchmark: full hybrid-parallel iterations
+//! across world sizes and wire precisions (functional — real threads, real
+//! collectives, real math).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neo_collectives::QuantMode;
+use neo_dataio::{CombinedBatch, SyntheticConfig, SyntheticDataset};
+use neo_dlrm_model::DlrmConfig;
+use neo_sharding::{CostModel, Planner, PlannerConfig};
+use neo_trainer::{SyncConfig, SyncTrainer};
+
+const BATCH: usize = 64;
+
+fn setup(world: usize) -> (SyncConfig, Vec<CombinedBatch>) {
+    let model = DlrmConfig::tiny(6, 1024, 8);
+    let specs: Vec<neo_sharding::TableSpec> = model
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| neo_sharding::TableSpec::new(i, t.num_rows, t.dim, t.avg_pooling as f64))
+        .collect();
+    let plan = Planner::new(CostModel::v100_prototype(BATCH), PlannerConfig::default())
+        .plan(&specs, world)
+        .unwrap();
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(6, 1024, 4, 4)).unwrap();
+    let batches: Vec<_> = (0..4u64).map(|k| ds.batch(BATCH, k)).collect();
+    (SyncConfig::exact(world, model, plan, BATCH), batches)
+}
+
+fn bench_world_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_trainer_4_steps");
+    group.sample_size(10);
+    for &world in &[1usize, 2, 4] {
+        let (cfg, batches) = setup(world);
+        group.throughput(Throughput::Elements((4 * BATCH) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, _| {
+            b.iter(|| SyncTrainer::new(cfg.clone()).train(&batches, &[], 0, None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_trainer_wire_precision");
+    group.sample_size(10);
+    for (label, fwd, bwd) in [
+        ("fp32", QuantMode::Fp32, QuantMode::Fp32),
+        ("fp16_bf16", QuantMode::Fp16, QuantMode::Bf16),
+    ] {
+        let (mut cfg, batches) = setup(2);
+        cfg.quant_fwd = fwd;
+        cfg.quant_bwd = bwd;
+        group.bench_function(label, |b| {
+            b.iter(|| SyncTrainer::new(cfg.clone()).train(&batches, &[], 0, None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_sizes, bench_wire_precision);
+criterion_main!(benches);

@@ -1,0 +1,527 @@
+//! The thread-backed process group and its collectives.
+
+use std::any::Any;
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+
+use crate::quant::QuantMode;
+
+/// Per-rank traffic counters, updated by every collective call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Payload bytes this rank contributed to collectives (after any
+    /// quantization).
+    pub bytes_sent: u64,
+    /// Number of collective operations issued.
+    pub ops: u64,
+}
+
+struct Deposit {
+    op: &'static str,
+    payload: Box<dyn Any + Send>,
+}
+
+struct Shared {
+    world: usize,
+    barrier: Barrier,
+    slots: Mutex<Vec<Option<Deposit>>>,
+}
+
+/// Factory for the per-rank [`Communicator`] handles of a group.
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug)]
+pub struct ProcessGroup;
+
+impl ProcessGroup {
+    /// Creates `world` communicators that rendezvous with each other.
+    /// Hand one to each worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    #[allow(clippy::new_ret_no_self)] // deliberately a factory: one handle per rank
+    pub fn new(world: usize) -> Vec<Communicator> {
+        assert!(world > 0, "process group needs at least one rank");
+        let shared = Arc::new(Shared {
+            world,
+            barrier: Barrier::new(world),
+            slots: Mutex::new((0..world).map(|_| None).collect()),
+        });
+        (0..world)
+            .map(|rank| Communicator { rank, shared: Arc::clone(&shared), stats: CommStats::default() })
+            .collect()
+    }
+}
+
+/// One rank's handle into the collective group.
+///
+/// Every collective is a synchronous rendezvous: *all* ranks must call the
+/// same operation (enforced at runtime — a mismatch panics with the two
+/// operation names). Calls block until every rank has arrived.
+pub struct Communicator {
+    rank: usize,
+    shared: Arc<Shared>,
+    stats: CommStats,
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("world", &self.shared.world)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Communicator {
+    /// This rank's id in `0..world`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    #[inline]
+    pub fn world(&self) -> usize {
+        self.shared.world
+    }
+
+    /// Traffic counters for this rank.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&mut self) {
+        self.stats.ops += 1;
+        self.shared.barrier.wait();
+    }
+
+    /// Sums `buf` element-wise across all ranks; every rank ends with the
+    /// total. Accumulation is in rank order (bit-wise deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks disagree on the operation or buffer length.
+    pub fn all_reduce(&mut self, buf: &mut [f32]) {
+        self.stats.bytes_sent += (buf.len() * 4) as u64;
+        let deposits = self.exchange("all_reduce", buf.to_vec(), |slots| {
+            let mut acc = vec![0.0f32; buf.len()];
+            for slot in slots {
+                let contrib = payload_ref::<Vec<f32>>(slot, "all_reduce");
+                assert_eq!(contrib.len(), acc.len(), "all_reduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(contrib) {
+                    *a += b;
+                }
+            }
+            acc
+        });
+        buf.copy_from_slice(&deposits);
+    }
+
+    /// Averages `buf` across ranks (AllReduce then scale by `1/world`).
+    pub fn all_reduce_mean(&mut self, buf: &mut [f32]) {
+        self.all_reduce(buf);
+        let inv = 1.0 / self.world() as f32;
+        for v in buf.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    /// Element-wise maximum across ranks.
+    pub fn all_reduce_max(&mut self, buf: &mut [f32]) {
+        self.stats.bytes_sent += (buf.len() * 4) as u64;
+        let out = self.exchange("all_reduce_max", buf.to_vec(), |slots| {
+            let mut acc = vec![f32::NEG_INFINITY; buf.len()];
+            for slot in slots {
+                let contrib = payload_ref::<Vec<f32>>(slot, "all_reduce_max");
+                for (a, b) in acc.iter_mut().zip(contrib) {
+                    *a = a.max(*b);
+                }
+            }
+            acc
+        });
+        buf.copy_from_slice(&out);
+    }
+
+    /// Splits each rank's `input` (length `world * chunk`) into `world`
+    /// chunks, sums chunk `r` across ranks and returns it to rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` is not divisible by `world`.
+    pub fn reduce_scatter(&mut self, input: &[f32]) -> Vec<f32> {
+        let world = self.world();
+        assert_eq!(input.len() % world, 0, "reduce_scatter length not divisible by world");
+        let chunk = input.len() / world;
+        let my = self.rank;
+        self.stats.bytes_sent += (input.len() * 4) as u64;
+        self.exchange("reduce_scatter", input.to_vec(), |slots| {
+            let mut acc = vec![0.0f32; chunk];
+            for slot in slots {
+                let contrib = payload_ref::<Vec<f32>>(slot, "reduce_scatter");
+                assert_eq!(contrib.len(), chunk * world, "reduce_scatter length mismatch");
+                for (a, b) in acc.iter_mut().zip(&contrib[my * chunk..(my + 1) * chunk]) {
+                    *a += b;
+                }
+            }
+            acc
+        })
+    }
+
+    /// Concatenates every rank's `input` in rank order; all ranks get the
+    /// full result.
+    pub fn all_gather(&mut self, input: &[f32]) -> Vec<f32> {
+        self.stats.bytes_sent += (input.len() * 4) as u64;
+        self.exchange("all_gather", input.to_vec(), |slots| {
+            let mut out = Vec::new();
+            for slot in slots {
+                out.extend_from_slice(payload_ref::<Vec<f32>>(slot, "all_gather"));
+            }
+            out
+        })
+    }
+
+    /// Copies `buf` from `root` to every rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root >= world` or buffer lengths mismatch.
+    pub fn broadcast(&mut self, buf: &mut [f32], root: usize) {
+        assert!(root < self.world(), "broadcast root {root} out of range");
+        if self.rank == root {
+            self.stats.bytes_sent += (buf.len() * 4) as u64;
+        }
+        let out = self.exchange("broadcast", buf.to_vec(), |slots| {
+            let src = payload_ref::<Vec<f32>>(&slots[root], "broadcast");
+            assert_eq!(src.len(), buf.len(), "broadcast length mismatch");
+            src.clone()
+        });
+        buf.copy_from_slice(&out);
+    }
+
+    /// Personalized exchange: `sends[j]` goes to rank `j`; returns
+    /// `recvs` where `recvs[i]` came from rank `i`. This is the collective
+    /// on the critical path of DLRM training (pooled embeddings, §3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sends.len() != world` or ranks disagree on the operation.
+    pub fn all_to_all_v<T: Clone + Send + 'static>(&mut self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), self.world(), "all_to_all_v needs world send lists");
+        let total: usize = sends.iter().map(Vec::len).sum();
+        self.stats.bytes_sent += (total * std::mem::size_of::<T>()) as u64;
+        let my = self.rank;
+        self.exchange("all_to_all_v", sends, |slots| {
+            let mut out = Vec::with_capacity(slots.len());
+            for slot in slots {
+                let matrix = payload_ref::<Vec<Vec<T>>>(slot, "all_to_all_v");
+                out.push(matrix[my].clone());
+            }
+            out
+        })
+    }
+
+    /// Quantized f32 AlltoAllv (§5.3.2): payloads are converted to
+    /// [`QuantMode`] precision on the wire and dequantized at the receiver,
+    /// exercising real precision loss and halving [`CommStats::bytes_sent`]
+    /// for the 16-bit modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sends.len() != world`.
+    pub fn all_to_all_v_quant(
+        &mut self,
+        sends: Vec<Vec<f32>>,
+        mode: QuantMode,
+    ) -> Vec<Vec<f32>> {
+        match mode {
+            QuantMode::Fp32 => self.all_to_all_v(sends),
+            QuantMode::Fp16 | QuantMode::Bf16 => {
+                let wire: Vec<Vec<u16>> =
+                    sends.iter().map(|v| mode.quantize(v)).collect();
+                let recv = self.all_to_all_v(wire);
+                recv.into_iter().map(|v| mode.dequantize(&v)).collect()
+            }
+        }
+    }
+
+    /// Core rendezvous: deposit a payload, wait for everyone, compute this
+    /// rank's result from all deposits, wait again, and let the leader
+    /// clear the slots.
+    fn exchange<P: Send + 'static, R>(
+        &mut self,
+        op: &'static str,
+        payload: P,
+        read: impl FnOnce(&[Option<Deposit>]) -> R,
+    ) -> R {
+        self.stats.ops += 1;
+        {
+            let mut slots = self.shared.slots.lock();
+            debug_assert!(slots[self.rank].is_none(), "rank {} double deposit", self.rank);
+            slots[self.rank] = Some(Deposit { op, payload: Box::new(payload) });
+        }
+        self.shared.barrier.wait();
+        let result = {
+            let slots = self.shared.slots.lock();
+            for (r, slot) in slots.iter().enumerate() {
+                let d = slot.as_ref().expect("all ranks deposited");
+                assert_eq!(
+                    d.op, op,
+                    "collective mismatch: rank {} called {} while rank {r} called {}",
+                    self.rank, op, d.op
+                );
+            }
+            read(&slots)
+        };
+        let leader = self.shared.barrier.wait();
+        if leader.is_leader() {
+            let mut slots = self.shared.slots.lock();
+            for slot in slots.iter_mut() {
+                *slot = None;
+            }
+        }
+        self.shared.barrier.wait();
+        result
+    }
+}
+
+fn payload_ref<'a, T: 'static>(slot: &'a Option<Deposit>, op: &str) -> &'a T {
+    slot.as_ref()
+        .expect("all ranks deposited")
+        .payload
+        .downcast_ref::<T>()
+        .unwrap_or_else(|| panic!("payload type mismatch in {op}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Runs `f(rank, comm)` on `world` threads and collects the results in
+    /// rank order.
+    fn run<R: Send + 'static>(
+        world: usize,
+        f: impl Fn(usize, &mut Communicator) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let f = Arc::new(f);
+        let handles: Vec<_> = ProcessGroup::new(world)
+            .into_iter()
+            .map(|mut c| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || f(c.rank(), &mut c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    }
+
+    #[test]
+    fn all_reduce_sums() {
+        let out = run(4, |rank, c| {
+            let mut v = vec![rank as f32, 1.0];
+            c.all_reduce(&mut v);
+            v
+        });
+        for v in out {
+            assert_eq!(v, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_averages() {
+        let out = run(4, |rank, c| {
+            let mut v = vec![rank as f32];
+            c.all_reduce_mean(&mut v);
+            v[0]
+        });
+        for v in out {
+            assert_eq!(v, 1.5);
+        }
+    }
+
+    #[test]
+    fn all_reduce_max_takes_max() {
+        let out = run(3, |rank, c| {
+            let mut v = vec![-(rank as f32), rank as f32];
+            c.all_reduce_max(&mut v);
+            v
+        });
+        for v in out {
+            assert_eq!(v, vec![0.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_manual() {
+        let out = run(2, |rank, c| {
+            // rank r contributes [r, r, r+10, r+10]
+            let input = vec![rank as f32, rank as f32, rank as f32 + 10.0, rank as f32 + 10.0];
+            c.reduce_scatter(&input)
+        });
+        assert_eq!(out[0], vec![1.0, 1.0]); // 0+1
+        assert_eq!(out[1], vec![21.0, 21.0]); // 10+11
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_rank_order() {
+        let out = run(3, |rank, c| c.all_gather(&[rank as f32 * 2.0]));
+        for v in out {
+            assert_eq!(v, vec![0.0, 2.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        let out = run(4, |rank, c| {
+            let input: Vec<f32> = (0..8).map(|i| (rank * 8 + i) as f32).collect();
+            let mut ar = input.clone();
+            c.all_reduce(&mut ar);
+            let rs = c.reduce_scatter(&input);
+            let ag = c.all_gather(&rs);
+            (ar, ag)
+        });
+        for (ar, ag) in out {
+            assert_eq!(ar, ag);
+        }
+    }
+
+    #[test]
+    fn broadcast_copies_from_root() {
+        let out = run(3, |rank, c| {
+            let mut v = vec![rank as f32 + 100.0];
+            c.broadcast(&mut v, 1);
+            v[0]
+        });
+        for v in out {
+            assert_eq!(v, 101.0);
+        }
+    }
+
+    #[test]
+    fn all_to_all_v_routes_and_transposes() {
+        let out = run(3, |rank, c| {
+            // rank r sends vec![r*10 + j] to rank j
+            let sends: Vec<Vec<u64>> = (0..3).map(|j| vec![(rank * 10 + j) as u64]).collect();
+            c.all_to_all_v(sends)
+        });
+        // rank j receives from rank i: i*10 + j
+        for (j, recvs) in out.iter().enumerate() {
+            for (i, msg) in recvs.iter().enumerate() {
+                assert_eq!(msg, &vec![(i * 10 + j) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_v_with_ragged_sizes() {
+        let out = run(2, |rank, c| {
+            let sends: Vec<Vec<f32>> = if rank == 0 {
+                vec![vec![], vec![1.0, 2.0, 3.0]]
+            } else {
+                vec![vec![9.0], vec![]]
+            };
+            c.all_to_all_v(sends)
+        });
+        assert_eq!(out[0], vec![vec![], vec![9.0]]);
+        assert_eq!(out[1], vec![vec![1.0, 2.0, 3.0], vec![]]);
+    }
+
+    #[test]
+    fn quantized_alltoall_halves_bytes_and_approximates() {
+        let out = run(2, |_rank, c| {
+            let payload: Vec<f32> = (0..256).map(|i| (i as f32) * 0.37 - 40.0).collect();
+            let sends = vec![payload.clone(), payload.clone()];
+            let recv = c.all_to_all_v_quant(sends, QuantMode::Fp16);
+            (recv, c.stats().bytes_sent, payload)
+        });
+        for (recv, bytes, original) in out {
+            assert_eq!(bytes, 2 * 256 * 2, "fp16 wire format is 2 bytes/elem");
+            for row in recv {
+                for (got, want) in row.iter().zip(&original) {
+                    assert!((got - want).abs() <= want.abs() * 1e-3 + 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_mode_is_exact() {
+        let out = run(2, |rank, c| {
+            let sends = vec![vec![0.1f32, 0.2], vec![rank as f32 + 0.5]];
+            c.all_to_all_v_quant(sends, QuantMode::Fp32)
+        });
+        // rank 0 receives sends[0] from both ranks; rank 1 receives sends[1]
+        assert_eq!(out[0], vec![vec![0.1, 0.2], vec![0.1, 0.2]]);
+        assert_eq!(out[1], vec![vec![0.5], vec![1.5]]);
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_slots() {
+        let out = run(3, |rank, c| {
+            let mut acc = 0.0;
+            for step in 0..10 {
+                let mut v = vec![(rank + step) as f32];
+                c.all_reduce(&mut v);
+                acc += v[0];
+            }
+            acc
+        });
+        // sum over steps of (0+1+2 + 3*step) = 3 + 3*step
+        let want: f32 = (0..10).map(|s| 3.0 + 3.0 * s as f32).sum();
+        for v in out {
+            assert_eq!(v, want);
+        }
+    }
+
+    #[test]
+    fn stats_count_ops() {
+        let out = run(2, |_r, c| {
+            c.barrier();
+            let mut v = vec![1.0f32; 8];
+            c.all_reduce(&mut v);
+            c.stats()
+        });
+        for s in out {
+            assert_eq!(s.ops, 2);
+            assert_eq!(s.bytes_sent, 32);
+        }
+    }
+
+    #[test]
+    fn world_one_is_trivial() {
+        let out = run(1, |_r, c| {
+            let mut v = vec![5.0f32];
+            c.all_reduce(&mut v);
+            let ag = c.all_gather(&[7.0]);
+            (v[0], ag)
+        });
+        assert_eq!(out[0], (5.0, vec![7.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_group_rejected() {
+        ProcessGroup::new(0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        // identical inputs produce bit-identical outputs regardless of
+        // thread scheduling, because accumulation is in rank order
+        let run_once = || {
+            run(4, |rank, c| {
+                let mut v: Vec<f32> =
+                    (0..64).map(|i| ((rank * 64 + i) as f32 * 0.1).sin() * 1e-3).collect();
+                c.all_reduce(&mut v);
+                v
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Functional collective communication for simulated multi-GPU training.
+//!
+//! The original system runs NCCL over RoCE/NVLink through the PyTorch
+//! ProcessGroup API (§4.5). Here each "GPU" is a thread, and a
+//! [`Communicator`] provides the same collectives with real data movement
+//! through shared memory:
+//!
+//! * [`Communicator::all_reduce`] — gradient sync for data-parallel MLPs,
+//! * [`Communicator::all_to_all_v`] — pooled-embedding and index exchange
+//!   for model-parallel tables,
+//! * [`Communicator::reduce_scatter`] / [`Communicator::all_gather`] —
+//!   row-wise sharded tables (§4.2.2),
+//! * [`Communicator::broadcast`] / [`Communicator::barrier`].
+//!
+//! Reductions always accumulate in rank order, so results are bit-wise
+//! deterministic run-to-run — the property §4.1.2 of the paper relies on.
+//! The [`quant`] module adds the FP16/BF16 quantized transfers of §5.3.2,
+//! with per-rank byte accounting so tests can verify the volume savings.
+//!
+//! # Example
+//!
+//! ```
+//! use neo_collectives::ProcessGroup;
+//! use std::thread;
+//!
+//! let comms = ProcessGroup::new(4);
+//! let handles: Vec<_> = comms
+//!     .into_iter()
+//!     .map(|mut c| {
+//!         thread::spawn(move || {
+//!             let mut x = vec![c.rank() as f32 + 1.0];
+//!             c.all_reduce(&mut x);
+//!             x[0]
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     assert_eq!(h.join().unwrap(), 10.0); // 1+2+3+4 on every rank
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+mod group;
+pub mod quant;
+
+pub use group::{CommStats, Communicator, ProcessGroup};
+pub use quant::QuantMode;

@@ -1,0 +1,114 @@
+//! Quantized communication (§5.3.2, [Yang et al. 2020]).
+//!
+//! The paper sends the forward pooled-embedding AlltoAll in FP16 and the
+//! backward AlltoAll in BF16: FP16 has more mantissa (better for
+//! activations), BF16 has FP32's exponent range (safer for gradients).
+
+use neo_tensor::{Bf16, F16};
+
+/// Wire precision for a quantized collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantMode {
+    /// No quantization: 4 bytes/element.
+    #[default]
+    Fp32,
+    /// IEEE half precision: 2 bytes/element; used for the forward AlltoAll.
+    Fp16,
+    /// bfloat16: 2 bytes/element; used for the backward AlltoAll.
+    Bf16,
+}
+
+impl QuantMode {
+    /// Bytes per element on the wire.
+    #[must_use]
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            QuantMode::Fp32 => 4,
+            QuantMode::Fp16 | QuantMode::Bf16 => 2,
+        }
+    }
+
+    /// Quantizes to 16-bit wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`QuantMode::Fp32`] (which has no 16-bit wire
+    /// format — callers short-circuit that case).
+    #[must_use]
+    pub fn quantize(&self, src: &[f32]) -> Vec<u16> {
+        match self {
+            QuantMode::Fp32 => panic!("fp32 payloads are not quantized"),
+            QuantMode::Fp16 => src.iter().map(|&v| F16::from_f32(v).to_bits()).collect(),
+            QuantMode::Bf16 => src.iter().map(|&v| Bf16::from_f32(v).to_bits()).collect(),
+        }
+    }
+
+    /// Dequantizes from the 16-bit wire format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`QuantMode::Fp32`].
+    #[must_use]
+    pub fn dequantize(&self, src: &[u16]) -> Vec<f32> {
+        match self {
+            QuantMode::Fp32 => panic!("fp32 payloads are not quantized"),
+            QuantMode::Fp16 => src.iter().map(|&b| F16::from_bits(b).to_f32()).collect(),
+            QuantMode::Bf16 => src.iter().map(|&b| Bf16::from_bits(b).to_f32()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantMode::Fp32 => write!(f, "FP32"),
+            QuantMode::Fp16 => write!(f, "FP16"),
+            QuantMode::Bf16 => write!(f, "BF16"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(QuantMode::Fp32.wire_bytes(), 4);
+        assert_eq!(QuantMode::Fp16.wire_bytes(), 2);
+        assert_eq!(QuantMode::Bf16.wire_bytes(), 2);
+    }
+
+    #[test]
+    fn fp16_roundtrip_error_bounded() {
+        let src: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.123).collect();
+        let back = QuantMode::Fp16.dequantize(&QuantMode::Fp16.quantize(&src));
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn bf16_preserves_range() {
+        let src = vec![1e30f32, -3e20, 4e-20];
+        let back = QuantMode::Bf16.dequantize(&QuantMode::Bf16.quantize(&src));
+        for (a, b) in src.iter().zip(&back) {
+            assert!(((a - b) / a).abs() < 1.0 / 128.0);
+        }
+    }
+
+    #[test]
+    fn fp16_overflows_where_bf16_does_not() {
+        let src = vec![1e10f32];
+        let f16 = QuantMode::Fp16.dequantize(&QuantMode::Fp16.quantize(&src));
+        let bf16 = QuantMode::Bf16.dequantize(&QuantMode::Bf16.quantize(&src));
+        assert!(f16[0].is_infinite(), "fp16 saturates at 65504");
+        assert!(bf16[0].is_finite());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(QuantMode::Fp16.to_string(), "FP16");
+        assert_eq!(QuantMode::default(), QuantMode::Fp32);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the collective algebra.
+
+use neo_collectives::{ProcessGroup, QuantMode};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+fn run_group<R: Send + 'static>(
+    world: usize,
+    f: impl Fn(usize, &mut neo_collectives::Communicator) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let f = Arc::new(f);
+    ProcessGroup::new(world)
+        .into_iter()
+        .map(|mut c| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || f(c.rank(), &mut c))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("worker"))
+        .collect()
+}
+
+proptest! {
+    // thread-spawning cases are expensive; keep the count tight
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// AlltoAll applied twice (send back what you received) restores every
+    /// rank's original sends — the collective is its own inverse under
+    /// transposition.
+    #[test]
+    fn alltoall_is_self_inverse(
+        world in 1usize..5,
+        payload_len in 0usize..6,
+    ) {
+        let out = run_group(world, move |rank, comm| {
+            let sends: Vec<Vec<u64>> = (0..world)
+                .map(|dest| {
+                    (0..payload_len).map(|k| (rank * 1000 + dest * 10 + k) as u64).collect()
+                })
+                .collect();
+            let recv = comm.all_to_all_v(sends.clone());
+            let back = comm.all_to_all_v(recv);
+            (sends, back)
+        });
+        for (sends, back) in out {
+            prop_assert_eq!(sends, back);
+        }
+    }
+
+    /// ReduceScatter then AllGather equals AllReduce for arbitrary inputs.
+    #[test]
+    fn rs_ag_equals_allreduce(
+        world in 1usize..5,
+        chunk in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let out = run_group(world, move |rank, comm| {
+            let n = world * chunk;
+            let input: Vec<f32> = (0..n)
+                .map(|i| (((seed + rank as u64 * 31 + i as u64 * 7) % 17) as f32) - 8.0)
+                .collect();
+            let mut ar = input.clone();
+            comm.all_reduce(&mut ar);
+            let rs = comm.reduce_scatter(&input);
+            let ag = comm.all_gather(&rs);
+            (ar, ag)
+        });
+        for (ar, ag) in out {
+            prop_assert_eq!(ar, ag);
+        }
+    }
+
+    /// Broadcast makes every rank equal to the root, whatever they held.
+    #[test]
+    fn broadcast_equalizes(world in 1usize..5, root_pick in 0usize..16, n in 1usize..6) {
+        let root = root_pick % world;
+        let out = run_group(world, move |rank, comm| {
+            let mut buf: Vec<f32> = (0..n).map(|i| (rank * 100 + i) as f32).collect();
+            comm.broadcast(&mut buf, root);
+            buf
+        });
+        let want: Vec<f32> = (0..n).map(|i| (root * 100 + i) as f32).collect();
+        for got in out {
+            prop_assert_eq!(got, want.clone());
+        }
+    }
+
+    /// Quantized AlltoAll preserves values representable in the wire format
+    /// exactly, for both 16-bit modes.
+    #[test]
+    fn quantized_alltoall_exact_on_representable(
+        world in 1usize..4,
+        // half-integers up to 127.5 use <= 8 significant bits: exact in
+        // both FP16 (11-bit significand) and BF16 (8-bit significand)
+        ints in proptest::collection::vec(-255i32..256, 1..5),
+        bf16 in any::<bool>(),
+    ) {
+        let mode = if bf16 { QuantMode::Bf16 } else { QuantMode::Fp16 };
+        let payload: Vec<f32> = ints.iter().map(|&i| i as f32 * 0.5).collect();
+        let expect = payload.clone();
+        let out = run_group(world, move |_rank, comm| {
+            let sends = vec![payload.clone(); world];
+            comm.all_to_all_v_quant(sends, mode)
+        });
+        for recvs in out {
+            for r in recvs {
+                prop_assert_eq!(r, expect.clone());
+            }
+        }
+    }
+}

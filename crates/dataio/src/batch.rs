@@ -1,0 +1,342 @@
+//! The combined input format (§4.4).
+//!
+//! The pre-Zion pipeline shipped one offsets tensor and one indices tensor
+//! *per embedding table* — about a thousand host-to-device transfers per
+//! iteration. The combined format stores per-bag *lengths* (not offsets) in
+//! one `(T, B)` buffer and concatenates all indices into a second buffer,
+//! so a batch is two sparse transfers regardless of table count and can be
+//! consumed by the fused embedding kernel without layout conversion.
+
+use std::fmt;
+
+use neo_tensor::Tensor2;
+use serde::{Deserialize, Serialize};
+
+/// Error for malformed batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    msg: String,
+}
+
+impl BatchError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// One training batch in combined format.
+///
+/// Layout: `lengths[t * B + b]` is the pooling size of table `t`, bag `b`;
+/// `indices` concatenates all row ids table-major (all of table 0's bags,
+/// then table 1's, ...). `table_offsets` caches the per-table starting
+/// position inside `indices`.
+///
+/// # Example
+///
+/// ```
+/// use neo_dataio::CombinedBatch;
+/// use neo_tensor::Tensor2;
+///
+/// let batch = CombinedBatch::new(
+///     2,                              // batch size
+///     2,                              // tables
+///     vec![1, 2, 0, 1],               // lengths (T, B)
+///     vec![10, 20, 21, 5],            // indices
+///     Tensor2::zeros(2, 3),           // dense features
+///     vec![1.0, 0.0],                 // labels
+/// )?;
+/// let (lens, idx) = batch.table_inputs(0);
+/// assert_eq!(lens, &[1, 2]);
+/// assert_eq!(idx, &[10, 20, 21]);
+/// # Ok::<(), neo_dataio::batch::BatchError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinedBatch {
+    batch_size: usize,
+    num_tables: usize,
+    lengths: Vec<u32>,
+    indices: Vec<u64>,
+    table_offsets: Vec<usize>,
+    /// Dense (continuous) features, `B x dense_dim`.
+    pub dense: Tensor2,
+    /// Click labels in `{0, 1}`, length `B`.
+    pub labels: Vec<f32>,
+}
+
+impl CombinedBatch {
+    /// Assembles and validates a combined batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] if buffer sizes are inconsistent.
+    pub fn new(
+        batch_size: usize,
+        num_tables: usize,
+        lengths: Vec<u32>,
+        indices: Vec<u64>,
+        dense: Tensor2,
+        labels: Vec<f32>,
+    ) -> Result<Self, BatchError> {
+        if lengths.len() != batch_size * num_tables {
+            return Err(BatchError::new(format!(
+                "lengths buffer has {} entries, want B*T = {}",
+                lengths.len(),
+                batch_size * num_tables
+            )));
+        }
+        let total: usize = lengths.iter().map(|&l| l as usize).sum();
+        if total != indices.len() {
+            return Err(BatchError::new(format!(
+                "lengths sum to {total} but {} indices given",
+                indices.len()
+            )));
+        }
+        if dense.rows() != batch_size {
+            return Err(BatchError::new("dense feature row count != batch size"));
+        }
+        if labels.len() != batch_size {
+            return Err(BatchError::new("label count != batch size"));
+        }
+        let mut table_offsets = Vec::with_capacity(num_tables + 1);
+        table_offsets.push(0usize);
+        for t in 0..num_tables {
+            let tlen: usize =
+                lengths[t * batch_size..(t + 1) * batch_size].iter().map(|&l| l as usize).sum();
+            table_offsets.push(table_offsets[t] + tlen);
+        }
+        Ok(Self { batch_size, num_tables, lengths, indices, table_offsets, dense, labels })
+    }
+
+    /// Number of samples `B`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of sparse features / embedding tables `T`.
+    pub fn num_tables(&self) -> usize {
+        self.num_tables
+    }
+
+    /// The full `(T, B)` lengths buffer.
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// The full concatenated indices buffer.
+    pub fn indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// This table's `(lengths, indices)` slices, ready for the fused
+    /// embedding kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table >= num_tables`.
+    pub fn table_inputs(&self, table: usize) -> (&[u32], &[u64]) {
+        assert!(table < self.num_tables, "table {table} out of range");
+        let lens = &self.lengths[table * self.batch_size..(table + 1) * self.batch_size];
+        let idx = &self.indices[self.table_offsets[table]..self.table_offsets[table + 1]];
+        (lens, idx)
+    }
+
+    /// Splits the batch into `parts` equal sub-batches along the sample
+    /// dimension — how the global batch is scattered to data-parallel
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] if `batch_size` is not divisible by `parts`.
+    pub fn split(&self, parts: usize) -> Result<Vec<CombinedBatch>, BatchError> {
+        if parts == 0 || !self.batch_size.is_multiple_of(parts) {
+            return Err(BatchError::new(format!(
+                "cannot split batch of {} into {parts} parts",
+                self.batch_size
+            )));
+        }
+        let sub = self.batch_size / parts;
+        let mut out = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let lo = p * sub;
+            let hi = lo + sub;
+            let mut lengths = Vec::with_capacity(sub * self.num_tables);
+            let mut indices = Vec::new();
+            for t in 0..self.num_tables {
+                let (tl, ti) = self.table_inputs(t);
+                // position of bag `lo` within this table's index slice
+                let skip: usize = tl[..lo].iter().map(|&l| l as usize).sum();
+                let take: usize = tl[lo..hi].iter().map(|&l| l as usize).sum();
+                lengths.extend_from_slice(&tl[lo..hi]);
+                indices.extend_from_slice(&ti[skip..skip + take]);
+            }
+            out.push(CombinedBatch::new(
+                sub,
+                self.num_tables,
+                lengths,
+                indices,
+                self.dense.slice_rows(lo, hi),
+                self.labels[lo..hi].to_vec(),
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Concatenates sub-batches back into one batch (inverse of
+    /// [`CombinedBatch::split`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError`] if the parts disagree on table count or dense
+    /// width, or the input is empty.
+    pub fn concat(parts: &[CombinedBatch]) -> Result<CombinedBatch, BatchError> {
+        let first = parts.first().ok_or_else(|| BatchError::new("concat of zero batches"))?;
+        let num_tables = first.num_tables;
+        if parts.iter().any(|p| p.num_tables != num_tables) {
+            return Err(BatchError::new("concat parts disagree on table count"));
+        }
+        let batch_size: usize = parts.iter().map(|p| p.batch_size).sum();
+        let mut lengths = Vec::with_capacity(batch_size * num_tables);
+        let mut indices = Vec::new();
+        for t in 0..num_tables {
+            for p in parts {
+                let (tl, ti) = p.table_inputs(t);
+                lengths.extend_from_slice(tl);
+                indices.extend_from_slice(ti);
+            }
+        }
+        let denses: Vec<&Tensor2> = parts.iter().map(|p| &p.dense).collect();
+        let dense = Tensor2::vcat(&denses).map_err(|e| BatchError::new(e.to_string()))?;
+        let labels: Vec<f32> = parts.iter().flat_map(|p| p.labels.iter().copied()).collect();
+        CombinedBatch::new(batch_size, num_tables, lengths, indices, dense, labels)
+    }
+
+    /// Approximate wire size of the sparse part in bytes (what the input
+    /// AlltoAll moves): 4 bytes per length + 8 per index.
+    pub fn sparse_bytes(&self) -> u64 {
+        (self.lengths.len() * 4 + self.indices.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> CombinedBatch {
+        // B=4, T=2
+        // table 0 lengths [1,2,0,1] indices [10, 20,21, 5]
+        // table 1 lengths [2,1,1,0] indices [7,8, 9, 3]
+        CombinedBatch::new(
+            4,
+            2,
+            vec![1, 2, 0, 1, 2, 1, 1, 0],
+            vec![10, 20, 21, 5, 7, 8, 9, 3],
+            Tensor2::from_fn(4, 2, |i, j| (i * 2 + j) as f32),
+            vec![1.0, 0.0, 0.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_inputs_slice_correctly() {
+        let b = batch();
+        let (l0, i0) = b.table_inputs(0);
+        assert_eq!(l0, &[1, 2, 0, 1]);
+        assert_eq!(i0, &[10, 20, 21, 5]);
+        let (l1, i1) = b.table_inputs(1);
+        assert_eq!(l1, &[2, 1, 1, 0]);
+        assert_eq!(i1, &[7, 8, 9, 3]);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistency() {
+        assert!(CombinedBatch::new(
+            2,
+            1,
+            vec![1, 1],
+            vec![1], // too few indices
+            Tensor2::zeros(2, 1),
+            vec![0.0, 1.0]
+        )
+        .is_err());
+        assert!(CombinedBatch::new(
+            2,
+            1,
+            vec![1],
+            vec![1],
+            Tensor2::zeros(2, 1),
+            vec![0.0, 1.0]
+        )
+        .is_err());
+        assert!(CombinedBatch::new(
+            2,
+            1,
+            vec![1, 0],
+            vec![1],
+            Tensor2::zeros(3, 1),
+            vec![0.0, 1.0]
+        )
+        .is_err());
+        assert!(CombinedBatch::new(2, 1, vec![1, 0], vec![1], Tensor2::zeros(2, 1), vec![0.0])
+            .is_err());
+    }
+
+    #[test]
+    fn split_concat_roundtrip() {
+        let b = batch();
+        let parts = b.split(2).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].batch_size(), 2);
+        let (l, i) = parts[0].table_inputs(0);
+        assert_eq!(l, &[1, 2]);
+        assert_eq!(i, &[10, 20, 21]);
+        let (l, i) = parts[1].table_inputs(1);
+        assert_eq!(l, &[1, 0]);
+        assert_eq!(i, &[3], "table 1 bags are [7,8],[9],[3],[]");
+        let rejoined = CombinedBatch::concat(&parts).unwrap();
+        assert_eq!(rejoined, b);
+    }
+
+    #[test]
+    fn split_requires_divisibility() {
+        assert!(batch().split(3).is_err());
+        assert!(batch().split(0).is_err());
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_tables() {
+        let a = batch();
+        let b = CombinedBatch::new(
+            1,
+            1,
+            vec![0],
+            vec![],
+            Tensor2::zeros(1, 2),
+            vec![0.0],
+        )
+        .unwrap();
+        assert!(CombinedBatch::concat(&[a, b]).is_err());
+        assert!(CombinedBatch::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn sparse_bytes_accounting() {
+        let b = batch();
+        assert_eq!(b.sparse_bytes(), (8 * 4 + 8 * 8) as u64);
+    }
+
+    #[test]
+    fn labels_and_dense_travel_with_split() {
+        let b = batch();
+        let parts = b.split(4).unwrap();
+        assert_eq!(parts[3].labels, vec![1.0]);
+        assert_eq!(parts[2].dense.row(0), &[4.0, 5.0]);
+    }
+}

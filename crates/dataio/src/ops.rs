@@ -1,0 +1,263 @@
+//! Input-redistribution kernels (§4.4): permute, bucketize, replicate.
+//!
+//! After the input AlltoAll, each worker holds every source worker's
+//! sub-batch for its *local* tables, laid out `(W, T, B)`; the fused
+//! embedding kernel wants `(T, W, B)` — [`permute_wtb_to_twb`]. Row-wise
+//! sharded tables additionally need their indices *bucketized* by row range
+//! and rewritten to shard-local ids — [`bucketize_rows`]. Column-wise
+//! sharded tables simply *replicate* the indices to every column shard —
+//! [`replicate_inputs`].
+
+use std::fmt;
+
+/// Error for malformed redistribution inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpsError {
+    msg: String,
+}
+
+impl fmt::Display for OpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input-distribution error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for OpsError {}
+
+fn err(msg: impl Into<String>) -> OpsError {
+    OpsError { msg: msg.into() }
+}
+
+/// Permutes a combined sparse buffer from `(W, T, B)` blocks to
+/// `(T, W, B)` blocks.
+///
+/// `lengths` holds `w * t * b` pooling sizes with source-worker-major
+/// layout (`lengths[(wi * t + ti) * b + bi]`); `indices` is the matching
+/// concatenation. The output is table-major: all of table 0 across all
+/// source workers, then table 1, etc. — consumable by one fused kernel pass
+/// per table over the *global* batch.
+///
+/// # Errors
+///
+/// Returns [`OpsError`] if buffer sizes are inconsistent.
+pub fn permute_wtb_to_twb(
+    w: usize,
+    t: usize,
+    b: usize,
+    lengths: &[u32],
+    indices: &[u64],
+) -> Result<(Vec<u32>, Vec<u64>), OpsError> {
+    if lengths.len() != w * t * b {
+        return Err(err(format!("lengths len {} != W*T*B {}", lengths.len(), w * t * b)));
+    }
+    let total: usize = lengths.iter().map(|&l| l as usize).sum();
+    if total != indices.len() {
+        return Err(err(format!("lengths sum {total} != indices len {}", indices.len())));
+    }
+    // offset of each (w, t) block inside `indices`
+    let mut block_offsets = vec![0usize; w * t + 1];
+    for wi in 0..w {
+        for ti in 0..t {
+            let k = wi * t + ti;
+            let block: usize =
+                lengths[k * b..(k + 1) * b].iter().map(|&l| l as usize).sum();
+            block_offsets[k + 1] = block_offsets[k] + block;
+        }
+    }
+    let mut out_lengths = Vec::with_capacity(lengths.len());
+    let mut out_indices = Vec::with_capacity(indices.len());
+    for ti in 0..t {
+        for wi in 0..w {
+            let k = wi * t + ti;
+            out_lengths.extend_from_slice(&lengths[k * b..(k + 1) * b]);
+            out_indices.extend_from_slice(&indices[block_offsets[k]..block_offsets[k + 1]]);
+        }
+    }
+    Ok((out_lengths, out_indices))
+}
+
+/// The result of bucketizing one table's inputs for row-wise sharding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucketized {
+    /// Per-shard per-bag lengths, laid out `(shard, bag)`.
+    pub lengths: Vec<u32>,
+    /// Shard-local row ids, concatenated shard-major in bag order.
+    pub indices: Vec<u64>,
+    /// Number of shards.
+    pub shards: usize,
+    /// Number of bags.
+    pub bags: usize,
+}
+
+impl Bucketized {
+    /// The `(lengths, indices)` destined for shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shards`.
+    pub fn shard_inputs(&self, s: usize) -> (&[u32], &[u64]) {
+        assert!(s < self.shards, "shard {s} out of range");
+        let lens = &self.lengths[s * self.bags..(s + 1) * self.bags];
+        let mut start = 0usize;
+        for prev in 0..s {
+            start += self.lengths[prev * self.bags..(prev + 1) * self.bags]
+                .iter()
+                .map(|&l| l as usize)
+                .sum::<usize>();
+        }
+        let take: usize = lens.iter().map(|&l| l as usize).sum();
+        (lens, &self.indices[start..start + take])
+    }
+}
+
+/// Size of each contiguous row block when a table of `num_rows` rows is
+/// row-sharded across `shards` workers.
+#[must_use]
+pub fn row_block_size(num_rows: u64, shards: usize) -> u64 {
+    num_rows.div_ceil(shards as u64)
+}
+
+/// Buckets one table's `(lengths, indices)` by row range for `shards`
+/// row-wise shards: global row `i` goes to shard `i / block` as local row
+/// `i % block` (block = `ceil(H / shards)`).
+///
+/// # Errors
+///
+/// Returns [`OpsError`] if the inputs are inconsistent or an index is out
+/// of range.
+pub fn bucketize_rows(
+    shards: usize,
+    num_rows: u64,
+    lengths: &[u32],
+    indices: &[u64],
+) -> Result<Bucketized, OpsError> {
+    if shards == 0 {
+        return Err(err("zero shards"));
+    }
+    let total: usize = lengths.iter().map(|&l| l as usize).sum();
+    if total != indices.len() {
+        return Err(err("lengths/indices mismatch"));
+    }
+    if let Some(&bad) = indices.iter().find(|&&i| i >= num_rows) {
+        return Err(err(format!("index {bad} >= num_rows {num_rows}")));
+    }
+    let bags = lengths.len();
+    let block = row_block_size(num_rows, shards);
+    let mut out_lengths = vec![0u32; shards * bags];
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    let mut cursor = 0usize;
+    for (bag, &l) in lengths.iter().enumerate() {
+        for &idx in &indices[cursor..cursor + l as usize] {
+            let s = (idx / block) as usize;
+            out_lengths[s * bags + bag] += 1;
+            per_shard[s].push(idx % block);
+        }
+        cursor += l as usize;
+    }
+    let mut out_indices = Vec::with_capacity(indices.len());
+    for s in per_shard {
+        out_indices.extend(s);
+    }
+    Ok(Bucketized { lengths: out_lengths, indices: out_indices, shards, bags })
+}
+
+/// Replicates one table's inputs to every column shard (§4.2.3: column-wise
+/// sharding "requires duplication of the input indices").
+#[must_use]
+pub fn replicate_inputs(
+    shards: usize,
+    lengths: &[u32],
+    indices: &[u64],
+) -> Vec<(Vec<u32>, Vec<u64>)> {
+    (0..shards).map(|_| (lengths.to_vec(), indices.to_vec())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permute_roundtrip_shape() {
+        // W=2, T=2, B=1
+        // (w0,t0): len 1 idx [10]; (w0,t1): len 2 idx [20,21]
+        // (w1,t0): len 0;          (w1,t1): len 1 idx [30]
+        let lengths = vec![1, 2, 0, 1];
+        let indices = vec![10, 20, 21, 30];
+        let (pl, pi) = permute_wtb_to_twb(2, 2, 1, &lengths, &indices).unwrap();
+        // (t0,w0), (t0,w1), (t1,w0), (t1,w1)
+        assert_eq!(pl, vec![1, 0, 2, 1]);
+        assert_eq!(pi, vec![10, 20, 21, 30]);
+    }
+
+    #[test]
+    fn permute_preserves_multiset() {
+        let w = 3;
+        let t = 2;
+        let b = 4;
+        let lengths: Vec<u32> = (0..w * t * b).map(|k| (k % 3) as u32).collect();
+        let total: usize = lengths.iter().map(|&l| l as usize).sum();
+        let indices: Vec<u64> = (0..total as u64).collect();
+        let (pl, pi) = permute_wtb_to_twb(w, t, b, &lengths, &indices).unwrap();
+        assert_eq!(pl.iter().map(|&l| l as usize).sum::<usize>(), total);
+        let mut sorted = pi.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, indices);
+    }
+
+    #[test]
+    fn permute_validates() {
+        assert!(permute_wtb_to_twb(2, 2, 2, &[1; 4], &[0; 4]).is_err());
+        assert!(permute_wtb_to_twb(1, 1, 1, &[2], &[0]).is_err());
+    }
+
+    #[test]
+    fn bucketize_routes_by_block() {
+        // H=10, 2 shards => block 5: rows 0-4 shard 0, 5-9 shard 1
+        let lengths = vec![2, 1];
+        let indices = vec![1, 7, 5];
+        let bz = bucketize_rows(2, 10, &lengths, &indices).unwrap();
+        let (l0, i0) = bz.shard_inputs(0);
+        assert_eq!(l0, &[1, 0]);
+        assert_eq!(i0, &[1]);
+        let (l1, i1) = bz.shard_inputs(1);
+        assert_eq!(l1, &[1, 1]);
+        assert_eq!(i1, &[2, 0], "local ids: 7-5=2, 5-5=0");
+    }
+
+    #[test]
+    fn bucketize_preserves_counts() {
+        let lengths = vec![3, 0, 2, 5];
+        let indices: Vec<u64> = vec![0, 9, 4, 8, 2, 1, 3, 5, 6, 7];
+        let bz = bucketize_rows(3, 10, &lengths, &indices).unwrap();
+        let total: u32 = bz.lengths.iter().sum();
+        assert_eq!(total as usize, indices.len());
+        assert_eq!(bz.indices.len(), indices.len());
+        // every local id fits its block
+        let block = row_block_size(10, 3);
+        assert!(bz.indices.iter().all(|&i| i < block));
+    }
+
+    #[test]
+    fn bucketize_validates() {
+        assert!(bucketize_rows(0, 10, &[1], &[0]).is_err());
+        assert!(bucketize_rows(2, 10, &[2], &[0]).is_err());
+        assert!(bucketize_rows(2, 10, &[1], &[10]).is_err());
+    }
+
+    #[test]
+    fn row_block_rounds_up() {
+        assert_eq!(row_block_size(10, 3), 4);
+        assert_eq!(row_block_size(8, 4), 2);
+        assert_eq!(row_block_size(1, 4), 1);
+    }
+
+    #[test]
+    fn replicate_clones_for_each_shard() {
+        let reps = replicate_inputs(3, &[1, 2], &[5, 6, 7]);
+        assert_eq!(reps.len(), 3);
+        for (l, i) in reps {
+            assert_eq!(l, vec![1, 2]);
+            assert_eq!(i, vec![5, 6, 7]);
+        }
+    }
+}

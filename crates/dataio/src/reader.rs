@@ -1,0 +1,136 @@
+//! Background-prefetching batch reader.
+//!
+//! Stands in for the disaggregated data-ingestion service (Fig. 6): a
+//! producer thread generates (or in production, deserializes and
+//! pre-processes) batches ahead of the trainer and parks them in a bounded
+//! queue, so host-side input work overlaps training — the double-buffering
+//! / pipelining requirement of §3.0.2.
+
+use crossbeam::channel::{bounded, Receiver};
+
+use crate::batch::CombinedBatch;
+
+/// A bounded, threaded batch prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use neo_dataio::{PrefetchReader, SyntheticConfig, SyntheticDataset};
+///
+/// let ds = SyntheticDataset::new(SyntheticConfig::uniform(2, 100, 3, 4)).unwrap();
+/// let mut reader = PrefetchReader::spawn(4, 2, move |k| ds.batch(16, k));
+/// let mut seen = 0;
+/// while let Some(batch) = reader.next_batch() {
+///     assert_eq!(batch.batch_size(), 16);
+///     seen += 1;
+/// }
+/// assert_eq!(seen, 4);
+/// ```
+#[derive(Debug)]
+pub struct PrefetchReader {
+    rx: Receiver<CombinedBatch>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PrefetchReader {
+    /// Spawns a producer thread that calls `make(k)` for
+    /// `k in 0..num_batches`, keeping at most `depth` batches buffered
+    /// (`depth = 2` gives the paper's double buffering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn spawn(
+        num_batches: u64,
+        depth: usize,
+        make: impl FnMut(u64) -> CombinedBatch + Send + 'static,
+    ) -> Self {
+        assert!(depth > 0, "prefetch depth must be positive");
+        let (tx, rx) = bounded(depth);
+        let mut make = make;
+        let handle = std::thread::spawn(move || {
+            for k in 0..num_batches {
+                if tx.send(make(k)).is_err() {
+                    return; // consumer hung up early
+                }
+            }
+        });
+        Self { rx, handle: Some(handle) }
+    }
+
+    /// Blocks for the next batch; `None` once the stream is exhausted.
+    pub fn next_batch(&mut self) -> Option<CombinedBatch> {
+        self.rx.recv().ok()
+    }
+
+    /// Number of batches currently buffered and ready.
+    pub fn buffered(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for PrefetchReader {
+    fn drop(&mut self) {
+        // Drop the live receiver first so a producer blocked on a full
+        // queue fails its send and exits; then reap the thread.
+        let (_tx, dummy_rx) = bounded::<CombinedBatch>(1);
+        drop(std::mem::replace(&mut self.rx, dummy_rx));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticDataset};
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::new(SyntheticConfig::uniform(2, 64, 2, 3)).unwrap()
+    }
+
+    #[test]
+    fn yields_all_batches_in_order() {
+        let ds = dataset();
+        let want: Vec<_> = (0..5).map(|k| ds.batch(8, k)).collect();
+        let mut r = PrefetchReader::spawn(5, 2, move |k| ds.batch(8, k));
+        let mut got = Vec::new();
+        while let Some(b) = r.next_batch() {
+            got.push(b);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prefetches_ahead_of_consumer() {
+        let ds = dataset();
+        let mut r = PrefetchReader::spawn(10, 3, move |k| ds.batch(4, k));
+        // give the producer time to fill the buffer
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(r.buffered() >= 2, "buffered {}", r.buffered());
+        let _ = r.next_batch();
+    }
+
+    #[test]
+    fn early_drop_does_not_hang() {
+        let ds = dataset();
+        let mut r = PrefetchReader::spawn(1_000_000, 2, move |k| ds.batch(4, k % 3));
+        let _ = r.next_batch();
+        drop(r); // must unblock the producer and join promptly
+    }
+
+    #[test]
+    fn zero_batches_finishes_immediately() {
+        let ds = dataset();
+        let mut r = PrefetchReader::spawn(0, 1, move |k| ds.batch(4, k));
+        assert!(r.next_batch().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let ds = dataset();
+        let _ = PrefetchReader::spawn(1, 0, move |k| ds.batch(4, k));
+    }
+}

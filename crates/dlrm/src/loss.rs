@@ -1,0 +1,376 @@
+//! Binary cross-entropy loss and the normalized-entropy (NE) metric.
+//!
+//! NE ([He et al. 2014], the metric of Fig. 10) is the average log loss
+//! normalized by the entropy of the dataset's base CTR: 1.0 means the model
+//! learned nothing beyond the background click rate, lower is better.
+
+use neo_tensor::{ShapeError, Tensor2};
+
+/// Numerically stable sigmoid.
+#[inline]
+#[must_use]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy over logits.
+///
+/// Returns `(mean_loss, grad_logits)` where the gradient is already divided
+/// by the batch size (`(sigmoid(z) - y) / B`), computed with the standard
+/// log-sum-exp stabilization.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `logits` is not `B x 1` with `B == labels.len()`.
+pub fn bce_with_logits(logits: &Tensor2, labels: &[f32]) -> Result<(f32, Tensor2), ShapeError> {
+    if logits.cols() != 1 || logits.rows() != labels.len() {
+        return Err(ShapeError::new(format!(
+            "logits {:?} vs {} labels",
+            logits.shape(),
+            labels.len()
+        )));
+    }
+    let b = labels.len();
+    let mut grad = Tensor2::zeros(b, 1);
+    let mut loss = 0.0f64;
+    for (i, &y) in labels.iter().enumerate() {
+        let z = logits[(i, 0)];
+        // loss = max(z,0) - z*y + ln(1 + exp(-|z|))
+        loss += (z.max(0.0) - z * y + (-z.abs()).exp().ln_1p()) as f64;
+        grad[(i, 0)] = (sigmoid(z) - y) / b as f32;
+    }
+    Ok(((loss / b as f64) as f32, grad))
+}
+
+/// Streaming normalized-entropy accumulator.
+///
+/// # Example
+///
+/// ```
+/// use neo_dlrm_model::NormalizedEntropy;
+/// let mut ne = NormalizedEntropy::new();
+/// // a perfectly calibrated but uninformative predictor on a 50% CTR
+/// for i in 0..100 {
+///     ne.observe(0.5, (i % 2) as f32);
+/// }
+/// assert!((ne.value().unwrap() - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NormalizedEntropy {
+    log_loss_sum: f64,
+    label_sum: f64,
+    count: u64,
+}
+
+impl NormalizedEntropy {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction (`prob` in `(0,1)`) against a binary label.
+    pub fn observe(&mut self, prob: f32, label: f32) {
+        let p = prob.clamp(1e-7, 1.0 - 1e-7) as f64;
+        let y = label as f64;
+        self.log_loss_sum -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+        self.label_sum += y;
+        self.count += 1;
+    }
+
+    /// Records a whole batch of sigmoid(logit) predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits.rows() != labels.len()`.
+    pub fn observe_logits(&mut self, logits: &Tensor2, labels: &[f32]) {
+        assert_eq!(logits.rows(), labels.len(), "batch size mismatch");
+        for (i, &y) in labels.iter().enumerate() {
+            self.observe(sigmoid(logits[(i, 0)]), y);
+        }
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The NE value: average log loss divided by the entropy of the
+    /// empirical CTR. `None` until both classes have been observed.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = self.label_sum / self.count as f64;
+        if p <= 0.0 || p >= 1.0 {
+            return None;
+        }
+        let base = -(p * p.ln() + (1.0 - p) * (1.0 - p).ln());
+        Some(self.log_loss_sum / self.count as f64 / base)
+    }
+
+    /// Merges another accumulator (for distributed evaluation).
+    pub fn merge(&mut self, other: &NormalizedEntropy) {
+        self.log_loss_sum += other.log_loss_sum;
+        self.label_sum += other.label_sum;
+        self.count += other.count;
+    }
+}
+
+/// Exact ROC-AUC accumulator (the other standard CTR metric, reported
+/// alongside NE in production and in MLPerf).
+///
+/// Stores the (score, label) pairs and computes the Mann–Whitney statistic
+/// with proper tie handling on demand — exact, and fine at simulation
+/// scale.
+///
+/// # Example
+///
+/// ```
+/// use neo_dlrm_model::loss::Auc;
+/// let mut auc = Auc::new();
+/// auc.observe(0.9, 1.0);
+/// auc.observe(0.1, 0.0);
+/// assert_eq!(auc.value(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Auc {
+    scores: Vec<(f32, bool)>,
+}
+
+impl Auc {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction against a binary label.
+    pub fn observe(&mut self, score: f32, label: f32) {
+        self.scores.push((score, label >= 0.5));
+    }
+
+    /// Records a batch of logits (monotone in probability, so usable
+    /// directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits.rows() != labels.len()`.
+    pub fn observe_logits(&mut self, logits: &Tensor2, labels: &[f32]) {
+        assert_eq!(logits.rows(), labels.len(), "batch size mismatch");
+        for (i, &y) in labels.iter().enumerate() {
+            self.observe(logits[(i, 0)], y);
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// The AUC in `[0, 1]`; `None` until both classes are present.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        let pos = self.scores.iter().filter(|s| s.1).count();
+        let neg = self.scores.len() - pos;
+        if pos == 0 || neg == 0 {
+            return None;
+        }
+        // rank-sum with average ranks for ties
+        let mut sorted: Vec<(f32, bool)> = self.scores.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+        let mut rank_sum_pos = 0.0f64;
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j < sorted.len() && sorted[j].0 == sorted[i].0 {
+                j += 1;
+            }
+            // ranks are 1-based; tied block [i, j) all take the average rank
+            let avg_rank = (i + 1 + j) as f64 / 2.0;
+            for s in &sorted[i..j] {
+                if s.1 {
+                    rank_sum_pos += avg_rank;
+                }
+            }
+            i = j;
+        }
+        let u = rank_sum_pos - (pos as f64 * (pos as f64 + 1.0)) / 2.0;
+        Some(u / (pos as f64 * neg as f64))
+    }
+
+    /// Merges another accumulator (for distributed evaluation).
+    pub fn merge(&mut self, other: &Auc) {
+        self.scores.extend_from_slice(&other.scores);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_stable_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let logits = Tensor2::from_vec(2, 1, vec![0.0, 2.0]).unwrap();
+        let (loss, grad) = bce_with_logits(&logits, &[1.0, 0.0]).unwrap();
+        // manual: -ln(0.5) and -ln(1-sigmoid(2))
+        let want = (-(0.5f32.ln()) + -(1.0 - sigmoid(2.0)).ln()) / 2.0;
+        assert!((loss - want).abs() < 1e-5);
+        assert!((grad[(0, 0)] - (0.5 - 1.0) / 2.0).abs() < 1e-6);
+        assert!((grad[(1, 0)] - (sigmoid(2.0) - 0.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_gradient_is_finite_difference() {
+        let logits = Tensor2::from_vec(3, 1, vec![0.3, -1.2, 4.0]).unwrap();
+        let labels = [1.0, 0.0, 1.0];
+        let (_, grad) = bce_with_logits(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp[(i, 0)] += eps;
+            let mut lm = logits.clone();
+            lm[(i, 0)] -= eps;
+            let fp = bce_with_logits(&lp, &labels).unwrap().0;
+            let fm = bce_with_logits(&lm, &labels).unwrap().0;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - grad[(i, 0)]).abs() < 1e-3, "{i}: {fd} vs {}", grad[(i, 0)]);
+        }
+    }
+
+    #[test]
+    fn bce_rejects_bad_shapes() {
+        assert!(bce_with_logits(&Tensor2::zeros(2, 2), &[0.0, 1.0]).is_err());
+        assert!(bce_with_logits(&Tensor2::zeros(2, 1), &[0.0]).is_err());
+    }
+
+    #[test]
+    fn ne_of_base_rate_predictor_is_one() {
+        let mut ne = NormalizedEntropy::new();
+        // 30% CTR, predictor always says 0.3
+        for i in 0..1000 {
+            ne.observe(0.3, if i % 10 < 3 { 1.0 } else { 0.0 });
+        }
+        assert!((ne.value().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ne_of_perfect_predictor_near_zero() {
+        let mut ne = NormalizedEntropy::new();
+        for i in 0..100 {
+            let y = (i % 2) as f32;
+            ne.observe(if y == 1.0 { 0.999_999 } else { 1e-6 }, y);
+        }
+        assert!(ne.value().unwrap() < 0.01);
+    }
+
+    #[test]
+    fn ne_worse_than_base_rate_above_one() {
+        let mut ne = NormalizedEntropy::new();
+        for i in 0..100 {
+            let y = (i % 2) as f32;
+            ne.observe(if y == 1.0 { 0.1 } else { 0.9 }, y); // anti-predictor
+        }
+        assert!(ne.value().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn ne_undefined_cases() {
+        let ne = NormalizedEntropy::new();
+        assert_eq!(ne.value(), None);
+        let mut one_class = NormalizedEntropy::new();
+        one_class.observe(0.7, 1.0);
+        assert_eq!(one_class.value(), None);
+        assert_eq!(one_class.count(), 1);
+    }
+
+    #[test]
+    fn auc_perfect_random_and_inverted() {
+        let mut perfect = Auc::new();
+        let mut inverted = Auc::new();
+        for i in 0..50 {
+            let y = (i % 2) as f32;
+            perfect.observe(if y == 1.0 { 2.0 + i as f32 } else { -2.0 - i as f32 }, y);
+            inverted.observe(if y == 1.0 { -2.0 - i as f32 } else { 2.0 + i as f32 }, y);
+        }
+        assert_eq!(perfect.value(), Some(1.0));
+        assert_eq!(inverted.value(), Some(0.0));
+
+        // a constant predictor ties everything: AUC is exactly 0.5
+        let mut constant = Auc::new();
+        for i in 0..40 {
+            constant.observe(0.3, (i % 2) as f32);
+        }
+        assert_eq!(constant.value(), Some(0.5));
+    }
+
+    #[test]
+    fn auc_handles_partial_ties() {
+        // pos scores {1, 2}, neg scores {1, 0}: pairs (1,1) tie=0.5,
+        // (1,0)=1, (2,1)=1, (2,0)=1 -> AUC = 3.5/4
+        let mut auc = Auc::new();
+        auc.observe(1.0, 1.0);
+        auc.observe(2.0, 1.0);
+        auc.observe(1.0, 0.0);
+        auc.observe(0.0, 0.0);
+        assert!((auc.value().unwrap() - 3.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_undefined_for_single_class() {
+        let mut auc = Auc::new();
+        assert_eq!(auc.value(), None);
+        auc.observe(0.5, 1.0);
+        assert_eq!(auc.value(), None);
+        assert_eq!(auc.count(), 1);
+    }
+
+    #[test]
+    fn auc_merge_equals_combined() {
+        let mut a = Auc::new();
+        let mut b = Auc::new();
+        let mut all = Auc::new();
+        for i in 0..30 {
+            let y = (i % 3 == 0) as u8 as f32;
+            let s = ((i * 7) % 11) as f32 * 0.1 + y * 0.2;
+            if i % 2 == 0 { a.observe(s, y) } else { b.observe(s, y) }
+            all.observe(s, y);
+        }
+        a.merge(&b);
+        assert_eq!(a.value(), all.value());
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = NormalizedEntropy::new();
+        let mut b = NormalizedEntropy::new();
+        let mut all = NormalizedEntropy::new();
+        for i in 0..50 {
+            let y = (i % 3 == 0) as u8 as f32;
+            let p = 0.2 + 0.01 * (i % 7) as f32;
+            if i % 2 == 0 {
+                a.observe(p, y);
+            } else {
+                b.observe(p, y);
+            }
+            all.observe(p, y);
+        }
+        a.merge(&b);
+        assert!((a.value().unwrap() - all.value().unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! The production model profiles of Table 3 (A1, A2, A3, F1).
+//!
+//! The full-size models cannot be *instantiated* on a laptop (A2 alone is
+//! 793B parameters), so a profile carries the published statistics and can
+//! expand them into a deterministic synthetic table list with the same
+//! aggregate shape — which is all the sharder and the performance model
+//! need. Functional training uses [`crate::DlrmConfig::tiny`]-style
+//! scaled-down configs (the paper itself shrinks table cardinality for its
+//! scaling study, §5.3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one production model (one column of Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name as used in the paper.
+    pub name: &'static str,
+    /// Total parameter count.
+    pub num_params: f64,
+    /// Compute per sample in MFLOPS (forward).
+    pub mflops_per_sample: f64,
+    /// Number of embedding tables.
+    pub num_tables: usize,
+    /// `[min, max]` embedding dimension.
+    pub emb_dim_range: (usize, usize),
+    /// Average embedding dimension.
+    pub avg_emb_dim: usize,
+    /// Average pooling size.
+    pub avg_pooling: f64,
+    /// Number of MLP layers (bottom + top).
+    pub num_mlp_layers: usize,
+    /// Average MLP layer width.
+    pub avg_mlp_size: usize,
+}
+
+impl ModelProfile {
+    /// Model A1: moderate FLOPS and size, also trainable on the previous
+    /// distributed-CPU platform.
+    pub fn a1() -> Self {
+        Self {
+            name: "A1",
+            num_params: 95e9,
+            mflops_per_sample: 89.0,
+            num_tables: 100,
+            emb_dim_range: (4, 192),
+            avg_emb_dim: 68,
+            avg_pooling: 27.0,
+            num_mlp_layers: 26,
+            avg_mlp_size: 914,
+        }
+    }
+
+    /// Model A2: ~10× A1, stressing compute, memory bandwidth and
+    /// communication with ~1000s of tables.
+    pub fn a2() -> Self {
+        Self {
+            name: "A2",
+            num_params: 793e9,
+            mflops_per_sample: 638.0,
+            num_tables: 1000,
+            emb_dim_range: (4, 384),
+            avg_emb_dim: 93,
+            avg_pooling: 15.0,
+            num_mlp_layers: 20,
+            avg_mlp_size: 3375,
+        }
+    }
+
+    /// Model A3: widest embeddings and MLPs.
+    pub fn a3() -> Self {
+        Self {
+            name: "A3",
+            num_params: 845e9,
+            mflops_per_sample: 784.0,
+            num_tables: 1000,
+            emb_dim_range: (4, 960),
+            avg_emb_dim: 231,
+            avg_pooling: 17.0,
+            num_mlp_layers: 26,
+            avg_mlp_size: 3210,
+        }
+    }
+
+    /// Model F1: the 12T-parameter capacity-limit model — few tables, but a
+    /// single one needs multiple nodes of memory (§5.3.3).
+    pub fn f1() -> Self {
+        Self {
+            name: "F1",
+            num_params: 12e12,
+            mflops_per_sample: 5.0,
+            num_tables: 10,
+            emb_dim_range: (256, 256),
+            avg_emb_dim: 256,
+            avg_pooling: 20.0,
+            num_mlp_layers: 7,
+            avg_mlp_size: 490,
+        }
+    }
+
+    /// All four target models in paper order.
+    pub fn all() -> Vec<Self> {
+        vec![Self::a1(), Self::a2(), Self::a3(), Self::f1()]
+    }
+
+    /// The public MLPerf DLRM benchmark model ([Mattson et al. 2020],
+    /// which the paper cites): Criteo Terabyte, 26 single-valued
+    /// categorical features at dimension 128, ~24B embedding parameters —
+    /// a useful public reference point next to the production models.
+    pub fn mlperf() -> Self {
+        Self {
+            name: "MLPerf-DLRM",
+            num_params: 24e9,
+            mflops_per_sample: 14.0,
+            num_tables: 26,
+            emb_dim_range: (128, 128),
+            avg_emb_dim: 128,
+            avg_pooling: 1.0,
+            num_mlp_layers: 9,
+            avg_mlp_size: 460,
+        }
+    }
+
+    /// Embedding parameter bytes at the given element width.
+    pub fn emb_bytes(&self, bytes_per_elem: f64) -> f64 {
+        self.num_params * bytes_per_elem
+    }
+
+    /// Expands the profile into a deterministic synthetic table list
+    /// `(num_rows, dim, avg_pooling)` whose aggregate statistics match:
+    /// dims log-spread over the published range, table sizes Zipf-skewed,
+    /// total parameters equal to `num_params` (embeddings dominate DLRM
+    /// parameter counts).
+    pub fn synthetic_tables(&self) -> Vec<(u64, usize, f64)> {
+        let t = self.num_tables;
+        let (dmin, dmax) = self.emb_dim_range;
+        // dims: log-uniform spread, deterministic, then scaled toward the
+        // published average
+        let mut dims: Vec<usize> = (0..t)
+            .map(|i| {
+                let u = hash01(self.name_hash() ^ (i as u64).wrapping_mul(0x9E37));
+                let ln = (dmin as f64).ln() + u * ((dmax as f64).ln() - (dmin as f64).ln());
+                ln.exp()
+            })
+            .map(|d| d.round() as usize)
+            .collect();
+        let mean: f64 = dims.iter().map(|&d| d as f64).sum::<f64>() / t as f64;
+        let scale = self.avg_emb_dim as f64 / mean;
+        for d in &mut dims {
+            let scaled = (*d as f64 * scale).round() as usize;
+            *d = scaled.clamp(dmin, dmax).max(1);
+            // round to multiple of 4 like real configs
+            *d = ((*d).div_ceil(4) * 4).clamp(4.max(dmin / 4 * 4).max(4), dmax);
+        }
+
+        // rows: Zipf-skewed shares of the parameter budget
+        let weights: Vec<f64> = (0..t).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut out = Vec::with_capacity(t);
+        for i in 0..t {
+            let params_share = self.num_params * weights[i] / wsum;
+            let rows = (params_share / dims[i] as f64).max(1.0) as u64;
+            let pool_jitter = 0.5 + hash01(self.name_hash() ^ (i as u64).wrapping_mul(0xABCD));
+            let pooling = (self.avg_pooling * pool_jitter).max(1.0);
+            out.push((rows, dims[i], pooling));
+        }
+        out
+    }
+
+    fn name_hash(&self) -> u64 {
+        self.name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01B3)
+        })
+    }
+}
+
+fn hash01(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_headline_numbers() {
+        assert_eq!(ModelProfile::a1().num_params, 95e9);
+        assert_eq!(ModelProfile::a2().mflops_per_sample, 638.0);
+        assert_eq!(ModelProfile::a3().avg_emb_dim, 231);
+        assert_eq!(ModelProfile::f1().num_params, 12e12);
+        assert_eq!(ModelProfile::all().len(), 4);
+    }
+
+    #[test]
+    fn synthetic_tables_match_budget() {
+        for p in ModelProfile::all() {
+            let tables = p.synthetic_tables();
+            assert_eq!(tables.len(), p.num_tables);
+            let total: f64 = tables.iter().map(|&(r, d, _)| r as f64 * d as f64).sum();
+            let rel = (total - p.num_params).abs() / p.num_params;
+            assert!(rel < 0.05, "{}: {total:.3e} vs {:.3e}", p.name, p.num_params);
+        }
+    }
+
+    #[test]
+    fn synthetic_dims_in_range() {
+        for p in ModelProfile::all() {
+            let (dmin, dmax) = p.emb_dim_range;
+            for (_, d, _) in p.synthetic_tables() {
+                assert!(d >= dmin.min(4) && d <= dmax, "{}: dim {d}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_tables_are_skewed() {
+        let tables = ModelProfile::a2().synthetic_tables();
+        let first = tables[0].0 as f64 * tables[0].1 as f64;
+        let last = tables[999].0 as f64 * tables[999].1 as f64;
+        assert!(first > 100.0 * last, "Zipf skew: {first:.2e} vs {last:.2e}");
+    }
+
+    #[test]
+    fn f1_has_multi_node_tables() {
+        // §5.3.3: single tables of ~10B rows x 256 -> multi-TB
+        let tables = ModelProfile::f1().synthetic_tables();
+        let biggest = tables.iter().map(|&(r, d, _)| r * d as u64 * 4).max().unwrap();
+        assert!(biggest > 2u64 << 40, "largest table {biggest} bytes > 2 TB");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ModelProfile::a1().synthetic_tables(), ModelProfile::a1().synthetic_tables());
+    }
+
+    #[test]
+    fn mlperf_profile_consistent() {
+        let p = ModelProfile::mlperf();
+        let tables = p.synthetic_tables();
+        assert_eq!(tables.len(), 26);
+        assert!(tables.iter().all(|&(_, d, _)| d == 128), "all dims are 128");
+        let total: f64 = tables.iter().map(|&(r, d, _)| r as f64 * d as f64).sum();
+        assert!((total - 24e9).abs() / 24e9 < 0.05);
+        // single-valued categorical features
+        assert!(tables.iter().all(|&(_, _, l)| l < 2.0));
+    }
+}

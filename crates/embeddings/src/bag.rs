@@ -1,0 +1,558 @@
+//! Pooled embedding lookup — the `nn.EmbeddingBag` equivalent — with the
+//! fused multi-table path of §4.1.1.
+//!
+//! Inputs use the paper's *combined format* (§4.4): per-bag `lengths`
+//! (pooling sizes, which can differ per bag and per table) plus a flat
+//! `indices` array, instead of per-table offset/index tensor pairs.
+
+use neo_tensor::Tensor2;
+
+use crate::store::{RowStore, StoreError};
+
+/// The sparse gradient produced by [`pooled_backward`]: one gradient row
+/// per *index occurrence* (duplicates not yet merged — merging is the
+/// exact optimizer's job, see [`crate::optim`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseGrad {
+    /// Row ids, one per lookup that occurred (may repeat).
+    pub indices: Vec<u64>,
+    /// Gradient rows, `indices.len() x dim`.
+    pub grads: Tensor2,
+}
+
+impl SparseGrad {
+    /// An empty gradient for a table of width `dim`.
+    pub fn empty(dim: usize) -> Self {
+        Self { indices: Vec::new(), grads: Tensor2::zeros(0, dim) }
+    }
+
+    /// Number of (row, grad) pairs.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether there are no updates.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// Validates a combined-format batch against a table.
+fn validate(
+    store: &dyn RowStore,
+    lengths: &[u32],
+    indices: &[u64],
+) -> Result<(), StoreError> {
+    let expected: usize = lengths.iter().map(|&l| l as usize).sum();
+    if expected != indices.len() {
+        return Err(StoreError::new(format!(
+            "lengths sum to {expected} but {} indices were provided",
+            indices.len()
+        )));
+    }
+    if let Some(&bad) = indices.iter().find(|&&i| i >= store.num_rows()) {
+        return Err(StoreError::new(format!(
+            "index {bad} out of range for table with {} rows",
+            store.num_rows()
+        )));
+    }
+    Ok(())
+}
+
+/// Sum-pooled forward lookup for one table.
+///
+/// `lengths[b]` is the pooling size `L_b` of bag `b`; `indices` holds the
+/// concatenated row ids. Returns a `B x D` tensor where row `b` is the sum
+/// of the embedding rows in bag `b` (an empty bag yields zeros).
+///
+/// # Errors
+///
+/// Returns [`StoreError`] if lengths and indices disagree or an index is
+/// out of range.
+pub fn pooled_forward(
+    store: &mut dyn RowStore,
+    lengths: &[u32],
+    indices: &[u64],
+) -> Result<Tensor2, StoreError> {
+    validate(store, lengths, indices)?;
+    let dim = store.dim();
+    let mut out = Tensor2::zeros(lengths.len(), dim);
+    let mut buf = vec![0.0f32; dim];
+    let mut cursor = 0usize;
+    for (b, &len) in lengths.iter().enumerate() {
+        let row_out = out.row_mut(b);
+        for &idx in &indices[cursor..cursor + len as usize] {
+            store.read_row(idx, &mut buf);
+            for (o, v) in row_out.iter_mut().zip(&buf) {
+                *o += v;
+            }
+        }
+        cursor += len as usize;
+    }
+    Ok(out)
+}
+
+/// Backward pass of the sum-pooled lookup: every index in bag `b` receives
+/// gradient `grad_out[b]`.
+///
+/// # Errors
+///
+/// Returns [`StoreError`] if `grad_out` has the wrong number of rows or the
+/// lengths/indices disagree.
+pub fn pooled_backward(
+    lengths: &[u32],
+    indices: &[u64],
+    grad_out: &Tensor2,
+) -> Result<SparseGrad, StoreError> {
+    let expected: usize = lengths.iter().map(|&l| l as usize).sum();
+    if expected != indices.len() {
+        return Err(StoreError::new("lengths/indices mismatch in backward"));
+    }
+    if grad_out.rows() != lengths.len() {
+        return Err(StoreError::new(format!(
+            "grad_out has {} rows for {} bags",
+            grad_out.rows(),
+            lengths.len()
+        )));
+    }
+    let dim = grad_out.cols();
+    let mut grads = Tensor2::zeros(indices.len(), dim);
+    let mut cursor = 0usize;
+    for (b, &len) in lengths.iter().enumerate() {
+        for k in 0..len as usize {
+            grads.row_mut(cursor + k).copy_from_slice(grad_out.row(b));
+        }
+        cursor += len as usize;
+    }
+    Ok(SparseGrad { indices: indices.to_vec(), grads })
+}
+
+/// Weighted sum-pooled forward lookup: bag `b` pools
+/// `sum_i w_i * row[idx_i]`, the `per_sample_weights` mode of
+/// `nn.EmbeddingBag` that FBGEMM's fused kernels support (used by
+/// position-weighted and frequency-weighted sparse features).
+///
+/// # Errors
+///
+/// Returns [`StoreError`] if `weights.len() != indices.len()` or the
+/// unweighted preconditions fail.
+pub fn weighted_pooled_forward(
+    store: &mut dyn RowStore,
+    lengths: &[u32],
+    indices: &[u64],
+    weights: &[f32],
+) -> Result<Tensor2, StoreError> {
+    if weights.len() != indices.len() {
+        return Err(StoreError::new(format!(
+            "{} weights for {} indices",
+            weights.len(),
+            indices.len()
+        )));
+    }
+    validate(store, lengths, indices)?;
+    let dim = store.dim();
+    let mut out = Tensor2::zeros(lengths.len(), dim);
+    let mut buf = vec![0.0f32; dim];
+    let mut cursor = 0usize;
+    for (b, &len) in lengths.iter().enumerate() {
+        let row_out = out.row_mut(b);
+        for k in cursor..cursor + len as usize {
+            store.read_row(indices[k], &mut buf);
+            let w = weights[k];
+            for (o, v) in row_out.iter_mut().zip(&buf) {
+                *o += w * v;
+            }
+        }
+        cursor += len as usize;
+    }
+    Ok(out)
+}
+
+/// Backward of [`weighted_pooled_forward`] w.r.t. the embedding rows:
+/// occurrence `k` in bag `b` receives `w_k * grad_out[b]`.
+///
+/// # Errors
+///
+/// Returns [`StoreError`] on shape inconsistencies.
+pub fn weighted_pooled_backward(
+    lengths: &[u32],
+    indices: &[u64],
+    weights: &[f32],
+    grad_out: &Tensor2,
+) -> Result<SparseGrad, StoreError> {
+    if weights.len() != indices.len() {
+        return Err(StoreError::new("weights/indices mismatch in weighted backward"));
+    }
+    let mut sg = pooled_backward(lengths, indices, grad_out)?;
+    for (k, &w) in weights.iter().enumerate() {
+        for g in sg.grads.row_mut(k) {
+            *g *= w;
+        }
+    }
+    Ok(sg)
+}
+
+/// Gradient of the pooling *weights*: `dL/dw_k = dot(row[idx_k],
+/// grad_out[bag(k)])` — needed when the per-sample weights are themselves
+/// learned (position weighting).
+///
+/// # Errors
+///
+/// Returns [`StoreError`] on shape inconsistencies.
+pub fn pooling_weight_gradients(
+    store: &mut dyn RowStore,
+    lengths: &[u32],
+    indices: &[u64],
+    grad_out: &Tensor2,
+) -> Result<Vec<f32>, StoreError> {
+    validate(store, lengths, indices)?;
+    if grad_out.rows() != lengths.len() {
+        return Err(StoreError::new("grad_out bag count mismatch"));
+    }
+    let dim = store.dim();
+    let mut buf = vec![0.0f32; dim];
+    let mut out = Vec::with_capacity(indices.len());
+    let mut cursor = 0usize;
+    for (b, &len) in lengths.iter().enumerate() {
+        let g = grad_out.row(b);
+        for &idx in &indices[cursor..cursor + len as usize] {
+            store.read_row(idx, &mut buf);
+            out.push(buf.iter().zip(g).map(|(r, gg)| r * gg).sum());
+        }
+        cursor += len as usize;
+    }
+    Ok(out)
+}
+
+/// Merges bag gradients *directly* into per-unique-row accumulations —
+/// the fused backward of §4.1.1, which "saves the additional memory for
+/// the gradients (by a factor of pooling size L)": the `nnz x D` expanded
+/// gradient of [`pooled_backward`] is never materialized; each unique row
+/// gets one accumulator row fed straight from `grad_out`.
+///
+/// The result equals `merge_grads(&pooled_backward(...))` bit-for-bit
+/// (same sorted order, same accumulation order), so it can be passed to
+/// [`crate::optim::SparseOptimizer::apply_merged`] unchanged.
+///
+/// # Errors
+///
+/// Returns [`StoreError`] on shape inconsistencies.
+pub fn fused_backward_grads(
+    lengths: &[u32],
+    indices: &[u64],
+    grad_out: &Tensor2,
+) -> Result<SparseGrad, StoreError> {
+    let expected: usize = lengths.iter().map(|&l| l as usize).sum();
+    if expected != indices.len() {
+        return Err(StoreError::new("lengths/indices mismatch in fused backward"));
+    }
+    if grad_out.rows() != lengths.len() {
+        return Err(StoreError::new(format!(
+            "grad_out has {} rows for {} bags",
+            grad_out.rows(),
+            lengths.len()
+        )));
+    }
+    let dim = grad_out.cols();
+    // sort occurrence positions by row id (stable: ties keep arrival order)
+    let mut order: Vec<(u64, usize)> = Vec::with_capacity(indices.len());
+    let mut cursor = 0usize;
+    for (bag, &l) in lengths.iter().enumerate() {
+        for &idx in &indices[cursor..cursor + l as usize] {
+            order.push((idx, bag));
+        }
+        cursor += l as usize;
+    }
+    order.sort_by_key(|&(idx, _)| idx);
+
+    let mut out_indices = Vec::new();
+    let mut rows: Vec<f32> = Vec::new();
+    for (idx, bag) in order {
+        if out_indices.last() == Some(&idx) {
+            let base = rows.len() - dim;
+            for (acc, &g) in rows[base..].iter_mut().zip(grad_out.row(bag)) {
+                *acc += g;
+            }
+        } else {
+            out_indices.push(idx);
+            rows.extend_from_slice(grad_out.row(bag));
+        }
+    }
+    let n = out_indices.len();
+    Ok(SparseGrad {
+        indices: out_indices,
+        grads: Tensor2::from_vec(n, dim, rows).expect("accumulator shape"),
+    })
+}
+
+/// One table's slice of a fused multi-table batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableBatch<'a> {
+    /// Per-bag pooling sizes for this table.
+    pub lengths: &'a [u32],
+    /// Concatenated row ids for this table.
+    pub indices: &'a [u64],
+}
+
+/// Fused forward across many tables (§4.1.1): a single pass over the
+/// concatenated inputs with one shared scratch buffer, the analogue of
+/// batching ~1000 table lookups into one CUDA kernel. Returns one pooled
+/// `B x D_t` tensor per table.
+///
+/// # Errors
+///
+/// Returns [`StoreError`] if `tables.len() != batches.len()` or any
+/// per-table batch is malformed.
+pub fn fused_pooled_forward(
+    tables: &mut [Box<dyn RowStore>],
+    batches: &[TableBatch<'_>],
+) -> Result<Vec<Tensor2>, StoreError> {
+    if tables.len() != batches.len() {
+        return Err(StoreError::new(format!(
+            "{} tables but {} input batches",
+            tables.len(),
+            batches.len()
+        )));
+    }
+    let max_dim = tables.iter().map(|t| t.dim()).max().unwrap_or(0);
+    let mut buf = vec![0.0f32; max_dim];
+    let mut outs = Vec::with_capacity(tables.len());
+    for (table, batch) in tables.iter_mut().zip(batches) {
+        validate(table.as_ref(), batch.lengths, batch.indices)?;
+        let dim = table.dim();
+        let mut out = Tensor2::zeros(batch.lengths.len(), dim);
+        let mut cursor = 0usize;
+        for (b, &len) in batch.lengths.iter().enumerate() {
+            let row_out = out.row_mut(b);
+            for &idx in &batch.indices[cursor..cursor + len as usize] {
+                table.read_row(idx, &mut buf[..dim]);
+                for (o, v) in row_out.iter_mut().zip(&buf[..dim]) {
+                    *o += v;
+                }
+            }
+            cursor += len as usize;
+        }
+        outs.push(out);
+    }
+    Ok(outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DenseStore;
+
+    fn table() -> DenseStore {
+        // row r = [r, r*10]
+        let t = Tensor2::from_fn(8, 2, |i, j| if j == 0 { i as f32 } else { i as f32 * 10.0 });
+        DenseStore::from_tensor(t)
+    }
+
+    #[test]
+    fn forward_pools_by_sum() {
+        let mut t = table();
+        let out = pooled_forward(&mut t, &[2, 1, 0], &[1, 2, 5]).unwrap();
+        assert_eq!(out.row(0), &[3.0, 30.0]); // rows 1+2
+        assert_eq!(out.row(1), &[5.0, 50.0]);
+        assert_eq!(out.row(2), &[0.0, 0.0], "empty bag pools to zero");
+    }
+
+    #[test]
+    fn forward_handles_duplicates_in_bag() {
+        let mut t = table();
+        let out = pooled_forward(&mut t, &[3], &[4, 4, 4]).unwrap();
+        assert_eq!(out.row(0), &[12.0, 120.0]);
+    }
+
+    #[test]
+    fn forward_rejects_bad_inputs() {
+        let mut t = table();
+        assert!(pooled_forward(&mut t, &[2], &[1]).is_err(), "length mismatch");
+        assert!(pooled_forward(&mut t, &[1], &[99]).is_err(), "oob index");
+    }
+
+    #[test]
+    fn backward_replicates_bag_gradient() {
+        let g = Tensor2::from_fn(2, 2, |i, j| (i * 2 + j) as f32 + 1.0);
+        let sg = pooled_backward(&[2, 1], &[3, 5, 7], &g).unwrap();
+        assert_eq!(sg.indices, vec![3, 5, 7]);
+        assert_eq!(sg.grads.row(0), g.row(0));
+        assert_eq!(sg.grads.row(1), g.row(0));
+        assert_eq!(sg.grads.row(2), g.row(1));
+        assert_eq!(sg.len(), 3);
+        assert!(!sg.is_empty());
+    }
+
+    #[test]
+    fn backward_shape_checks() {
+        let g = Tensor2::zeros(1, 2);
+        assert!(pooled_backward(&[2], &[1], &g).is_err(), "length mismatch");
+        assert!(pooled_backward(&[1, 1], &[1, 2], &g).is_err(), "bag count mismatch");
+    }
+
+    /// Gradient check: d(pooled)/d(row) accumulated over duplicates.
+    #[test]
+    fn forward_backward_consistent() {
+        let mut t = table();
+        let lengths = [2u32, 2];
+        let indices = [1u64, 2, 2, 3];
+        let _ = pooled_forward(&mut t, &lengths, &indices).unwrap();
+        let grad_out = Tensor2::from_fn(2, 2, |i, _| (i + 1) as f32);
+        let sg = pooled_backward(&lengths, &indices, &grad_out).unwrap();
+        // row 2 appears in both bags: total gradient 1 + 2 = 3 per column
+        let total: f32 = sg
+            .indices
+            .iter()
+            .zip(0..)
+            .filter(|(idx, _)| **idx == 2)
+            .map(|(_, k)| sg.grads.row(k)[0])
+            .sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn fused_matches_per_table() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let mut tables: Vec<Box<dyn RowStore>> = vec![
+            Box::new(DenseStore::random(50, 4, &mut rng)),
+            Box::new(DenseStore::random(30, 8, &mut rng)),
+        ];
+        let b0 = TableBatch { lengths: &[2, 3], indices: &[1, 2, 10, 11, 12] };
+        let b1 = TableBatch { lengths: &[1, 0], indices: &[29] };
+        let fused = fused_pooled_forward(&mut tables, &[b0.clone(), b1.clone()]).unwrap();
+        let sep0 = pooled_forward(tables[0].as_mut(), b0.lengths, b0.indices).unwrap();
+        let sep1 = pooled_forward(tables[1].as_mut(), b1.lengths, b1.indices).unwrap();
+        assert_eq!(fused[0], sep0);
+        assert_eq!(fused[1], sep1);
+    }
+
+    #[test]
+    fn fused_checks_table_count() {
+        let mut tables: Vec<Box<dyn RowStore>> = vec![Box::new(DenseStore::zeros(4, 2))];
+        assert!(fused_pooled_forward(&mut tables, &[]).is_err());
+    }
+
+    #[test]
+    fn empty_grad_constructor() {
+        let g = SparseGrad::empty(16);
+        assert!(g.is_empty());
+        assert_eq!(g.grads.cols(), 16);
+    }
+
+    #[test]
+    fn fused_backward_equals_expand_then_merge() {
+        use crate::optim::merge_grads;
+        // duplicates within and across bags
+        let lengths = [3u32, 0, 2, 4];
+        let indices = [5u64, 2, 5, 7, 2, 2, 9, 5, 1];
+        let grad_out = Tensor2::from_fn(4, 3, |i, j| (i * 3 + j) as f32 * 0.1 - 0.4);
+        let fused = fused_backward_grads(&lengths, &indices, &grad_out).unwrap();
+        let reference = merge_grads(&pooled_backward(&lengths, &indices, &grad_out).unwrap());
+        assert_eq!(fused, reference, "bit-identical to expand-then-merge");
+        assert_eq!(fused.indices, vec![1, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn fused_backward_never_expands() {
+        // with heavy duplication, the fused result holds far fewer rows
+        // than the nnz the expanded path would allocate
+        let lengths = [32u32];
+        let indices = [7u64; 32];
+        let grad_out = Tensor2::full(1, 4, 1.0);
+        let fused = fused_backward_grads(&lengths, &indices, &grad_out).unwrap();
+        assert_eq!(fused.len(), 1, "one accumulator row for 32 occurrences");
+        assert_eq!(fused.grads.row(0), &[32.0, 32.0, 32.0, 32.0]);
+    }
+
+    #[test]
+    fn fused_backward_validates() {
+        let g = Tensor2::zeros(1, 2);
+        assert!(fused_backward_grads(&[2], &[1], &g).is_err());
+        assert!(fused_backward_grads(&[1, 1], &[1, 2], &g).is_err());
+    }
+
+    #[test]
+    fn fused_backward_empty_batch() {
+        let g = Tensor2::zeros(2, 4);
+        let fused = fused_backward_grads(&[0, 0], &[], &g).unwrap();
+        assert!(fused.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod weighted_tests {
+    use super::*;
+    use crate::store::DenseStore;
+
+    fn table() -> DenseStore {
+        let t = Tensor2::from_fn(8, 2, |i, j| if j == 0 { i as f32 } else { i as f32 * 10.0 });
+        DenseStore::from_tensor(t)
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted() {
+        let mut t = table();
+        let lengths = [2u32, 1];
+        let indices = [1u64, 2, 5];
+        let plain = pooled_forward(&mut t, &lengths, &indices).unwrap();
+        let weighted =
+            weighted_pooled_forward(&mut t, &lengths, &indices, &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(plain, weighted);
+    }
+
+    #[test]
+    fn weights_scale_contributions() {
+        let mut t = table();
+        let out = weighted_pooled_forward(&mut t, &[2], &[1, 2], &[2.0, -0.5]).unwrap();
+        // 2*[1,10] - 0.5*[2,20] = [1, 10]
+        assert_eq!(out.row(0), &[1.0, 10.0]);
+    }
+
+    #[test]
+    fn weighted_backward_scales_grads() {
+        let g = Tensor2::full(1, 2, 3.0);
+        let sg = weighted_pooled_backward(&[2], &[1, 4], &[0.5, 2.0], &g).unwrap();
+        assert_eq!(sg.grads.row(0), &[1.5, 1.5]);
+        assert_eq!(sg.grads.row(1), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut t = table();
+        let lengths = [2u32, 1];
+        let indices = [3u64, 6, 2];
+        let weights = [0.7f32, -0.2, 1.1];
+        let grad_out = Tensor2::from_fn(2, 2, |i, j| (i + j) as f32 * 0.5 + 0.25);
+
+        let wg = pooling_weight_gradients(&mut t, &lengths, &indices, &grad_out).unwrap();
+        assert_eq!(wg.len(), 3);
+
+        // loss = sum(grad_out .* forward(w)) — linear in w, so finite
+        // difference is exact
+        let eps = 1e-2f32;
+        for k in 0..3 {
+            let mut wp = weights;
+            wp[k] += eps;
+            let mut wm = weights;
+            wm[k] -= eps;
+            let fp = weighted_pooled_forward(&mut t, &lengths, &indices, &wp).unwrap();
+            let fm = weighted_pooled_forward(&mut t, &lengths, &indices, &wm).unwrap();
+            let mut fd = 0.0f32;
+            for (a, (b, g)) in
+                fp.as_slice().iter().zip(fm.as_slice().iter().zip(grad_out.as_slice()))
+            {
+                fd += (a - b) * g;
+            }
+            fd /= 2.0 * eps;
+            assert!((fd - wg[k]).abs() < 1e-2, "w[{k}]: fd {fd} vs {}", wg[k]);
+        }
+    }
+
+    #[test]
+    fn weighted_validates() {
+        let mut t = table();
+        assert!(weighted_pooled_forward(&mut t, &[1], &[1], &[1.0, 2.0]).is_err());
+        assert!(weighted_pooled_backward(&[1], &[1], &[], &Tensor2::zeros(1, 2)).is_err());
+        assert!(pooling_weight_gradients(&mut t, &[1], &[99], &Tensor2::zeros(1, 2)).is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! Exact sparse optimizers (§4.1.2).
+//!
+//! Large-batch synchronous training means one mini-batch can touch the same
+//! embedding row many times. A naive scatter applies those gradients in
+//! arrival order — racy on a GPU, and *mathematically different* for
+//! non-linear optimizers like AdaGrad (the moment would be updated once per
+//! duplicate). The exact scheme sorts the update matrix by row, merges
+//! duplicate rows into a single accumulated gradient, and applies one
+//! deterministic update per touched row. This is what gives the paper
+//! bit-wise reproducibility across runs and worker counts.
+
+use neo_tensor::Tensor2;
+
+use crate::bag::SparseGrad;
+use crate::store::RowStore;
+
+/// Sorts `grad` by row id (stable, so equal rows accumulate in arrival
+/// order) and merges duplicates by summing — the "transpose the sparse
+/// update matrix" step of §4.1.2.
+///
+/// # Example
+///
+/// ```
+/// use neo_embeddings::bag::SparseGrad;
+/// use neo_embeddings::optim::merge_grads;
+/// use neo_tensor::Tensor2;
+///
+/// let sg = SparseGrad {
+///     indices: vec![2, 1, 2],
+///     grads: Tensor2::from_fn(3, 1, |i, _| (i + 1) as f32),
+/// };
+/// let merged = merge_grads(&sg);
+/// assert_eq!(merged.indices, vec![1, 2]);
+/// assert_eq!(merged.grads.row(0), &[2.0]); // g from position 1
+/// assert_eq!(merged.grads.row(1), &[4.0]); // 1 + 3
+/// ```
+#[must_use]
+pub fn merge_grads(grad: &SparseGrad) -> SparseGrad {
+    let dim = grad.grads.cols();
+    let mut order: Vec<usize> = (0..grad.indices.len()).collect();
+    order.sort_by_key(|&k| grad.indices[k]);
+
+    let mut indices = Vec::new();
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for &k in &order {
+        let idx = grad.indices[k];
+        if indices.last() == Some(&idx) {
+            let acc = rows.last_mut().expect("row exists for last index");
+            for (a, &g) in acc.iter_mut().zip(grad.grads.row(k)) {
+                *a += g;
+            }
+        } else {
+            indices.push(idx);
+            rows.push(grad.grads.row(k).to_vec());
+        }
+    }
+    let mut grads = Tensor2::zeros(indices.len(), dim);
+    for (i, row) in rows.iter().enumerate() {
+        grads.row_mut(i).copy_from_slice(row);
+    }
+    SparseGrad { indices, grads }
+}
+
+/// A sparse optimizer operating on a [`RowStore`].
+pub trait SparseOptimizer: Send {
+    /// Applies one *exact* update: duplicates are merged first, then every
+    /// touched row is read, updated once, and written back.
+    fn step(&mut self, store: &mut dyn RowStore, grad: &SparseGrad) {
+        let merged = merge_grads(grad);
+        self.apply_merged(store, &merged);
+    }
+
+    /// Applies an already-merged gradient (one row per unique index).
+    fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad);
+
+    /// The naive scatter baseline: applies gradients one-by-one in arrival
+    /// order. For linear rules (SGD) this matches [`SparseOptimizer::step`];
+    /// for AdaGrad/Adam it does not — the ablation the paper's determinism
+    /// argument rests on.
+    fn step_unmerged(&mut self, store: &mut dyn RowStore, grad: &SparseGrad) {
+        for k in 0..grad.indices.len() {
+            let single = SparseGrad {
+                indices: vec![grad.indices[k]],
+                grads: Tensor2::from_vec(1, grad.grads.cols(), grad.grads.row(k).to_vec())
+                    .expect("single row"),
+            };
+            self.apply_merged(store, &single);
+        }
+    }
+
+    /// Bytes of optimizer state held for the table.
+    fn state_bytes(&self) -> u64;
+
+    /// Human-readable optimizer name.
+    fn name(&self) -> &'static str;
+
+    /// Updates the learning rate (for warmup/decay schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Plain sparse SGD: `row -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct SparseSgd {
+    lr: f32,
+}
+
+impl SparseSgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+}
+
+impl SparseOptimizer for SparseSgd {
+    fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad) {
+        let dim = store.dim();
+        let mut buf = vec![0.0f32; dim];
+        for (k, &idx) in merged.indices.iter().enumerate() {
+            store.read_row(idx, &mut buf);
+            for (v, &g) in buf.iter_mut().zip(merged.grads.row(k)) {
+                *v -= self.lr * g;
+            }
+            store.write_row(idx, &buf);
+        }
+    }
+
+    fn state_bytes(&self) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Element-wise sparse AdaGrad: `m += g^2; row -= lr * g / (sqrt(m) + eps)`.
+/// Holds `H x D` moment state.
+#[derive(Debug, Clone)]
+pub struct SparseAdagrad {
+    lr: f32,
+    eps: f32,
+    dim: usize,
+    moment: Vec<f32>,
+}
+
+impl SparseAdagrad {
+    /// Creates AdaGrad state for a `num_rows x dim` table.
+    pub fn new(lr: f32, eps: f32, num_rows: u64, dim: usize) -> Self {
+        Self { lr, eps, dim, moment: vec![0.0; num_rows as usize * dim] }
+    }
+}
+
+impl SparseOptimizer for SparseAdagrad {
+    fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad) {
+        let dim = self.dim;
+        let mut buf = vec![0.0f32; dim];
+        for (k, &idx) in merged.indices.iter().enumerate() {
+            store.read_row(idx, &mut buf);
+            let m = &mut self.moment[idx as usize * dim..(idx as usize + 1) * dim];
+            for ((v, &g), mi) in buf.iter_mut().zip(merged.grads.row(k)).zip(m.iter_mut()) {
+                *mi += g * g;
+                *v -= self.lr * g / (mi.sqrt() + self.eps);
+            }
+            store.write_row(idx, &buf);
+        }
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.moment.len() as u64 * 4
+    }
+
+    fn name(&self) -> &'static str {
+        "adagrad"
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Row-wise sparse AdaGrad (§4.1.4): one scalar moment per *row*, updated
+/// with the mean squared gradient of the row —
+/// `m_i += (1/D) * sum_j g_ij^2`. Cuts optimizer state from `H x D` to `H`
+/// (the paper's "saves the total memory by up to 50%" when counting
+/// parameters + state).
+#[derive(Debug, Clone)]
+pub struct RowWiseAdagrad {
+    lr: f32,
+    eps: f32,
+    moment: Vec<f32>,
+}
+
+impl RowWiseAdagrad {
+    /// Creates row-wise AdaGrad state for a table with `num_rows` rows.
+    pub fn new(lr: f32, eps: f32, num_rows: u64) -> Self {
+        Self { lr, eps, moment: vec![0.0; num_rows as usize] }
+    }
+}
+
+impl SparseOptimizer for RowWiseAdagrad {
+    fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad) {
+        let dim = store.dim();
+        let mut buf = vec![0.0f32; dim];
+        for (k, &idx) in merged.indices.iter().enumerate() {
+            let g_row = merged.grads.row(k);
+            let mean_sq: f32 = g_row.iter().map(|g| g * g).sum::<f32>() / dim as f32;
+            let m = &mut self.moment[idx as usize];
+            *m += mean_sq;
+            let scale = self.lr / (m.sqrt() + self.eps);
+            store.read_row(idx, &mut buf);
+            for (v, &g) in buf.iter_mut().zip(g_row) {
+                *v -= scale * g;
+            }
+            store.write_row(idx, &buf);
+        }
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.moment.len() as u64 * 4
+    }
+
+    fn name(&self) -> &'static str {
+        "rowwise_adagrad"
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Sparse Adam with per-row step counts for bias correction (rows are
+/// corrected by how many times *they* were updated, the standard sparse
+/// Adam variant).
+#[derive(Debug, Clone)]
+pub struct SparseAdam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    dim: usize,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    steps: Vec<u32>,
+}
+
+impl SparseAdam {
+    /// Creates Adam state for a `num_rows x dim` table with the usual
+    /// defaults `beta1 = 0.9`, `beta2 = 0.999`.
+    pub fn new(lr: f32, eps: f32, num_rows: u64, dim: usize) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps,
+            dim,
+            m: vec![0.0; num_rows as usize * dim],
+            v: vec![0.0; num_rows as usize * dim],
+            steps: vec![0; num_rows as usize],
+        }
+    }
+}
+
+impl SparseOptimizer for SparseAdam {
+    fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad) {
+        let dim = self.dim;
+        let mut buf = vec![0.0f32; dim];
+        for (k, &idx) in merged.indices.iter().enumerate() {
+            let r = idx as usize;
+            self.steps[r] += 1;
+            let t = self.steps[r] as i32;
+            let bc1 = 1.0 - self.beta1.powi(t);
+            let bc2 = 1.0 - self.beta2.powi(t);
+            store.read_row(idx, &mut buf);
+            let ms = &mut self.m[r * dim..(r + 1) * dim];
+            let vs = &mut self.v[r * dim..(r + 1) * dim];
+            for (((val, &g), mi), vi) in
+                buf.iter_mut().zip(merged.grads.row(k)).zip(ms.iter_mut()).zip(vs.iter_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *val -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            store.write_row(idx, &buf);
+        }
+    }
+
+    fn state_bytes(&self) -> u64 {
+        (self.m.len() + self.v.len()) as u64 * 4 + self.steps.len() as u64 * 4
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::DenseStore;
+
+    fn grad(pairs: &[(u64, f32)], dim: usize) -> SparseGrad {
+        let mut g = Tensor2::zeros(pairs.len(), dim);
+        for (k, &(_, v)) in pairs.iter().enumerate() {
+            for x in g.row_mut(k) {
+                *x = v;
+            }
+        }
+        SparseGrad { indices: pairs.iter().map(|&(i, _)| i).collect(), grads: g }
+    }
+
+    #[test]
+    fn merge_sorts_and_sums() {
+        let sg = grad(&[(5, 1.0), (2, 2.0), (5, 3.0), (2, 4.0)], 2);
+        let m = merge_grads(&sg);
+        assert_eq!(m.indices, vec![2, 5]);
+        assert_eq!(m.grads.row(0), &[6.0, 6.0]);
+        assert_eq!(m.grads.row(1), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn merge_of_empty_is_empty() {
+        let m = merge_grads(&SparseGrad::empty(4));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn sgd_exact_equals_unmerged() {
+        // SGD is linear, so the paper's sorted-merged update must equal the
+        // naive scatter exactly.
+        let mut a = DenseStore::zeros(10, 2);
+        let mut b = DenseStore::zeros(10, 2);
+        let sg = grad(&[(1, 0.5), (1, 0.25), (3, 1.0)], 2);
+        SparseSgd::new(0.1).step(&mut a, &sg);
+        SparseSgd::new(0.1).step_unmerged(&mut b, &sg);
+        assert_eq!(a.to_dense(), b.to_dense());
+        assert!((a.to_dense()[(1, 0)] - (-0.075)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn adagrad_exact_differs_from_unmerged() {
+        // With duplicates, merging changes the moment trajectory — the
+        // reason the exact optimizer exists.
+        let mut a = DenseStore::zeros(4, 1);
+        let mut b = DenseStore::zeros(4, 1);
+        let sg = grad(&[(0, 1.0), (0, 1.0)], 1);
+        SparseAdagrad::new(0.1, 1e-8, 4, 1).step(&mut a, &sg);
+        SparseAdagrad::new(0.1, 1e-8, 4, 1).step_unmerged(&mut b, &sg);
+        let (av, bv) = (a.to_dense()[(0, 0)], b.to_dense()[(0, 0)]);
+        // merged: g=2, m=4, step = -0.1*2/2 = -0.1
+        assert!((av + 0.1).abs() < 1e-6, "merged {av}");
+        // unmerged: two steps of -0.1*1/1 and -0.1*1/sqrt(2)
+        assert!((bv + 0.1 - (-0.1 / 2f32.sqrt())).abs() < 1e-6, "unmerged {bv}");
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn adagrad_matches_dense_reference_on_unique_rows() {
+        // On a batch with no duplicate rows, sparse AdaGrad must equal the
+        // textbook dense update restricted to the touched rows.
+        let mut store = DenseStore::zeros(5, 3);
+        store.write_row(2, &[1.0, 1.0, 1.0]);
+        let sg = SparseGrad {
+            indices: vec![2],
+            grads: Tensor2::from_vec(1, 3, vec![0.5, -1.0, 2.0]).unwrap(),
+        };
+        let mut opt = SparseAdagrad::new(0.1, 1e-8, 5, 3);
+        opt.step(&mut store, &sg);
+        let d = store.to_dense();
+        for (j, &g) in [0.5f32, -1.0, 2.0].iter().enumerate() {
+            let want = 1.0 - 0.1 * g / (g.abs() + 1e-8);
+            assert!((d[(2, j)] - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rowwise_adagrad_state_is_one_scalar_per_row() {
+        let full = SparseAdagrad::new(0.1, 1e-8, 1000, 64);
+        let rw = RowWiseAdagrad::new(0.1, 1e-8, 1000);
+        assert_eq!(full.state_bytes(), 1000 * 64 * 4);
+        assert_eq!(rw.state_bytes(), 1000 * 4);
+        assert_eq!(full.state_bytes() / rw.state_bytes(), 64);
+    }
+
+    #[test]
+    fn rowwise_adagrad_uses_mean_square() {
+        let mut store = DenseStore::zeros(2, 2);
+        let sg = SparseGrad {
+            indices: vec![0],
+            grads: Tensor2::from_vec(1, 2, vec![3.0, 4.0]).unwrap(),
+        };
+        let mut opt = RowWiseAdagrad::new(1.0, 0.0, 2);
+        opt.step(&mut store, &sg);
+        // m = (9+16)/2 = 12.5; scale = 1/sqrt(12.5)
+        let scale = 1.0 / 12.5f32.sqrt();
+        let d = store.to_dense();
+        assert!((d[(0, 0)] + 3.0 * scale).abs() < 1e-6);
+        assert!((d[(0, 1)] + 4.0 * scale).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_reduces_toward_target() {
+        // minimize (row - 1)^2 via its gradient 2(row-1)
+        let mut store = DenseStore::zeros(1, 4);
+        let mut opt = SparseAdam::new(0.05, 1e-8, 1, 4);
+        let mut buf = vec![0.0f32; 4];
+        for _ in 0..300 {
+            store.read_row(0, &mut buf);
+            let g: Vec<f32> = buf.iter().map(|v| 2.0 * (v - 1.0)).collect();
+            let sg = SparseGrad { indices: vec![0], grads: Tensor2::from_vec(1, 4, g).unwrap() };
+            opt.step(&mut store, &sg);
+        }
+        store.read_row(0, &mut buf);
+        for v in buf {
+            assert!((v - 1.0).abs() < 0.05, "{v}");
+        }
+    }
+
+    #[test]
+    fn adam_bias_correction_per_row() {
+        // two rows updated different numbers of times get different
+        // corrections but both move in the right direction
+        let mut store = DenseStore::zeros(2, 1);
+        let mut opt = SparseAdam::new(0.1, 1e-8, 2, 1);
+        let g0 = grad(&[(0, 1.0), (1, 1.0)], 1);
+        opt.step(&mut store, &g0);
+        let g1 = grad(&[(0, 1.0)], 1);
+        opt.step(&mut store, &g1);
+        let d = store.to_dense();
+        assert!(d[(0, 0)] < d[(1, 0)], "row 0 updated twice moved further");
+        assert!(d[(1, 0)] < 0.0);
+    }
+
+    #[test]
+    fn determinism_same_input_same_result() {
+        let sg = grad(&[(7, 0.3), (1, -0.2), (7, 0.1), (3, 0.9)], 4);
+        let run = || {
+            let mut s = DenseStore::zeros(10, 4);
+            let mut o = SparseAdagrad::new(0.05, 1e-8, 10, 4);
+            for _ in 0..5 {
+                o.step(&mut s, &sg);
+            }
+            s.to_dense()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn optimizer_names() {
+        assert_eq!(SparseSgd::new(0.1).name(), "sgd");
+        assert_eq!(SparseAdagrad::new(0.1, 0.0, 1, 1).name(), "adagrad");
+        assert_eq!(RowWiseAdagrad::new(0.1, 0.0, 1).name(), "rowwise_adagrad");
+        assert_eq!(SparseAdam::new(0.1, 0.0, 1, 1).name(), "adam");
+        assert_eq!(SparseSgd::new(0.1).state_bytes(), 0);
+    }
+}

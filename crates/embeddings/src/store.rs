@@ -1,0 +1,330 @@
+//! Row-granular embedding storage backends.
+
+use std::fmt;
+
+use neo_tensor::{init, F16, Tensor2};
+use rand::{Rng, SeedableRng};
+
+/// Error produced by storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    msg: String,
+}
+
+impl StoreError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "embedding store error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Abstract row-addressable embedding storage.
+///
+/// `read_row`/`write_row` take `&mut self` because cache-backed stores
+/// mutate internal state (recency, fills) on reads.
+pub trait RowStore: Send {
+    /// Number of rows (the table's hash size `H`).
+    fn num_rows(&self) -> u64;
+
+    /// Embedding dimension `D`.
+    fn dim(&self) -> usize;
+
+    /// Copies row `row` into `out` (length must equal [`RowStore::dim`]).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `row` is out of range or `out` has the
+    /// wrong length.
+    fn read_row(&mut self, row: u64, out: &mut [f32]);
+
+    /// Overwrites row `row` with `data`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `row` is out of range or `data` has the
+    /// wrong length.
+    fn write_row(&mut self, row: u64, data: &[f32]);
+
+    /// Bytes of backing storage used for the parameters themselves.
+    fn param_bytes(&self) -> u64;
+
+    /// Flushes any internal caches to the backing medium (no-op by
+    /// default).
+    fn flush(&mut self) {}
+
+    /// Materializes the full table as a dense tensor — test/debug helper,
+    /// linear in the table size.
+    fn to_dense(&mut self) -> Tensor2 {
+        let rows = self.num_rows() as usize;
+        let dim = self.dim();
+        let mut out = Tensor2::zeros(rows, dim);
+        let mut buf = vec![0.0f32; dim];
+        for r in 0..rows {
+            self.read_row(r as u64, &mut buf);
+            out.row_mut(r).copy_from_slice(&buf);
+        }
+        out
+    }
+}
+
+/// FP32 dense storage — the plain HBM-resident table.
+#[derive(Debug, Clone)]
+pub struct DenseStore {
+    data: Tensor2,
+}
+
+impl DenseStore {
+    /// Zero-initialized table.
+    pub fn zeros(num_rows: u64, dim: usize) -> Self {
+        Self { data: Tensor2::zeros(num_rows as usize, dim) }
+    }
+
+    /// Table initialized with `U(-1/sqrt(H), 1/sqrt(H))` like the DLRM
+    /// reference implementation.
+    pub fn random(num_rows: u64, dim: usize, rng: &mut impl Rng) -> Self {
+        Self { data: init::embedding_uniform(num_rows as usize, dim, rng) }
+    }
+
+    /// Wraps an existing dense tensor.
+    pub fn from_tensor(data: Tensor2) -> Self {
+        Self { data }
+    }
+
+    /// Borrow the underlying tensor.
+    pub fn as_tensor(&self) -> &Tensor2 {
+        &self.data
+    }
+}
+
+impl RowStore for DenseStore {
+    fn num_rows(&self) -> u64 {
+        self.data.rows() as u64
+    }
+
+    fn dim(&self) -> usize {
+        self.data.cols()
+    }
+
+    fn read_row(&mut self, row: u64, out: &mut [f32]) {
+        out.copy_from_slice(self.data.row(row as usize));
+    }
+
+    fn write_row(&mut self, row: u64, data: &[f32]) {
+        self.data.row_mut(row as usize).copy_from_slice(data);
+    }
+
+    fn param_bytes(&self) -> u64 {
+        self.data.len() as u64 * 4
+    }
+}
+
+/// FP16 storage with optional stochastic rounding on writes (§4.1.4,
+/// §5.3.2: "we use lower precision (FP16) embedding tables, reducing the
+/// model size by up to a factor of 2").
+///
+/// Reads dequantize to f32; writes round to the nearest f16 or
+/// stochastically using a deterministic per-store RNG stream, which keeps
+/// training bit-wise reproducible.
+pub struct HalfStore {
+    bits: Vec<u16>,
+    num_rows: u64,
+    dim: usize,
+    stochastic: bool,
+    rng: rand::rngs::StdRng,
+}
+
+impl fmt::Debug for HalfStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HalfStore")
+            .field("num_rows", &self.num_rows)
+            .field("dim", &self.dim)
+            .field("stochastic", &self.stochastic)
+            .finish()
+    }
+}
+
+impl HalfStore {
+    /// Zero-initialized FP16 table with round-to-nearest writes.
+    pub fn zeros(num_rows: u64, dim: usize) -> Self {
+        Self {
+            bits: vec![0u16; num_rows as usize * dim],
+            num_rows,
+            dim,
+            stochastic: false,
+            rng: rand::rngs::StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Randomly initialized FP16 table.
+    pub fn random(num_rows: u64, dim: usize, rng: &mut impl Rng) -> Self {
+        let dense = init::embedding_uniform(num_rows as usize, dim, rng);
+        let bits = dense.as_slice().iter().map(|&v| F16::from_f32(v).to_bits()).collect();
+        Self {
+            bits,
+            num_rows,
+            dim,
+            stochastic: false,
+            rng: rand::rngs::StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Enables stochastic rounding with the given seed (builder style).
+    #[must_use]
+    pub fn with_stochastic_rounding(mut self, seed: u64) -> Self {
+        self.stochastic = true;
+        self.rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Whether writes round stochastically.
+    pub fn is_stochastic(&self) -> bool {
+        self.stochastic
+    }
+}
+
+impl RowStore for HalfStore {
+    fn num_rows(&self) -> u64 {
+        self.num_rows
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn read_row(&mut self, row: u64, out: &mut [f32]) {
+        assert!(row < self.num_rows, "row {row} out of range");
+        assert_eq!(out.len(), self.dim, "read buffer width");
+        let base = row as usize * self.dim;
+        for (o, &b) in out.iter_mut().zip(&self.bits[base..base + self.dim]) {
+            *o = F16::from_bits(b).to_f32();
+        }
+    }
+
+    fn write_row(&mut self, row: u64, data: &[f32]) {
+        assert!(row < self.num_rows, "row {row} out of range");
+        assert_eq!(data.len(), self.dim, "write buffer width");
+        let base = row as usize * self.dim;
+        if self.stochastic {
+            for (slot, &v) in self.bits[base..base + self.dim].iter_mut().zip(data) {
+                let noise: f32 = self.rng.gen();
+                *slot = F16::from_f32_stochastic(v, noise).to_bits();
+            }
+        } else {
+            for (slot, &v) in self.bits[base..base + self.dim].iter_mut().zip(data) {
+                *slot = F16::from_f32(v).to_bits();
+            }
+        }
+    }
+
+    fn param_bytes(&self) -> u64 {
+        self.bits.len() as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut s = DenseStore::zeros(10, 4);
+        s.write_row(3, &[1.0, 2.0, 3.0, 4.0]);
+        let mut buf = [0.0; 4];
+        s.read_row(3, &mut buf);
+        assert_eq!(buf, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.num_rows(), 10);
+        assert_eq!(s.dim(), 4);
+        assert_eq!(s.param_bytes(), 160);
+    }
+
+    #[test]
+    fn dense_random_in_embedding_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let s = DenseStore::random(10_000, 8, &mut rng);
+        let bound = 1.0 / (10_000f32).sqrt();
+        assert!(s.as_tensor().as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn half_store_quantizes() {
+        let mut s = HalfStore::zeros(4, 2);
+        s.write_row(0, &[1.0, 0.333_333_34]);
+        let mut buf = [0.0; 2];
+        s.read_row(0, &mut buf);
+        assert_eq!(buf[0], 1.0, "1.0 is exact in fp16");
+        assert!((buf[1] - 0.333_333_34).abs() < 1e-3, "quantized to ~fp16 precision");
+        assert_ne!(buf[1], 0.333_333_34, "fp16 cannot hold 1/3 exactly");
+        assert_eq!(s.param_bytes(), 16, "half the fp32 footprint");
+    }
+
+    #[test]
+    fn half_store_is_half_the_bytes() {
+        let dense = DenseStore::zeros(1000, 64);
+        let half = HalfStore::zeros(1000, 64);
+        assert_eq!(half.param_bytes() * 2, dense.param_bytes());
+    }
+
+    #[test]
+    fn stochastic_rounding_accumulates_small_updates() {
+        // A tiny update far below fp16 resolution near 1.0: nearest
+        // rounding loses it forever; stochastic rounding keeps the mean.
+        let delta = 1e-5f32;
+        let mut nearest = HalfStore::zeros(1, 1);
+        nearest.write_row(0, &[1.0]);
+        let mut stoch = HalfStore::zeros(1, 1).with_stochastic_rounding(42);
+        stoch.write_row(0, &[1.0]);
+
+        let mut buf = [0.0f32];
+        for _ in 0..10_000 {
+            nearest.read_row(0, &mut buf);
+            nearest.write_row(0, &[buf[0] + delta]);
+            stoch.read_row(0, &mut buf);
+            stoch.write_row(0, &[buf[0] + delta]);
+        }
+        nearest.read_row(0, &mut buf);
+        assert_eq!(buf[0], 1.0, "nearest rounding swallowed every update");
+        stoch.read_row(0, &mut buf);
+        let expected = 1.0 + 10_000.0 * delta;
+        assert!(
+            (buf[0] - expected).abs() < 0.05,
+            "stochastic rounding tracked the drift: {} vs {expected}",
+            buf[0]
+        );
+    }
+
+    #[test]
+    fn stochastic_is_deterministic_given_seed() {
+        let run = || {
+            let mut s = HalfStore::zeros(2, 2).with_stochastic_rounding(7);
+            for i in 0..100u64 {
+                s.write_row(i % 2, &[0.1 + i as f32 * 1e-4, -0.2]);
+            }
+            s.bits.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn to_dense_materializes() {
+        let mut s = DenseStore::zeros(3, 2);
+        s.write_row(1, &[5.0, 6.0]);
+        let d = s.to_dense();
+        assert_eq!(d.row(1), &[5.0, 6.0]);
+        assert_eq!(d.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn half_store_bounds_checked() {
+        let mut s = HalfStore::zeros(2, 2);
+        let mut buf = [0.0; 2];
+        s.read_row(5, &mut buf);
+    }
+}

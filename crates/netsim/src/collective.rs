@@ -1,0 +1,314 @@
+//! α-β cost models for the collectives on a [`ClusterTopology`].
+//!
+//! The schedules mirror what NCCL does on ZionEX:
+//!
+//! * **AlltoAll** — direct send/recv between all pairs (§4.5). Intra-node
+//!   pairs ride NVLink; inter-node pairs ride the per-GPU RoCE NIC, which is
+//!   the bottleneck at scale (Fig. 20).
+//! * **AllReduce** — hierarchical: intra-node reduce-scatter over NVLink,
+//!   inter-node ring across nodes on 8 parallel NIC rails, intra-node
+//!   all-gather. This is why AllReduce "uses NVLINK more effectively".
+//! * **ReduceScatter / AllGather** — the two halves of the hierarchical
+//!   AllReduce; used by row-wise sharding (§4.2.2).
+//!
+//! Reported bandwidths follow the NCCL-tests conventions: *algorithm
+//! bandwidth* `algbw = bytes / time` and *bus bandwidth* with the standard
+//! per-collective correction factor, which is what Fig. 20 plots.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::ClusterTopology;
+
+/// Per-peer message-setup overhead inside a collective (seconds). Models
+/// the per-send/recv launch cost of the NCCL send/recv based AlltoAll.
+const PER_PEER_OVERHEAD_S: f64 = 1e-6;
+
+/// Which collective is being priced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Gradient synchronization for data-parallel MLPs.
+    AllReduce,
+    /// Pooled-embedding exchange for model-parallel tables.
+    AlltoAll,
+    /// Forward pass of row-wise sharded tables.
+    ReduceScatter,
+    /// Backward counterpart of ReduceScatter.
+    AllGather,
+}
+
+impl std::fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveKind::AllReduce => write!(f, "AllReduce"),
+            CollectiveKind::AlltoAll => write!(f, "AlltoAll"),
+            CollectiveKind::ReduceScatter => write!(f, "ReduceScatter"),
+            CollectiveKind::AllGather => write!(f, "AllGather"),
+        }
+    }
+}
+
+/// Prices collectives on a topology.
+///
+/// # Example
+///
+/// ```
+/// use neo_netsim::{ClusterTopology, CollectiveCost, CollectiveKind};
+/// let cost = CollectiveCost::new(ClusterTopology::zionex_prototype(16));
+/// let t = cost.time(CollectiveKind::AlltoAll, 256e6);
+/// let algbw = cost.algbw(CollectiveKind::AlltoAll, 256e6);
+/// // Fig. 20: the 256 MB AlltoAll at 128 GPUs achieves ~7 GB/s
+/// assert!(algbw > 5e9 && algbw < 9e9, "algbw {algbw}");
+/// assert!(t > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollectiveCost {
+    topology: ClusterTopology,
+}
+
+impl CollectiveCost {
+    /// Creates a pricer for `topology`.
+    pub fn new(topology: ClusterTopology) -> Self {
+        Self { topology }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Wall time for one collective moving `bytes_per_gpu` per rank.
+    pub fn time(&self, kind: CollectiveKind, bytes_per_gpu: f64) -> f64 {
+        match kind {
+            CollectiveKind::AllReduce => self.allreduce_time(bytes_per_gpu),
+            CollectiveKind::AlltoAll => self.alltoall_time(bytes_per_gpu),
+            CollectiveKind::ReduceScatter => self.reduce_scatter_time(bytes_per_gpu),
+            CollectiveKind::AllGather => self.allgather_time(bytes_per_gpu),
+        }
+    }
+
+    /// Algorithm bandwidth `bytes_per_gpu / time`.
+    pub fn algbw(&self, kind: CollectiveKind, bytes_per_gpu: f64) -> f64 {
+        bytes_per_gpu / self.time(kind, bytes_per_gpu)
+    }
+
+    /// Bus bandwidth with the NCCL-tests correction factor (what Fig. 20
+    /// plots): `2(W-1)/W` for AllReduce and `(W-1)/W` for the others.
+    pub fn busbw(&self, kind: CollectiveKind, bytes_per_gpu: f64) -> f64 {
+        let w = self.topology.world_size() as f64;
+        let factor = match kind {
+            CollectiveKind::AllReduce => 2.0 * (w - 1.0) / w,
+            _ => (w - 1.0) / w,
+        };
+        self.algbw(kind, bytes_per_gpu) * factor
+    }
+
+    /// AlltoAll where every rank sends `bytes_per_gpu` split evenly across
+    /// the other ranks.
+    pub fn alltoall_time(&self, bytes_per_gpu: f64) -> f64 {
+        let w = self.topology.world_size() as f64;
+        let g = self.topology.gpus_per_node as f64;
+        if w <= 1.0 {
+            return 0.0;
+        }
+        let intra_bytes = bytes_per_gpu * (g - 1.0).min(w - 1.0) / w;
+        let inter_bytes = bytes_per_gpu * (w - g).max(0.0) / w;
+        let intra_t = intra_bytes / self.topology.scale_up.bandwidth;
+        // per-peer messages must be large to saturate the NIC
+        let msg_per_peer = bytes_per_gpu / w;
+        let saturation = msg_per_peer / (msg_per_peer + self.topology.alltoall_half_sat);
+        let inter_bw = self.topology.scale_out.bandwidth * saturation;
+        let inter_t = if inter_bytes > 0.0 { inter_bytes / inter_bw } else { 0.0 };
+        let latency = self.topology.scale_out.latency_s + (w - 1.0) * PER_PEER_OVERHEAD_S;
+        intra_t.max(inter_t) + latency
+    }
+
+    /// AlltoAllv: each rank `i` sends `send_bytes[i]` in total. The
+    /// collective finishes when the most loaded rank finishes — this is how
+    /// embedding-table load imbalance turns into exposed communication time
+    /// (§5.3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `send_bytes.len() != world_size`.
+    pub fn alltoallv_time(&self, send_bytes: &[f64]) -> f64 {
+        assert_eq!(
+            send_bytes.len(),
+            self.topology.world_size(),
+            "alltoallv needs one send volume per rank"
+        );
+        let max = send_bytes.iter().copied().fold(0.0f64, f64::max);
+        self.alltoall_time(max)
+    }
+
+    /// Hierarchical AllReduce over `bytes_per_gpu` per rank.
+    pub fn allreduce_time(&self, bytes_per_gpu: f64) -> f64 {
+        let g = self.topology.gpus_per_node as f64;
+        let n = self.topology.num_nodes as f64;
+        if self.topology.world_size() <= 1 {
+            return 0.0;
+        }
+        // intra-node reduce-scatter + all-gather over NVLink
+        let intra = if g > 1.0 {
+            2.0 * bytes_per_gpu * (g - 1.0) / g / self.topology.scale_up.bandwidth
+                + 2.0 * (g - 1.0) * self.topology.scale_up.latency_s
+        } else {
+            0.0
+        };
+        // inter-node ring on G parallel NIC rails, each carrying 1/G of the data
+        let inter = if n > 1.0 {
+            2.0 * (n - 1.0) / n * (bytes_per_gpu / g) / self.topology.scale_out.bandwidth
+                + 2.0 * (n - 1.0) * self.topology.scale_out.latency_s
+        } else {
+            0.0
+        };
+        intra + inter
+    }
+
+    /// Hierarchical ReduceScatter (half of the AllReduce schedule).
+    pub fn reduce_scatter_time(&self, bytes_per_gpu: f64) -> f64 {
+        self.half_allreduce_time(bytes_per_gpu)
+    }
+
+    /// Hierarchical AllGather (the other half).
+    pub fn allgather_time(&self, bytes_per_gpu: f64) -> f64 {
+        self.half_allreduce_time(bytes_per_gpu)
+    }
+
+    fn half_allreduce_time(&self, bytes_per_gpu: f64) -> f64 {
+        let g = self.topology.gpus_per_node as f64;
+        let n = self.topology.num_nodes as f64;
+        if self.topology.world_size() <= 1 {
+            return 0.0;
+        }
+        let intra = if g > 1.0 {
+            bytes_per_gpu * (g - 1.0) / g / self.topology.scale_up.bandwidth
+                + (g - 1.0) * self.topology.scale_up.latency_s
+        } else {
+            0.0
+        };
+        let inter = if n > 1.0 {
+            (n - 1.0) / n * (bytes_per_gpu / g) / self.topology.scale_out.bandwidth
+                + (n - 1.0) * self.topology.scale_out.latency_s
+        } else {
+            0.0
+        };
+        intra + inter
+    }
+
+    /// Produces the (message size, busbw) sweep of Fig. 20 for one
+    /// collective over power-of-two sizes `2^lo ..= 2^hi` bytes.
+    pub fn bandwidth_sweep(
+        &self,
+        kind: CollectiveKind,
+        lo_pow2: u32,
+        hi_pow2: u32,
+    ) -> Vec<(u64, f64)> {
+        (lo_pow2..=hi_pow2)
+            .map(|p| {
+                let bytes = 1u64 << p;
+                (bytes, self.busbw(kind, bytes as f64))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost128() -> CollectiveCost {
+        CollectiveCost::new(ClusterTopology::zionex_prototype(16))
+    }
+
+    #[test]
+    fn fig20_alltoall_anchor() {
+        // paper: 7 GB/s at 256 MB on 128 GPUs
+        let algbw = cost128().algbw(CollectiveKind::AlltoAll, 256e6);
+        assert!((5e9..9e9).contains(&algbw), "{algbw}");
+    }
+
+    #[test]
+    fn fig20_allreduce_anchor() {
+        // paper: ~60 GB/s bus bandwidth at 256 MB on 128 GPUs
+        let busbw = cost128().busbw(CollectiveKind::AllReduce, 256e6);
+        assert!((40e9..75e9).contains(&busbw), "{busbw}");
+    }
+
+    #[test]
+    fn allreduce_beats_alltoall_at_scale() {
+        let c = cost128();
+        assert!(
+            c.busbw(CollectiveKind::AllReduce, 256e6) > c.busbw(CollectiveKind::AlltoAll, 256e6)
+        );
+    }
+
+    #[test]
+    fn bandwidth_grows_with_message_size() {
+        let c = cost128();
+        let sweep = c.bandwidth_sweep(CollectiveKind::AlltoAll, 10, 28);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "monotone in message size: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn single_gpu_is_free() {
+        let c = CollectiveCost::new(ClusterTopology {
+            num_nodes: 1,
+            gpus_per_node: 1,
+            ..ClusterTopology::zionex_prototype(1)
+        });
+        assert_eq!(c.time(CollectiveKind::AllReduce, 1e6), 0.0);
+        assert_eq!(c.time(CollectiveKind::AlltoAll, 1e6), 0.0);
+    }
+
+    #[test]
+    fn single_node_alltoall_uses_only_nvlink() {
+        let c = CollectiveCost::new(ClusterTopology::single_node());
+        let t = c.alltoall_time(8e6);
+        // all traffic on NVLink: well under a scale-out-bound time
+        let scale_out_bound = 8e6 * 7.0 / 8.0 / 10.5e9;
+        assert!(t < scale_out_bound);
+    }
+
+    #[test]
+    fn alltoall_scales_worse_with_more_nodes() {
+        let c2 = CollectiveCost::new(ClusterTopology::zionex_prototype(2));
+        let c16 = CollectiveCost::new(ClusterTopology::zionex_prototype(16));
+        // same per-GPU bytes costs more time at 16 nodes (more remote fraction
+        // + more peers)
+        assert!(c16.alltoall_time(64e6) > c2.alltoall_time(64e6));
+    }
+
+    #[test]
+    fn alltoallv_bounded_by_max_rank() {
+        let c = cost128();
+        let mut v = vec![1e6; 128];
+        let balanced = c.alltoallv_time(&v);
+        v[17] = 16e6;
+        let skewed = c.alltoallv_time(&v);
+        assert!(skewed > balanced, "{skewed} vs {balanced}");
+        assert!((skewed - c.alltoall_time(16e6)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one send volume per rank")]
+    fn alltoallv_checks_len() {
+        cost128().alltoallv_time(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_plus_allgather_close_to_allreduce() {
+        let c = cost128();
+        let rs = c.reduce_scatter_time(64e6);
+        let ag = c.allgather_time(64e6);
+        let ar = c.allreduce_time(64e6);
+        assert!(((rs + ag) - ar).abs() / ar < 1e-9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CollectiveKind::AlltoAll.to_string(), "AlltoAll");
+        assert_eq!(CollectiveKind::AllReduce.to_string(), "AllReduce");
+    }
+}

@@ -1,0 +1,130 @@
+//! Cluster topology description (nodes × GPUs, link speeds).
+
+use serde::{Deserialize, Serialize};
+
+/// One class of link: sustained achievable bandwidth plus base latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Achievable uni-directional bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Base latency per transfer in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkSpec {
+    /// Time to move `bytes` over this link: `latency + bytes / bandwidth`.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bandwidth
+    }
+}
+
+/// A training cluster: `num_nodes` nodes of `gpus_per_node` accelerators,
+/// with per-GPU scale-up (NVLink/NVSwitch) and scale-out (RoCE) links plus
+/// the frontend host network used by data ingestion.
+///
+/// # Example
+///
+/// ```
+/// use neo_netsim::ClusterTopology;
+/// let t = ClusterTopology::zionex_prototype(16);
+/// assert_eq!(t.world_size(), 128);
+/// assert_eq!(t.num_nodes, 16);
+/// // Table 2: 800 Gbps per node uni-directional scale-out = 12.5 GB/s/GPU peak
+/// assert!(t.scale_out.bandwidth <= 12.5e9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    /// Number of nodes in the job.
+    pub num_nodes: usize,
+    /// Accelerators per node (8 on ZionEX).
+    pub gpus_per_node: usize,
+    /// Per-GPU scale-up link (NVLink through NVSwitch), uni-directional.
+    pub scale_up: LinkSpec,
+    /// Per-GPU scale-out link (dedicated RoCE NIC), uni-directional.
+    pub scale_out: LinkSpec,
+    /// Per-node frontend host network (data ingestion path).
+    pub host: LinkSpec,
+    /// Host-to-device PCIe link per GPU.
+    pub pcie: LinkSpec,
+    /// Per-peer message size (bytes) at which an AlltoAll sustains half the
+    /// scale-out line rate. NCCL's send/recv AlltoAll only approaches line
+    /// rate when each of the `W-1` peer messages is large; at 128 GPUs a
+    /// 256 MB buffer is 2 MB/peer — the regime where Fig. 20 reports
+    /// 7 GB/s. Calibrated to that anchor.
+    pub alltoall_half_sat: f64,
+}
+
+impl ClusterTopology {
+    /// The HGX-2-based prototype cluster of §5.2 / Table 2 with the given
+    /// node count. Per-GPU numbers derived from the per-node figures:
+    /// 1.2 TB/s scale-up → 150 GB/s/GPU (120 GB/s achievable),
+    /// 800 Gbps scale-out → 12.5 GB/s/GPU peak, 10.5 GB/s achievable (§5.1).
+    pub fn zionex_prototype(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            gpus_per_node: 8,
+            scale_up: LinkSpec { bandwidth: 120e9, latency_s: 3e-6 },
+            scale_out: LinkSpec { bandwidth: 10.5e9, latency_s: 6e-6 },
+            host: LinkSpec { bandwidth: 2.0 * 12.5e9, latency_s: 10e-6 },
+            pcie: LinkSpec { bandwidth: 13e9, latency_s: 4e-6 },
+            alltoall_half_sat: 768e3,
+        }
+    }
+
+    /// A single ZionEX node (no scale-out traffic possible).
+    pub fn single_node() -> Self {
+        Self::zionex_prototype(1)
+    }
+
+    /// Total number of accelerators.
+    #[must_use]
+    pub fn world_size(&self) -> usize {
+        self.num_nodes * self.gpus_per_node
+    }
+
+    /// Aggregate uni-directional bisection bandwidth of the scale-out
+    /// fabric, assuming full bisection (the dedicated backend network).
+    #[must_use]
+    pub fn bisection_bw(&self) -> f64 {
+        self.scale_out.bandwidth * self.world_size() as f64 / 2.0
+    }
+
+    /// Injection bandwidth per node into the backend fabric.
+    #[must_use]
+    pub fn node_injection_bw(&self) -> f64 {
+        self.scale_out.bandwidth * self.gpus_per_node as f64
+    }
+}
+
+impl Default for ClusterTopology {
+    fn default() -> Self {
+        Self::zionex_prototype(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_size_and_bisection() {
+        let t = ClusterTopology::zionex_prototype(16);
+        assert_eq!(t.world_size(), 128);
+        assert!((t.bisection_bw() - 10.5e9 * 64.0).abs() < 1.0);
+        assert!((t.node_injection_bw() - 84e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let l = LinkSpec { bandwidth: 1e9, latency_s: 1e-6 };
+        assert!((l.transfer_time(1e9) - 1.000001).abs() < 1e-9);
+        assert!((l.transfer_time(0.0) - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_has_one_node() {
+        assert_eq!(ClusterTopology::single_node().num_nodes, 1);
+        assert_eq!(ClusterTopology::default().world_size(), 128);
+    }
+}

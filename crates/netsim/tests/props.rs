@@ -1,0 +1,74 @@
+//! Property tests for the collective cost models.
+
+use neo_netsim::{ClusterTopology, CollectiveCost, CollectiveKind};
+use proptest::prelude::*;
+
+const KINDS: [CollectiveKind; 4] = [
+    CollectiveKind::AllReduce,
+    CollectiveKind::AlltoAll,
+    CollectiveKind::ReduceScatter,
+    CollectiveKind::AllGather,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Latency is monotone in message size for every collective.
+    #[test]
+    fn time_monotone_in_bytes(
+        nodes in 1usize..17,
+        a in 10u32..28,
+        b in 10u32..28,
+    ) {
+        let cost = CollectiveCost::new(ClusterTopology::zionex_prototype(nodes));
+        let (lo, hi) = (1u64 << a.min(b), 1u64 << a.max(b));
+        for kind in KINDS {
+            prop_assert!(
+                cost.time(kind, lo as f64) <= cost.time(kind, hi as f64) + 1e-15,
+                "{kind} at {nodes} nodes"
+            );
+        }
+    }
+
+    /// Achieved algorithm bandwidth never exceeds the relevant link caps.
+    #[test]
+    fn algbw_bounded_by_hardware(nodes in 1usize..17, p in 12u32..28) {
+        let topo = ClusterTopology::zionex_prototype(nodes);
+        let cap = topo.scale_up.bandwidth.max(topo.scale_out.bandwidth);
+        let cost = CollectiveCost::new(topo);
+        let bytes = (1u64 << p) as f64;
+        for kind in KINDS {
+            if nodes == 1 && bytes > 0.0 {
+                continue; // intra-node only; NVLink cap applies trivially
+            }
+            let algbw = cost.algbw(kind, bytes);
+            prop_assert!(algbw <= cap * 1.01, "{kind}: {algbw:.3e} > cap {cap:.3e}");
+        }
+    }
+
+    /// More nodes never makes the same per-GPU AlltoAll cheaper.
+    #[test]
+    fn alltoall_no_faster_at_larger_scale(
+        small in 2usize..8,
+        extra in 1usize..9,
+        p in 16u32..27,
+    ) {
+        let bytes = (1u64 << p) as f64;
+        let t_small =
+            CollectiveCost::new(ClusterTopology::zionex_prototype(small)).alltoall_time(bytes);
+        let t_big = CollectiveCost::new(ClusterTopology::zionex_prototype(small + extra))
+            .alltoall_time(bytes);
+        prop_assert!(t_big >= t_small - 1e-12);
+    }
+
+    /// AlltoAllv with equal volumes equals the plain AlltoAll.
+    #[test]
+    fn alltoallv_uniform_degenerates(nodes in 1usize..9, p in 10u32..24) {
+        let topo = ClusterTopology::zionex_prototype(nodes);
+        let world = topo.world_size();
+        let cost = CollectiveCost::new(topo);
+        let bytes = (1u64 << p) as f64;
+        let uniform = vec![bytes; world];
+        prop_assert_eq!(cost.alltoallv_time(&uniform), cost.alltoall_time(bytes));
+    }
+}

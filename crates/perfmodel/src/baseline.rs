@@ -1,0 +1,120 @@
+//! Throughput model of the previous-generation distributed-CPU
+//! parameter-server platform (§2), behind the paper's headline
+//! comparisons: A1 at 16 GPUs is **3×** the CPU baseline, and the full
+//! system delivers **40×** shorter total training time.
+
+use neo_dlrm_model::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+/// The asynchronous PS deployment the paper compares against
+/// (~16 parameter servers + ~16 CPU trainers for model A1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsCluster {
+    /// Number of trainer machines.
+    pub trainers: usize,
+    /// Number of parameter-server machines.
+    pub parameter_servers: usize,
+    /// Effective per-trainer dense compute (FLOP/s) — a dual-socket server
+    /// running a framework stack sustains a few hundred GFLOP/s on MLPs.
+    pub trainer_flops: f64,
+    /// Per-PS network service bandwidth (bytes/s) for embedding
+    /// pulls/pushes (25 GbE NICs, protocol overheads).
+    pub ps_net_bw: f64,
+    /// Scaling-efficiency decay per added trainer beyond the first
+    /// (staleness forces small effective scale; this caps useful size).
+    pub async_efficiency_decay: f64,
+}
+
+impl PsCluster {
+    /// The ~16+16 deployment of §5.3.
+    pub fn paper_baseline() -> Self {
+        Self {
+            trainers: 16,
+            parameter_servers: 16,
+            trainer_flops: 1.5e12,
+            ps_net_bw: 10e9,
+            async_efficiency_decay: 0.01,
+        }
+    }
+
+    /// Aggregate async-scaling efficiency at this trainer count.
+    pub fn efficiency(&self) -> f64 {
+        (1.0 - self.async_efficiency_decay * (self.trainers.saturating_sub(1)) as f64).max(0.1)
+    }
+
+    /// Sustained QPS for a model: the lesser of the compute-bound and the
+    /// PS-network-bound rates, discounted by async efficiency.
+    pub fn qps(&self, model: &ModelProfile) -> f64 {
+        // compute: fwd+bwd ~= 3x forward flops
+        let per_sample_flops = 3.0 * model.mflops_per_sample * 1e6;
+        let compute_qps = self.trainers as f64 * self.trainer_flops / per_sample_flops;
+        // network: each sample pulls + pushes its embedding rows
+        let tables = model.synthetic_tables();
+        let bytes_per_sample: f64 =
+            tables.iter().map(|&(_, d, l)| 2.0 * l * d as f64 * 4.0).sum();
+        let net_qps = self.parameter_servers as f64 * self.ps_net_bw / bytes_per_sample;
+        compute_qps.min(net_qps) * self.efficiency()
+    }
+}
+
+/// The headline ratios of the paper for model A1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Headline {
+    /// CPU-baseline QPS.
+    pub baseline_qps: f64,
+    /// Sync-trainer QPS at 16 GPUs.
+    pub qps_16gpu: f64,
+    /// Sync-trainer QPS at 128 GPUs.
+    pub qps_128gpu: f64,
+    /// `qps_16gpu / baseline` — the paper reports 3×.
+    pub speedup_16: f64,
+    /// `qps_128gpu / baseline` — time-to-solution improvement; the paper
+    /// reports 40× total training time reduction at full scale.
+    pub speedup_128: f64,
+}
+
+/// Computes the headline comparison given the sync trainer's modelled QPS.
+pub fn headline(model: &ModelProfile, qps_16gpu: f64, qps_128gpu: f64) -> Headline {
+    let baseline_qps = PsCluster::paper_baseline().qps(model);
+    Headline {
+        baseline_qps,
+        qps_16gpu,
+        qps_128gpu,
+        speedup_16: qps_16gpu / baseline_qps,
+        speedup_128: qps_128gpu / baseline_qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_a1_in_paper_band() {
+        // paper: 273K QPS at 16 GPUs was a 3x speedup => baseline ~91K
+        let qps = PsCluster::paper_baseline().qps(&ModelProfile::a1());
+        assert!(qps > 30e3 && qps < 200e3, "baseline QPS {qps:.0}");
+    }
+
+    #[test]
+    fn heavier_models_are_slower_on_cpu() {
+        let ps = PsCluster::paper_baseline();
+        assert!(ps.qps(&ModelProfile::a2()) < ps.qps(&ModelProfile::a1()));
+    }
+
+    #[test]
+    fn headline_ratios() {
+        let h = headline(&ModelProfile::a1(), 273e3, 1047e3);
+        assert!(h.speedup_16 > 1.5 && h.speedup_16 < 10.0, "3x-ish: {:.1}", h.speedup_16);
+        assert!(h.speedup_128 > 8.0, "order-of-magnitude+: {:.1}", h.speedup_128);
+        assert!(h.speedup_128 / h.speedup_16 > 3.0);
+    }
+
+    #[test]
+    fn efficiency_declines_with_trainers() {
+        let few = PsCluster { trainers: 4, ..PsCluster::paper_baseline() };
+        let many = PsCluster { trainers: 64, ..PsCluster::paper_baseline() };
+        assert!(few.efficiency() > many.efficiency());
+        assert!(many.efficiency() >= 0.1);
+    }
+}

@@ -1,0 +1,129 @@
+//! The §5.3.3 capacity-limit arithmetic for model F1 (12T parameters).
+//!
+//! The paper's chain: naive FP32 training needs
+//! `12e12 × 4 B × 2 (params + optimizer states) = 96 TB`; row-wise AdaGrad
+//! shrinks optimizer state from per-element to per-row; FP16 tables halve
+//! the parameters; the result (≈24 TB) just fits the 16-node hierarchy of
+//! 4 TB HBM + 24 TB DRAM with HBM acting as a software cache.
+
+use neo_dlrm_model::ModelProfile;
+use neo_memory::{MemoryHierarchy, Tier};
+use serde::{Deserialize, Serialize};
+
+/// One step of the capacity-reduction chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityStep {
+    /// Human-readable description.
+    pub label: String,
+    /// Total memory footprint after this step, bytes.
+    pub bytes: f64,
+}
+
+/// Computes the §5.3.3 capacity chain for a model profile.
+///
+/// # Example
+///
+/// ```
+/// use neo_perfmodel::capacity::capacity_chain;
+/// use neo_dlrm_model::ModelProfile;
+///
+/// let chain = capacity_chain(&ModelProfile::f1());
+/// assert_eq!(chain.len(), 3);
+/// // naive: 96 TB; final: 24 TB — the numbers of §5.3.3
+/// assert!((chain[0].bytes - 96e12).abs() / 96e12 < 0.01);
+/// assert!((chain[2].bytes - 24e12).abs() / 24e12 < 0.15);
+/// ```
+pub fn capacity_chain(p: &ModelProfile) -> Vec<CapacityStep> {
+    let params = p.num_params;
+    let rows: f64 = params / p.avg_emb_dim as f64;
+    let naive = params * 4.0 * 2.0; // FP32 params + FP32 per-element state
+    let rowwise = params * 4.0 + rows * 4.0; // per-row optimizer state
+    let fp16 = params * 2.0 + rows * 4.0;
+    vec![
+        CapacityStep { label: "FP32 + full AdaGrad state".into(), bytes: naive },
+        CapacityStep { label: "+ row-wise AdaGrad".into(), bytes: rowwise },
+        CapacityStep { label: "+ FP16 embeddings".into(), bytes: fp16 },
+    ]
+}
+
+/// Result of fitting a footprint onto a cluster's memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Bytes placed per tier.
+    pub placement: Vec<(Tier, u64)>,
+    /// Whether the model fits at all.
+    pub fits: bool,
+    /// Effective read bandwidth over the placed working set (bytes/s).
+    pub effective_bw: f64,
+}
+
+/// Fits `bytes` onto `nodes` ZionEX-prototype nodes (aggregating each
+/// tier's capacity) and reports the placement.
+pub fn fit_on_cluster(bytes: f64, nodes: usize) -> FitReport {
+    let node = MemoryHierarchy::zionex_prototype_node();
+    let scaled = MemoryHierarchy::new(
+        node.tiers()
+            .iter()
+            .map(|t| neo_memory::TierSpec {
+                capacity_bytes: t.capacity_bytes * nodes as u64,
+                read_bw: t.read_bw * nodes as f64,
+                write_bw: t.write_bw * nodes as f64,
+                ..*t
+            })
+            .collect(),
+    );
+    match scaled.place(bytes as u64) {
+        Ok(placement) => {
+            let bw = scaled.effective_read_bw(bytes as u64).unwrap_or(0.0);
+            FitReport { placement, fits: true, effective_bw: bw }
+        }
+        Err(_) => FitReport { placement: Vec::new(), fits: false, effective_bw: 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_chain_matches_paper() {
+        let chain = capacity_chain(&ModelProfile::f1());
+        assert!((chain[0].bytes - 96e12).abs() / 96e12 < 0.01, "{:.3e}", chain[0].bytes);
+        // rowwise: 48 TB + ~0.19 TB of row state
+        assert!(chain[1].bytes < 50e12 && chain[1].bytes > 48e12);
+        assert!(chain[2].bytes < 26e12, "final fits the 28 TB hierarchy");
+        assert!(chain.windows(2).all(|w| w[1].bytes < w[0].bytes));
+    }
+
+    #[test]
+    fn naive_f1_does_not_fit_16_nodes() {
+        let chain = capacity_chain(&ModelProfile::f1());
+        assert!(!fit_on_cluster(chain[0].bytes, 16).fits, "96 TB > 4 + 24 + 50 TB SSD? ");
+    }
+
+    #[test]
+    fn optimized_f1_fits_16_nodes_hbm_plus_ddr() {
+        let chain = capacity_chain(&ModelProfile::f1());
+        let fit = fit_on_cluster(chain[2].bytes, 16);
+        assert!(fit.fits);
+        // must spill past HBM into DDR (the whole point of the hierarchy)
+        assert!(fit.placement.iter().any(|(t, _)| *t == Tier::Ddr));
+        assert!(fit.effective_bw > 0.0);
+    }
+
+    #[test]
+    fn small_models_sit_in_hbm() {
+        let fit = fit_on_cluster(1e12, 16); // 1 TB on 4 TB of HBM
+        assert!(fit.fits);
+        assert_eq!(fit.placement.len(), 1);
+        assert_eq!(fit.placement[0].0, Tier::Hbm);
+    }
+
+    #[test]
+    fn a_models_fit_easily_after_fp16() {
+        for p in [ModelProfile::a1(), ModelProfile::a2(), ModelProfile::a3()] {
+            let chain = capacity_chain(&p);
+            assert!(fit_on_cluster(chain[2].bytes, 16).fits, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Accelerator device profiles with the achievable rates of §5.1.
+
+use serde::{Deserialize, Serialize};
+
+/// One accelerator's capability envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak FP32 (CUDA-core) throughput, FLOP/s.
+    pub fp32_peak: f64,
+    /// Peak FP16/BF16 (tensor-core) throughput, FLOP/s.
+    pub fp16_peak: f64,
+    /// Peak TF32 throughput, FLOP/s (0 when unsupported).
+    pub tf32_peak: f64,
+    /// Peak HBM bandwidth, bytes/s.
+    pub hbm_peak: f64,
+    /// Achievable HBM bandwidth for embedding kernels (§5.1: 850 GB/s on
+    /// V100, 1300 GB/s on A100).
+    pub hbm_achievable: f64,
+    /// Achievable GEMM efficiency at DLRM MLP sizes (§5.1: 78.6% V100,
+    /// 70.5% A100).
+    pub gemm_efficiency: f64,
+    /// HBM capacity in bytes.
+    pub hbm_capacity: u64,
+    /// Fixed per-kernel launch latency, seconds.
+    pub kernel_latency: f64,
+}
+
+impl DeviceProfile {
+    /// NVIDIA V100-SXM3 (the prototype cluster of §5.2).
+    pub fn v100() -> Self {
+        Self {
+            name: "V100",
+            fp32_peak: 15.7e12,
+            fp16_peak: 125e12,
+            tf32_peak: 0.0,
+            hbm_peak: 900e9,
+            hbm_achievable: 850e9,
+            gemm_efficiency: 0.786,
+            hbm_capacity: 32 << 30,
+            kernel_latency: 5e-6,
+        }
+    }
+
+    /// NVIDIA A100-SXM4 (the ZionEX production nodes).
+    pub fn a100() -> Self {
+        Self {
+            name: "A100",
+            fp32_peak: 19.5e12,
+            fp16_peak: 312e12,
+            tf32_peak: 156e12,
+            hbm_peak: 1555e9,
+            hbm_achievable: 1300e9,
+            gemm_efficiency: 0.705,
+            hbm_capacity: 40 << 30,
+            kernel_latency: 5e-6,
+        }
+    }
+
+    /// Effective GEMM throughput for a precision, FLOP/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `precision` names an unsupported mode for this device.
+    pub fn gemm_rate(&self, precision: Precision) -> f64 {
+        let peak = match precision {
+            Precision::Fp32 => self.fp32_peak,
+            Precision::Tf32 => {
+                assert!(self.tf32_peak > 0.0, "{} has no TF32", self.name);
+                self.tf32_peak
+            }
+            Precision::Fp16 | Precision::Bf16 => self.fp16_peak,
+        };
+        peak * self.gemm_efficiency
+    }
+}
+
+/// Numeric precision of a compute kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE single.
+    Fp32,
+    /// NVIDIA TF32 (A100 tensor core).
+    Tf32,
+    /// IEEE half.
+    Fp16,
+    /// bfloat16.
+    Bf16,
+}
+
+impl Precision {
+    /// Bytes per element.
+    #[must_use]
+    pub fn bytes(&self) -> f64 {
+        match self {
+            Precision::Fp32 | Precision::Tf32 => 4.0,
+            Precision::Fp16 | Precision::Bf16 => 2.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Fp32 => write!(f, "FP32"),
+            Precision::Tf32 => write!(f, "TF32"),
+            Precision::Fp16 => write!(f, "FP16"),
+            Precision::Bf16 => write!(f, "BF16"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_rates() {
+        let v = DeviceProfile::v100();
+        assert_eq!(v.hbm_achievable, 850e9);
+        assert!((v.gemm_rate(Precision::Fp32) - 15.7e12 * 0.786).abs() < 1.0);
+        let a = DeviceProfile::a100();
+        assert_eq!(a.hbm_achievable, 1300e9);
+        assert!(a.gemm_rate(Precision::Fp16) > v.gemm_rate(Precision::Fp16));
+    }
+
+    #[test]
+    #[should_panic(expected = "no TF32")]
+    fn v100_has_no_tf32() {
+        DeviceProfile::v100().gemm_rate(Precision::Tf32);
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Fp32.bytes(), 4.0);
+        assert_eq!(Precision::Bf16.bytes(), 2.0);
+        assert_eq!(Precision::Fp16.to_string(), "FP16");
+    }
+}

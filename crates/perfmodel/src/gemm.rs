@@ -1,0 +1,91 @@
+//! GEMM benchmark model (Appendix A, Figures 14–15).
+//!
+//! Achieved TF/s for an `m x k x n` GEMM from a two-ceiling roofline: the
+//! kernel is limited by either compute (`2mkn / rate`) or memory
+//! (`(mk + kn + mn) * bytes / hbm`), plus a fixed launch latency that
+//! explains why small GEMMs fall far below peak.
+
+use crate::device::{DeviceProfile, Precision};
+
+/// Time to run one `m x k x n` GEMM.
+///
+/// The compute ceiling is discounted by an occupancy factor
+/// `m/(m+256) * n/(n+256)`: small output tiles launch too few thread
+/// blocks to fill the SMs, which is why Figures 16/17 climb steeply with
+/// batch size and why narrow production MLPs (A1's 914-wide layers) run
+/// well below the 78.6% peak-size efficiency.
+#[must_use]
+pub fn gemm_time(dev: &DeviceProfile, p: Precision, m: u64, k: u64, n: u64) -> f64 {
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let bytes = ((m * k + k * n + m * n) as f64) * p.bytes();
+    let occupancy = (m as f64 / (m as f64 + 256.0)) * (n as f64 / (n as f64 + 256.0));
+    let compute = flops / (dev.gemm_rate(p) * occupancy);
+    let memory = bytes / dev.hbm_achievable;
+    compute.max(memory) + dev.kernel_latency
+}
+
+/// Achieved throughput (FLOP/s) of one GEMM.
+#[must_use]
+pub fn gemm_tflops(dev: &DeviceProfile, p: Precision, m: u64, k: u64, n: u64) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64 / gemm_time(dev, p, m, k, n)
+}
+
+/// The square-GEMM sweep of Figures 14/15: `(size, achieved TF/s)` for
+/// `n = 256, 512, ..., 2^max_pow2`.
+#[must_use]
+pub fn square_sweep(dev: &DeviceProfile, p: Precision, max_pow2: u32) -> Vec<(u64, f64)> {
+    (8..=max_pow2)
+        .map(|e| {
+            let n = 1u64 << e;
+            (n, gemm_tflops(dev, p, n, n, n) / 1e12)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_gemm_approaches_efficiency_ceiling() {
+        let v = DeviceProfile::v100();
+        let achieved = gemm_tflops(&v, Precision::Fp32, 8192, 8192, 8192);
+        let ceiling = v.gemm_rate(Precision::Fp32);
+        assert!(achieved > 0.9 * ceiling, "{achieved:.3e} vs {ceiling:.3e}");
+        assert!(achieved <= ceiling);
+    }
+
+    #[test]
+    fn small_gemm_is_latency_bound() {
+        let v = DeviceProfile::v100();
+        let small = gemm_tflops(&v, Precision::Fp32, 64, 64, 64);
+        assert!(small < 0.01 * v.gemm_rate(Precision::Fp32));
+    }
+
+    #[test]
+    fn fp16_beats_fp32_on_big_gemms() {
+        let a = DeviceProfile::a100();
+        assert!(
+            gemm_tflops(&a, Precision::Fp16, 4096, 4096, 4096)
+                > 4.0 * gemm_tflops(&a, Precision::Fp32, 4096, 4096, 4096)
+        );
+    }
+
+    #[test]
+    fn a100_tf32_between_fp32_and_fp16() {
+        let a = DeviceProfile::a100();
+        let f32t = gemm_tflops(&a, Precision::Fp32, 4096, 4096, 4096);
+        let tf32 = gemm_tflops(&a, Precision::Tf32, 4096, 4096, 4096);
+        let f16 = gemm_tflops(&a, Precision::Fp16, 4096, 4096, 4096);
+        assert!(f32t < tf32 && tf32 < f16);
+    }
+
+    #[test]
+    fn sweep_is_monotone_and_sized() {
+        let s = square_sweep(&DeviceProfile::v100(), Precision::Fp32, 13);
+        assert_eq!(s.len(), 6);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

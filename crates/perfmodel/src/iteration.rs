@@ -1,0 +1,427 @@
+//! Eq. 1: the per-iteration latency roofline (§5.1) and its derived
+//! experiments (Table 4, Figures 11–13).
+//!
+//! ```text
+//! T_fwd = max(BotMLP_fwd, Emb_lookup + AlltoAll_fwd) + Inter + TopMLP_fwd
+//! T_bwd = max(TopMLP_bwd + Inter_bwd
+//!               + max(AlltoAll_bwd + Emb_update, BotMLP_bwd),
+//!             AllReduce)
+//! T     = T_fwd + T_bwd
+//! ```
+
+use neo_dlrm_model::ModelProfile;
+use neo_netsim::{ClusterTopology, CollectiveCost, CollectiveKind};
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceProfile, Precision};
+
+/// Everything Eq. 1 needs to know about one model + training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelScenario {
+    /// Model name (for reports).
+    pub name: String,
+    /// Global batch size.
+    pub global_batch: usize,
+    /// Total (forward + backward) MFLOPs per sample of dense compute.
+    ///
+    /// Table 3's numbers must be read as totals: with a forward-only
+    /// reading, A2's MLP time alone (≈130 ms at 512 samples/GPU on V100)
+    /// would exceed its reported 105 ms iteration — internally
+    /// inconsistent.
+    pub mflops_per_sample: f64,
+    /// `sum_t L_t * D_t` — embedding elements touched per sample.
+    pub sum_pooling_dim: f64,
+    /// `sum_t D_t` — pooled output elements per sample.
+    pub sum_dim: f64,
+    /// `sum_t L_t` — sparse indices per sample.
+    pub sum_pooling: f64,
+    /// Dense (MLP) parameter count.
+    pub mlp_params: f64,
+    /// Average MLP layer width (drives the GEMM efficiency the MLPs
+    /// actually achieve — narrow layers underfill the device).
+    pub avg_mlp_width: f64,
+    /// Embedding element width in bytes (4 = FP32, 2 = FP16 tables).
+    pub emb_bytes: f64,
+    /// Forward AlltoAll wire bytes per element (4 or 2).
+    pub comm_fwd_bytes: f64,
+    /// Backward AlltoAll wire bytes per element (4 or 2).
+    pub comm_bwd_bytes: f64,
+    /// Load imbalance of the sharding plan (`max/mean` per-worker cost,
+    /// `>= 1.0`) — multiply the most-loaded worker's embedding work.
+    pub imbalance: f64,
+    /// Whether inter-batch pipelining hides input distribution and
+    /// host-to-device copies (§4.3).
+    pub pipelining: bool,
+    /// Fraction of nominal HBM bandwidth embedding lookups actually see
+    /// (1.0 = fully HBM-resident; < 1 when tables spill to DDR/SSD behind
+    /// the software cache, as in the F1 capacity study).
+    pub memory_bw_factor: f64,
+}
+
+impl ModelScenario {
+    /// Builds a scenario from a Table-3 profile with neutral settings
+    /// (FP32 everywhere, balanced, pipelined, 64K batch).
+    pub fn from_profile(p: &ModelProfile, global_batch: usize) -> Self {
+        let tables = p.synthetic_tables();
+        let sum_pooling_dim: f64 = tables.iter().map(|&(_, d, l)| d as f64 * l).sum();
+        let sum_dim: f64 = tables.iter().map(|&(_, d, _)| d as f64).sum();
+        let sum_pooling: f64 = tables.iter().map(|&(_, _, l)| l).sum();
+        let mlp_params =
+            p.num_mlp_layers as f64 * (p.avg_mlp_size as f64 * p.avg_mlp_size as f64);
+        Self {
+            name: p.name.to_string(),
+            global_batch,
+            mflops_per_sample: p.mflops_per_sample,
+            sum_pooling_dim,
+            sum_dim,
+            sum_pooling,
+            mlp_params,
+            avg_mlp_width: p.avg_mlp_size as f64,
+            emb_bytes: 4.0,
+            comm_fwd_bytes: 4.0,
+            comm_bwd_bytes: 4.0,
+            imbalance: 1.0,
+            pipelining: true,
+            memory_bw_factor: 1.0,
+        }
+    }
+
+    /// Sets the plan imbalance (builder style).
+    #[must_use]
+    pub fn with_imbalance(mut self, imbalance: f64) -> Self {
+        self.imbalance = imbalance.max(1.0);
+        self
+    }
+
+    /// Switches embedding storage to FP16 (§5.3.2).
+    #[must_use]
+    pub fn with_fp16_embeddings(mut self) -> Self {
+        self.emb_bytes = 2.0;
+        self
+    }
+
+    /// Switches to FP16 forward / BF16 backward AlltoAll (§5.3.2).
+    #[must_use]
+    pub fn with_quantized_comms(mut self) -> Self {
+        self.comm_fwd_bytes = 2.0;
+        self.comm_bwd_bytes = 2.0;
+        self
+    }
+
+    /// Sets the global batch (builder style).
+    #[must_use]
+    pub fn with_batch(mut self, global_batch: usize) -> Self {
+        self.global_batch = global_batch;
+        self
+    }
+
+    /// Disables pipelining (exposes input distribution + HtoD).
+    #[must_use]
+    pub fn without_pipelining(mut self) -> Self {
+        self.pipelining = false;
+        self
+    }
+
+    /// Sets the effective lookup-bandwidth factor for tiered tables.
+    #[must_use]
+    pub fn with_memory_bw_factor(mut self, factor: f64) -> Self {
+        self.memory_bw_factor = factor.clamp(1e-3, 1.0);
+        self
+    }
+}
+
+/// Per-component latencies (seconds) of one iteration on one (the most
+/// loaded) GPU, both individually ("serialized") and combined per Eq. 1
+/// ("exposed" totals).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationBreakdown {
+    /// Bottom-MLP forward.
+    pub bot_mlp_fwd: f64,
+    /// Bottom-MLP backward.
+    pub bot_mlp_bwd: f64,
+    /// Interaction forward+backward.
+    pub interaction: f64,
+    /// Top-MLP forward.
+    pub top_mlp_fwd: f64,
+    /// Top-MLP backward.
+    pub top_mlp_bwd: f64,
+    /// Embedding lookup (forward).
+    pub emb_lookup: f64,
+    /// Embedding update (backward + optimizer).
+    pub emb_update: f64,
+    /// Forward pooled-embedding AlltoAll.
+    pub a2a_fwd: f64,
+    /// Backward gradient AlltoAll.
+    pub a2a_bwd: f64,
+    /// Input (index) AlltoAll.
+    pub input_a2a: f64,
+    /// Host-to-device input copy.
+    pub htod: f64,
+    /// MLP gradient AllReduce.
+    pub allreduce: f64,
+    /// Eq. 1 forward time.
+    pub t_fwd: f64,
+    /// Eq. 1 backward time.
+    pub t_bwd: f64,
+    /// Total iteration time including fixed overhead.
+    pub t_total: f64,
+    /// Sum of every component (no overlap at all).
+    pub serialized: f64,
+    /// Communication time not hidden by compute.
+    pub exposed_comm: f64,
+    /// Achieved queries per second.
+    pub qps: f64,
+}
+
+/// The Eq. 1 evaluator.
+///
+/// # Example
+///
+/// ```
+/// use neo_perfmodel::{IterationModel, ModelScenario, DeviceProfile};
+/// use neo_dlrm_model::ModelProfile;
+/// use neo_netsim::ClusterTopology;
+///
+/// let model = IterationModel::prototype();
+/// let scen = ModelScenario::from_profile(&ModelProfile::a1(), 65536)
+///     .with_imbalance(1.5);
+/// let bd = model.breakdown(&scen, 16);
+/// assert!(bd.qps > 100_000.0 && bd.qps < 10_000_000.0);
+/// assert!(bd.serialized >= bd.t_total - 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterationModel {
+    /// Accelerator profile.
+    pub device: DeviceProfile,
+    /// Cluster fabric (node count is passed per call).
+    pub base_topology: ClusterTopology,
+    /// Fixed per-iteration overhead (framework, kernel launches, stragglers).
+    pub overhead_s: f64,
+}
+
+impl IterationModel {
+    /// The §5.2 prototype cluster: V100 nodes, calibrated overhead.
+    pub fn prototype() -> Self {
+        Self {
+            device: DeviceProfile::v100(),
+            base_topology: ClusterTopology::zionex_prototype(16),
+            overhead_s: 4e-3,
+        }
+    }
+
+    /// Evaluates Eq. 1 for `scen` on `num_nodes` nodes (8 GPUs each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0`.
+    pub fn breakdown(&self, scen: &ModelScenario, num_nodes: usize) -> IterationBreakdown {
+        assert!(num_nodes > 0, "need at least one node");
+        let topo = ClusterTopology { num_nodes, ..self.base_topology.clone() };
+        let cost = CollectiveCost::new(topo.clone());
+        let w = topo.world_size() as f64;
+        let b = scen.global_batch as f64;
+        let b_loc = b / w;
+
+        // --- dense compute (data-parallel: local sub-batch) ---
+        // Table 3 MFLOPs are totals; forward is 1/3, backward 2/3.
+        let flops_fwd = b_loc * scen.mflops_per_sample * 1e6 / 3.0;
+        // effective rate at the model's actual GEMM shapes
+        let w_mlp = (scen.avg_mlp_width.max(1.0)) as u64;
+        let rate = crate::gemm::gemm_tflops(
+            &self.device,
+            Precision::Fp32,
+            (b_loc as u64).max(1),
+            w_mlp,
+            w_mlp,
+        );
+        let bot_mlp_fwd = 0.3 * flops_fwd / rate;
+        let top_mlp_fwd = 0.7 * flops_fwd / rate;
+        let bot_mlp_bwd = 2.0 * bot_mlp_fwd;
+        let top_mlp_bwd = 2.0 * top_mlp_fwd;
+        let interaction = 0.05 * flops_fwd / rate;
+
+        // --- embedding work (model-parallel: global batch / W, skewed) ---
+        let emb_bytes_total = b * scen.sum_pooling_dim * scen.emb_bytes;
+        let per_gpu = emb_bytes_total / w * scen.imbalance;
+        let emb_lookup = per_gpu / (self.device.hbm_achievable * scen.memory_bw_factor);
+        let emb_update = 2.0 * emb_lookup;
+
+        // --- collectives (most-loaded worker sets the pace) ---
+        let a2a_fwd_bytes = b_loc * scen.sum_dim * scen.comm_fwd_bytes * scen.imbalance;
+        let a2a_fwd = cost.alltoall_time(a2a_fwd_bytes);
+        let a2a_bwd_bytes = b_loc * scen.sum_dim * scen.comm_bwd_bytes * scen.imbalance;
+        let a2a_bwd = cost.alltoall_time(a2a_bwd_bytes);
+        let input_bytes = b_loc * scen.sum_pooling * 8.0 * scen.imbalance;
+        let input_a2a = cost.alltoall_time(input_bytes);
+        let allreduce = cost.time(CollectiveKind::AllReduce, scen.mlp_params * 4.0);
+        let htod = (b_loc * (scen.sum_pooling * 8.0 + 4.0 * 64.0)) / topo.pcie.bandwidth;
+
+        // --- Eq. 1 ---
+        let input_exposed = if scen.pipelining { 0.0 } else { input_a2a + htod };
+        let t_fwd = (bot_mlp_fwd).max(emb_lookup + a2a_fwd + input_exposed)
+            + interaction / 2.0
+            + top_mlp_fwd;
+        let t_bwd = (top_mlp_bwd + interaction / 2.0 + (a2a_bwd + emb_update).max(bot_mlp_bwd))
+            .max(allreduce);
+        let t_total = t_fwd + t_bwd + self.overhead_s;
+
+        let compute =
+            bot_mlp_fwd + bot_mlp_bwd + top_mlp_fwd + top_mlp_bwd + interaction + emb_lookup
+                + emb_update;
+        let serialized = compute + a2a_fwd + a2a_bwd + input_a2a + htod + allreduce
+            + self.overhead_s;
+        let exposed_comm = (t_total - compute - self.overhead_s).max(0.0);
+
+        IterationBreakdown {
+            bot_mlp_fwd,
+            bot_mlp_bwd,
+            interaction,
+            top_mlp_fwd,
+            top_mlp_bwd,
+            emb_lookup,
+            emb_update,
+            a2a_fwd,
+            a2a_bwd,
+            input_a2a,
+            htod,
+            allreduce,
+            t_fwd,
+            t_bwd,
+            t_total,
+            serialized,
+            exposed_comm,
+            qps: b / t_total,
+        }
+    }
+
+    /// QPS shortcut.
+    pub fn qps(&self, scen: &ModelScenario, num_nodes: usize) -> f64 {
+        self.breakdown(scen, num_nodes).qps
+    }
+
+    /// The Fig. 11 weak-scaling sweep: `(nodes, qps, efficiency-vs-1-node)`
+    /// for node counts `1, 2, 4, 8, 16`. Per-GPU batch is held constant
+    /// (the paper's setup), so the global batch grows with the cluster.
+    ///
+    /// `imbalance_at(nodes)` supplies the plan imbalance per scale (fewer
+    /// tables per GPU at scale = worse balance, the paper's explanation for
+    /// A1's poor scaling).
+    pub fn scaling_sweep(
+        &self,
+        scen: &ModelScenario,
+        per_gpu_batch: usize,
+        imbalance_at: impl Fn(usize) -> f64,
+    ) -> Vec<(usize, f64, f64)> {
+        let nodes = [1usize, 2, 4, 8, 16];
+        let mut out = Vec::new();
+        let mut qps1 = 0.0;
+        for &n in &nodes {
+            let world = n * self.base_topology.gpus_per_node;
+            let s = scen
+                .clone()
+                .with_batch(per_gpu_batch * world)
+                .with_imbalance(imbalance_at(n));
+            let qps = self.qps(&s, n);
+            if n == 1 {
+                qps1 = qps;
+            }
+            out.push((n, qps, qps / (qps1 * n as f64)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IterationModel {
+        IterationModel::prototype()
+    }
+
+    fn a1(batch: usize) -> ModelScenario {
+        ModelScenario::from_profile(&ModelProfile::a1(), batch)
+    }
+
+    #[test]
+    fn table4_magnitudes() {
+        // Paper: A1 273K QPS @ 16 GPUs, 1047K @ 128; A2 622K; A3 360K.
+        // The model must land in the right order of magnitude and ordering.
+        let m = model();
+        let a1_16 = m.qps(&a1(65536).with_imbalance(1.3), 2);
+        let a1_128 = m.qps(&a1(65536).with_imbalance(2.0), 16);
+        assert!(a1_16 > 100e3 && a1_16 < 2e6, "A1@16: {a1_16:.0}");
+        assert!(a1_128 > 400e3 && a1_128 < 5e6, "A1@128: {a1_128:.0}");
+        assert!(a1_128 > a1_16, "scaling helps");
+
+        let a2 = ModelScenario::from_profile(&ModelProfile::a2(), 65536);
+        let a3 = ModelScenario::from_profile(&ModelProfile::a3(), 65536);
+        let q2 = m.qps(&a2.with_imbalance(1.3), 16);
+        let q3 = m.qps(&a3.with_imbalance(1.4), 16);
+        assert!(q2 > q3, "A2 ({q2:.0}) outpaces the wider A3 ({q3:.0})");
+        assert!(a1_128 > q2, "A1 ({a1_128:.0}) outpaces A2 ({q2:.0})");
+    }
+
+    #[test]
+    fn imbalance_costs_throughput() {
+        let m = model();
+        let balanced = m.qps(&a1(65536), 16);
+        let skewed = m.qps(&a1(65536).with_imbalance(3.0), 16);
+        assert!(balanced > 1.2 * skewed);
+    }
+
+    #[test]
+    fn quantized_comms_help() {
+        let m = model();
+        let base = m.qps(&a1(65536).with_imbalance(1.5), 16);
+        let quant = m.qps(&a1(65536).with_imbalance(1.5).with_quantized_comms(), 16);
+        assert!(quant > base);
+    }
+
+    #[test]
+    fn larger_batch_helps() {
+        let m = model();
+        let small = m.qps(&a1(65536).with_imbalance(1.5), 16);
+        let large = m.qps(&a1(262_144).with_imbalance(1.5), 16);
+        assert!(large > small, "{large:.0} vs {small:.0}");
+    }
+
+    #[test]
+    fn pipelining_hides_input_path() {
+        let m = model();
+        let piped = m.breakdown(&a1(65536), 16);
+        let exposed = m.breakdown(&a1(65536).without_pipelining(), 16);
+        assert!(exposed.t_total > piped.t_total);
+        assert_eq!(piped.input_a2a, exposed.input_a2a, "serialized cost unchanged");
+    }
+
+    #[test]
+    fn breakdown_internally_consistent() {
+        let bd = model().breakdown(&a1(65536).with_imbalance(1.7), 16);
+        assert!(bd.serialized >= bd.t_total);
+        assert!(bd.t_total >= bd.t_fwd + bd.t_bwd);
+        assert!(bd.exposed_comm <= bd.a2a_fwd + bd.a2a_bwd + bd.input_a2a + bd.htod + bd.allreduce + 1e-9);
+        assert!((bd.qps - 65536.0 / bd.t_total).abs() < 1.0);
+    }
+
+    #[test]
+    fn scaling_sweep_shape() {
+        // Fig. 11: sublinear scaling, efficiency declining with node count
+        let m = model();
+        let sweep = m.scaling_sweep(&a1(0), 512, |n| 1.0 + 0.1 * n as f64);
+        assert_eq!(sweep.len(), 5);
+        assert!((sweep[0].2 - 1.0).abs() < 1e-9, "efficiency is 1 at 1 node");
+        for w in sweep.windows(2) {
+            assert!(w[1].1 > w[0].1, "throughput grows with nodes");
+            assert!(w[1].2 <= w[0].2 + 1e-9, "efficiency declines");
+        }
+        let eff16 = sweep[4].2;
+        assert!(eff16 > 0.2 && eff16 < 0.9, "16-node efficiency {eff16:.2} in the paper's band");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        model().breakdown(&a1(1024), 0);
+    }
+}

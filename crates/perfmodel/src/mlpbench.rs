@@ -1,0 +1,91 @@
+//! MLP benchmark model (Appendix A, Figures 16–17).
+//!
+//! The paper's benchmark: 20 MLP layers of `L x L`, batch `B`, forward +
+//! backward + SGD, across batch sizes 128–4096 and layers 1K/2K/4K.
+
+use crate::device::{DeviceProfile, Precision};
+use crate::gemm::gemm_time;
+
+/// Configuration of the Appendix-A MLP benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlpBenchConfig {
+    /// Batch size.
+    pub batch: u64,
+    /// Square layer width.
+    pub width: u64,
+    /// Number of layers (20 in the paper).
+    pub layers: u64,
+}
+
+/// Total time for forward + backward + SGD of the benchmark MLP.
+///
+/// Per layer: forward `B x L x L` GEMM; backward two GEMMs (`dX`, `dW`);
+/// the SGD axpy is memory-bound over `L^2` weights.
+#[must_use]
+pub fn mlp_time(dev: &DeviceProfile, p: Precision, cfg: MlpBenchConfig) -> f64 {
+    let fwd = gemm_time(dev, p, cfg.batch, cfg.width, cfg.width);
+    let bwd = 2.0 * fwd;
+    let sgd = (2.0 * cfg.width as f64 * cfg.width as f64 * p.bytes()) / dev.hbm_achievable
+        + dev.kernel_latency;
+    cfg.layers as f64 * (fwd + bwd + sgd)
+}
+
+/// Achieved TF/s of the benchmark (forward+backward flops over time, the
+/// 3×2·B·L² convention of the figures).
+#[must_use]
+pub fn mlp_tflops(dev: &DeviceProfile, p: Precision, cfg: MlpBenchConfig) -> f64 {
+    let flops = 3.0 * 2.0 * cfg.batch as f64 * cfg.width as f64 * cfg.width as f64
+        * cfg.layers as f64;
+    flops / mlp_time(dev, p, cfg) / 1e12
+}
+
+/// The Fig. 16/17 sweep: `(batch, width, TF/s)` for the paper's grid.
+#[must_use]
+pub fn paper_sweep(dev: &DeviceProfile, p: Precision) -> Vec<(u64, u64, f64)> {
+    let mut out = Vec::new();
+    for &width in &[1024u64, 2048, 4096] {
+        for &batch in &[128u64, 256, 512, 1024, 2048, 4096] {
+            out.push((batch, width, mlp_tflops(dev, p, MlpBenchConfig { batch, width, layers: 20 })));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_grows_with_batch() {
+        let v = DeviceProfile::v100();
+        let at = |b| mlp_tflops(&v, Precision::Fp32, MlpBenchConfig { batch: b, width: 2048, layers: 20 });
+        assert!(at(4096) > at(512));
+        assert!(at(512) > at(128));
+    }
+
+    #[test]
+    fn small_batches_are_memory_bound() {
+        // at B=128, reading the L x L weights dominates: achieved flops
+        // are far below the compute ceiling
+        let v = DeviceProfile::v100();
+        let small =
+            mlp_tflops(&v, Precision::Fp32, MlpBenchConfig { batch: 128, width: 4096, layers: 20 });
+        assert!(small * 1e12 < 0.5 * v.gemm_rate(Precision::Fp32));
+    }
+
+    #[test]
+    fn a100_fp16_fastest() {
+        let a = DeviceProfile::a100();
+        let v = DeviceProfile::v100();
+        let cfg = MlpBenchConfig { batch: 4096, width: 4096, layers: 20 };
+        assert!(mlp_tflops(&a, Precision::Fp16, cfg) > mlp_tflops(&v, Precision::Fp16, cfg));
+        assert!(mlp_tflops(&a, Precision::Fp16, cfg) > mlp_tflops(&a, Precision::Fp32, cfg));
+    }
+
+    #[test]
+    fn sweep_covers_paper_grid() {
+        let s = paper_sweep(&DeviceProfile::v100(), Precision::Fp32);
+        assert_eq!(s.len(), 18);
+        assert!(s.iter().all(|&(_, _, tf)| tf > 0.0));
+    }
+}

@@ -1,0 +1,155 @@
+//! The per-table cost function of §3.0.1.
+//!
+//! For a table `{H, D}` with pooling `L` and per-worker batch `B`:
+//!
+//! * distributing the pooling input costs `∝ L` (index bytes over the
+//!   network),
+//! * the embedding lookup costs `∝ L × D` (HBM bytes moved),
+//! * communicating the pooled output costs `∝ D` (activation bytes per
+//!   sample over the AlltoAll).
+//!
+//! The model prices these against the device's memory bandwidth and the
+//! fabric's AlltoAll bandwidth and returns seconds, so shard costs from
+//! different resources are commensurable when the partitioner balances
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::TableSpec;
+
+/// Hardware rates the cost model prices against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Achievable HBM bandwidth (bytes/s) for embedding lookups.
+    pub hbm_bw: f64,
+    /// Achievable per-GPU AlltoAll bandwidth (bytes/s).
+    pub alltoall_bw: f64,
+    /// Global batch size the model-parallel worker processes per table.
+    pub global_batch: usize,
+    /// Bytes per embedding element (4 = FP32, 2 = FP16).
+    pub bytes_per_elem: f64,
+}
+
+impl CostModel {
+    /// Rates of the V100 prototype (§5.1: 850 GB/s achievable HBM, 7 GB/s
+    /// AlltoAll) with the given global batch.
+    pub fn v100_prototype(global_batch: usize) -> Self {
+        Self { hbm_bw: 850e9, alltoall_bw: 7e9, global_batch, bytes_per_elem: 4.0 }
+    }
+
+    /// Lookup time for a whole table: reads `B·L` rows of `D` elements,
+    /// plus write traffic for the fused backward/update (×2, §4.1.1).
+    pub fn lookup_time(&self, t: &TableSpec) -> f64 {
+        let bytes =
+            self.global_batch as f64 * t.avg_pooling * t.dim as f64 * self.bytes_per_elem;
+        2.0 * bytes / self.hbm_bw
+    }
+
+    /// Index-distribution time: `B·L` 8-byte indices through the input
+    /// AlltoAll.
+    pub fn input_dist_time(&self, t: &TableSpec) -> f64 {
+        self.global_batch as f64 * t.avg_pooling * 8.0 / self.alltoall_bw
+    }
+
+    /// Pooled-output communication time: `B` rows of `D` elements through
+    /// the forward AlltoAll (and the same again backward).
+    pub fn output_comm_time(&self, t: &TableSpec) -> f64 {
+        2.0 * self.global_batch as f64 * t.dim as f64 * self.bytes_per_elem / self.alltoall_bw
+    }
+
+    /// Total cost of hosting the full table on one worker.
+    pub fn table_cost(&self, t: &TableSpec) -> f64 {
+        self.lookup_time(t) + self.input_dist_time(t) + self.output_comm_time(t)
+    }
+
+    /// Cost of one shard when the table is split `parts` ways.
+    ///
+    /// * Row-wise: lookups and outputs split evenly; input indices are
+    ///   bucketized so each shard receives `~L/parts`.
+    /// * Column-wise: lookups and outputs scale with the shard's width, but
+    ///   the *indices are replicated* to every shard — the §4.2.3 overhead.
+    pub fn shard_cost(&self, t: &TableSpec, scheme: ShardDivision, parts: usize) -> f64 {
+        assert!(parts > 0, "parts must be positive");
+        let p = parts as f64;
+        match scheme {
+            ShardDivision::Whole => self.table_cost(t),
+            ShardDivision::Row => {
+                (self.lookup_time(t) + self.output_comm_time(t)) / p
+                    + self.input_dist_time(t) / p
+            }
+            ShardDivision::Column => {
+                (self.lookup_time(t) + self.output_comm_time(t)) / p + self.input_dist_time(t)
+            }
+        }
+    }
+}
+
+/// How a shard divides its table, for pricing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDivision {
+    /// The entire table (table-wise placement).
+    Whole,
+    /// One of `parts` row blocks.
+    Row,
+    /// One of `parts` column slices.
+    Column,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TableSpec {
+        TableSpec::new(0, 1_000_000, 128, 20.0)
+    }
+
+    #[test]
+    fn costs_scale_with_drivers() {
+        let m = CostModel::v100_prototype(65536);
+        let t = table();
+        let wide = TableSpec { dim: 256, ..t.clone() };
+        let deep = TableSpec { avg_pooling: 40.0, ..t.clone() };
+        assert!((m.lookup_time(&wide) / m.lookup_time(&t) - 2.0).abs() < 1e-9);
+        assert!((m.lookup_time(&deep) / m.lookup_time(&t) - 2.0).abs() < 1e-9);
+        assert!((m.output_comm_time(&wide) / m.output_comm_time(&t) - 2.0).abs() < 1e-9);
+        // output comm does not depend on pooling
+        assert_eq!(m.output_comm_time(&deep), m.output_comm_time(&t));
+        // input distribution does not depend on dim
+        assert_eq!(m.input_dist_time(&wide), m.input_dist_time(&t));
+    }
+
+    #[test]
+    fn row_shards_split_everything() {
+        let m = CostModel::v100_prototype(1024);
+        let t = table();
+        let whole = m.table_cost(&t);
+        let quarter = m.shard_cost(&t, ShardDivision::Row, 4);
+        assert!((quarter - whole / 4.0).abs() / whole < 1e-9);
+    }
+
+    #[test]
+    fn column_shards_replicate_input_cost() {
+        let m = CostModel::v100_prototype(1024);
+        let t = table();
+        let row = m.shard_cost(&t, ShardDivision::Row, 4);
+        let col = m.shard_cost(&t, ShardDivision::Column, 4);
+        assert!(col > row, "column sharding pays the duplicated index AlltoAll");
+        assert!((col - row - m.input_dist_time(&t) * 0.75).abs() / col < 1e-9);
+    }
+
+    #[test]
+    fn whole_equals_one_part() {
+        let m = CostModel::v100_prototype(1024);
+        let t = table();
+        assert_eq!(m.shard_cost(&t, ShardDivision::Whole, 1), m.table_cost(&t));
+    }
+
+    #[test]
+    fn fp16_halves_lookup_and_output() {
+        let m32 = CostModel::v100_prototype(1024);
+        let m16 = CostModel { bytes_per_elem: 2.0, ..m32 };
+        let t = table();
+        assert!((m32.lookup_time(&t) / m16.lookup_time(&t) - 2.0).abs() < 1e-9);
+        assert_eq!(m32.input_dist_time(&t), m16.input_dist_time(&t), "indices stay 8B");
+    }
+}

@@ -1,0 +1,338 @@
+//! The four sharding primitives of §4.2 and the plan type that records a
+//! full placement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::TableSpec;
+
+/// Error for invalid plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    msg: String,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sharding plan error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn err(msg: impl Into<String>) -> PlanError {
+    PlanError { msg: msg.into() }
+}
+
+impl PlanError {
+    /// The "zero workers" error, raised by the planner before placement.
+    #[must_use]
+    pub fn zero_workers() -> Self {
+        err("zero workers")
+    }
+}
+
+/// How one table is sharded and where its pieces live.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Whole table on one worker (§4.2.1): optimal communication, coarsest
+    /// balance granularity.
+    TableWise {
+        /// The worker holding the table.
+        worker: usize,
+    },
+    /// Rows split into contiguous blocks across workers (§4.2.2): needs
+    /// bucketized inputs and a ReduceScatter in the forward pass.
+    RowWise {
+        /// One entry per shard, in row-block order.
+        workers: Vec<usize>,
+    },
+    /// Embedding dimension split across workers (§4.2.3): duplicated
+    /// indices, same AlltoAll flow as table-wise.
+    ColumnWise {
+        /// One entry per column shard.
+        workers: Vec<usize>,
+        /// Width of each column shard (sums to the table dim).
+        split_dims: Vec<usize>,
+    },
+    /// Replicated on every worker as a dense parameter (§4.2.4): no
+    /// forward AlltoAll, AllReduce in the backward pass.
+    DataParallel,
+}
+
+impl Scheme {
+    /// Short scheme name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::TableWise { .. } => "table-wise",
+            Scheme::RowWise { .. } => "row-wise",
+            Scheme::ColumnWise { .. } => "column-wise",
+            Scheme::DataParallel => "data-parallel",
+        }
+    }
+
+    /// Number of shards this scheme creates.
+    pub fn num_shards(&self) -> usize {
+        match self {
+            Scheme::TableWise { .. } => 1,
+            Scheme::RowWise { workers } => workers.len(),
+            Scheme::ColumnWise { workers, .. } => workers.len(),
+            Scheme::DataParallel => 1,
+        }
+    }
+}
+
+/// Splits a dimension `d` into `parts` near-equal widths (remainder spread
+/// over the leading shards).
+///
+/// # Panics
+///
+/// Panics if `parts == 0` or `parts > d`.
+#[must_use]
+pub fn split_dim(d: usize, parts: usize) -> Vec<usize> {
+    assert!(parts > 0 && parts <= d, "cannot split dim {d} into {parts}");
+    let base = d / parts;
+    let extra = d % parts;
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// One table's placement inside a plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TablePlacement {
+    /// Table id.
+    pub table: usize,
+    /// Chosen scheme with worker assignment.
+    pub scheme: Scheme,
+}
+
+/// A complete sharding plan for a model on a cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardingPlan {
+    /// Number of workers.
+    pub world: usize,
+    /// One placement per table, in table order.
+    pub placements: Vec<TablePlacement>,
+}
+
+impl ShardingPlan {
+    /// Validates a plan against the table list: every table placed exactly
+    /// once, workers in range, row/column shard lists well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] describing the first violation.
+    pub fn validate(&self, tables: &[TableSpec]) -> Result<(), PlanError> {
+        if self.world == 0 {
+            return Err(err("zero workers"));
+        }
+        if self.placements.len() != tables.len() {
+            return Err(err(format!(
+                "{} placements for {} tables",
+                self.placements.len(),
+                tables.len()
+            )));
+        }
+        for (i, (p, t)) in self.placements.iter().zip(tables).enumerate() {
+            if p.table != t.id || p.table != i {
+                return Err(err(format!("placement {i} refers to table {}", p.table)));
+            }
+            match &p.scheme {
+                Scheme::TableWise { worker } => {
+                    if *worker >= self.world {
+                        return Err(err(format!("table {i}: worker {worker} out of range")));
+                    }
+                }
+                Scheme::RowWise { workers } => {
+                    if workers.is_empty() {
+                        return Err(err(format!("table {i}: row-wise with zero shards")));
+                    }
+                    if workers.len() as u64 > t.num_rows {
+                        return Err(err(format!("table {i}: more row shards than rows")));
+                    }
+                    if workers.iter().any(|&w| w >= self.world) {
+                        return Err(err(format!("table {i}: row shard worker out of range")));
+                    }
+                }
+                Scheme::ColumnWise { workers, split_dims } => {
+                    if workers.len() != split_dims.len() || workers.is_empty() {
+                        return Err(err(format!("table {i}: column shard shape mismatch")));
+                    }
+                    if split_dims.iter().sum::<usize>() != t.dim {
+                        return Err(err(format!(
+                            "table {i}: split dims sum {} != dim {}",
+                            split_dims.iter().sum::<usize>(),
+                            t.dim
+                        )));
+                    }
+                    if split_dims.contains(&0) {
+                        return Err(err(format!("table {i}: zero-width column shard")));
+                    }
+                    if workers.iter().any(|&w| w >= self.world) {
+                        return Err(err(format!("table {i}: column shard worker out of range")));
+                    }
+                }
+                Scheme::DataParallel => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Parameter bytes resident on each worker (data-parallel tables count
+    /// on every worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not match `tables` (validate first).
+    pub fn memory_per_worker(&self, tables: &[TableSpec], bytes_per_elem: u64) -> Vec<u64> {
+        let mut mem = vec![0u64; self.world];
+        for (p, t) in self.placements.iter().zip(tables) {
+            match &p.scheme {
+                Scheme::TableWise { worker } => mem[*worker] += t.param_bytes(bytes_per_elem),
+                Scheme::RowWise { workers } => {
+                    let block = t.num_rows.div_ceil(workers.len() as u64);
+                    for (k, &w) in workers.iter().enumerate() {
+                        let lo = block * k as u64;
+                        let hi = (lo + block).min(t.num_rows);
+                        mem[w] += hi.saturating_sub(lo) * t.dim as u64 * bytes_per_elem;
+                    }
+                }
+                Scheme::ColumnWise { workers, split_dims } => {
+                    for (&w, &d) in workers.iter().zip(split_dims) {
+                        mem[w] += t.num_rows * d as u64 * bytes_per_elem;
+                    }
+                }
+                Scheme::DataParallel => {
+                    for m in mem.iter_mut() {
+                        *m += t.param_bytes(bytes_per_elem);
+                    }
+                }
+            }
+        }
+        mem
+    }
+
+    /// Count of placements using each scheme, `(table, row, column, dp)`.
+    pub fn scheme_histogram(&self) -> (usize, usize, usize, usize) {
+        let mut h = (0, 0, 0, 0);
+        for p in &self.placements {
+            match p.scheme {
+                Scheme::TableWise { .. } => h.0 += 1,
+                Scheme::RowWise { .. } => h.1 += 1,
+                Scheme::ColumnWise { .. } => h.2 += 1,
+                Scheme::DataParallel => h.3 += 1,
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables() -> Vec<TableSpec> {
+        vec![
+            TableSpec::new(0, 1000, 32, 5.0),
+            TableSpec::new(1, 10, 16, 1.0),
+            TableSpec::new(2, 100_000, 64, 20.0),
+        ]
+    }
+
+    fn plan() -> ShardingPlan {
+        ShardingPlan {
+            world: 4,
+            placements: vec![
+                TablePlacement { table: 0, scheme: Scheme::TableWise { worker: 1 } },
+                TablePlacement { table: 1, scheme: Scheme::DataParallel },
+                TablePlacement {
+                    table: 2,
+                    scheme: Scheme::RowWise { workers: vec![0, 1, 2, 3] },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        plan().validate(&tables()).unwrap();
+    }
+
+    #[test]
+    fn detects_out_of_range_worker() {
+        let mut p = plan();
+        p.placements[0].scheme = Scheme::TableWise { worker: 9 };
+        assert!(p.validate(&tables()).is_err());
+    }
+
+    #[test]
+    fn detects_bad_column_split() {
+        let mut p = plan();
+        p.placements[0].scheme =
+            Scheme::ColumnWise { workers: vec![0, 1], split_dims: vec![16, 8] };
+        assert!(p.validate(&tables()).is_err(), "splits must sum to 32");
+        p.placements[0].scheme =
+            Scheme::ColumnWise { workers: vec![0, 1], split_dims: vec![16, 16] };
+        p.validate(&tables()).unwrap();
+    }
+
+    #[test]
+    fn detects_more_row_shards_than_rows() {
+        let mut p = plan();
+        p.placements[1].scheme = Scheme::RowWise { workers: vec![0, 1, 2, 3] };
+        p.validate(&tables()).unwrap(); // 10 rows, 4 shards ok
+        p.placements[1].scheme = Scheme::RowWise { workers: (0..4).cycle().take(11).collect() };
+        assert!(p.validate(&tables()).is_err());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mem = plan().memory_per_worker(&tables(), 4);
+        // table 0 (1000x32x4 = 128_000) on worker 1
+        // table 1 (10x16x4 = 640) on all
+        // table 2: 100_000 rows / 4 = 25_000 rows x 64 x 4 = 6_400_000 each
+        assert_eq!(mem[0], 640 + 6_400_000);
+        assert_eq!(mem[1], 128_000 + 640 + 6_400_000);
+        assert_eq!(mem[2], mem[0]);
+        assert_eq!(mem.len(), 4);
+    }
+
+    #[test]
+    fn rowwise_memory_handles_uneven_blocks() {
+        let t = vec![TableSpec::new(0, 10, 8, 1.0)];
+        let p = ShardingPlan {
+            world: 3,
+            placements: vec![TablePlacement {
+                table: 0,
+                scheme: Scheme::RowWise { workers: vec![0, 1, 2] },
+            }],
+        };
+        let mem = p.memory_per_worker(&t, 4);
+        // blocks of 4, 4, 2 rows
+        assert_eq!(mem, vec![4 * 8 * 4, 4 * 8 * 4, 2 * 8 * 4]);
+        assert_eq!(mem.iter().sum::<u64>(), 10 * 8 * 4);
+    }
+
+    #[test]
+    fn split_dim_balanced() {
+        assert_eq!(split_dim(10, 3), vec![4, 3, 3]);
+        assert_eq!(split_dim(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(split_dim(5, 5), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn split_dim_rejects_too_many_parts() {
+        let _ = split_dim(3, 4);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(plan().scheme_histogram(), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::DataParallel.name(), "data-parallel");
+        assert_eq!(Scheme::TableWise { worker: 0 }.num_shards(), 1);
+        assert_eq!(Scheme::RowWise { workers: vec![0, 1] }.num_shards(), 2);
+    }
+}

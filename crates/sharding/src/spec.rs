@@ -1,0 +1,53 @@
+//! Table descriptions consumed by the sharder.
+
+use serde::{Deserialize, Serialize};
+
+/// What the sharder knows about one embedding table.
+///
+/// # Example
+///
+/// ```
+/// use neo_sharding::TableSpec;
+/// let t = TableSpec::new(0, 10_000_000, 128, 20.0);
+/// assert_eq!(t.param_bytes(4), 10_000_000 * 128 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSpec {
+    /// Table id (index into the model's table list).
+    pub id: usize,
+    /// Number of rows (hash size `H`).
+    pub num_rows: u64,
+    /// Embedding dimension `D`.
+    pub dim: usize,
+    /// Average pooling size `L` (lookups per sample).
+    pub avg_pooling: f64,
+}
+
+impl TableSpec {
+    /// Creates a table spec.
+    pub fn new(id: usize, num_rows: u64, dim: usize, avg_pooling: f64) -> Self {
+        Self { id, num_rows, dim, avg_pooling }
+    }
+
+    /// Parameter bytes at the given element width (4 for FP32, 2 for FP16).
+    pub fn param_bytes(&self, bytes_per_elem: u64) -> u64 {
+        self.num_rows * self.dim as u64 * bytes_per_elem
+    }
+
+    /// Parameter count.
+    pub fn num_params(&self) -> u64 {
+        self.num_rows * self.dim as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = TableSpec::new(3, 1000, 64, 10.0);
+        assert_eq!(t.num_params(), 64_000);
+        assert_eq!(t.param_bytes(2), 128_000);
+    }
+}

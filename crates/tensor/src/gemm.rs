@@ -1,0 +1,239 @@
+//! Cache-blocked general matrix multiply and the transpose variants used by
+//! MLP back-propagation.
+//!
+//! The original system delegates these to cuBLAS (`GemmEx`). The pure-Rust
+//! kernels here use register-tiled micro-kernels over cache-sized blocks —
+//! enough to keep the functional benchmarks honest while staying portable.
+
+use crate::{ShapeError, Tensor2};
+
+/// Row-block size for the outer loop (fits comfortably in L2).
+const MC: usize = 64;
+/// Depth-block size.
+const KC: usize = 128;
+
+/// `C = A (m x k) * B (k x n)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use neo_tensor::{Tensor2, gemm};
+/// let a = Tensor2::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+/// let b = Tensor2::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+/// let c = gemm::matmul(&a, &b)?;
+/// assert_eq!(c[(0, 0)], 10.0);
+/// # Ok::<(), neo_tensor::ShapeError>(())
+/// ```
+pub fn matmul(a: &Tensor2, b: &Tensor2) -> crate::Result<Tensor2> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new(format!(
+            "matmul {}x{} * {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor2::zeros(m, n);
+    gemm_blocked(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    Ok(c)
+}
+
+/// `C = A^T (k x m)^T=(m x k)... ` more precisely: given `A (k x m)` and
+/// `B (k x n)`, computes `C (m x n) = A^T * B`.
+///
+/// Used for the weight gradient `dW = X^T * dY` in the backward pass.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the leading dimensions disagree.
+pub fn matmul_at_b(a: &Tensor2, b: &Tensor2) -> crate::Result<Tensor2> {
+    if a.rows() != b.rows() {
+        return Err(ShapeError::new(format!(
+            "matmul_at_b {}x{} , {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut c = Tensor2::zeros(m, n);
+    // C[i][j] = sum_p A[p][i] * B[p][j]; iterate p outermost for stride-1
+    // access on both inputs, accumulating rank-1 updates into C.
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cval, &bval) in crow.iter_mut().zip(brow) {
+                *cval += aval * bval;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Given `A (m x k)` and `B (n x k)`, computes `C (m x n) = A * B^T`.
+///
+/// Used for the input gradient `dX = dY * W^T` (weights stored `out x in`
+/// would be `W`, here we keep weights `in x out` so this handles the other
+/// convention) and for the pairwise dot-product feature interaction
+/// `X * X^T`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the trailing dimensions disagree.
+pub fn matmul_a_bt(a: &Tensor2, b: &Tensor2) -> crate::Result<Tensor2> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::new(format!(
+            "matmul_a_bt {}x{} , {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut c = Tensor2::zeros(m, n);
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            crow[j] = acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Number of floating-point operations a `m x k x n` GEMM performs
+/// (multiply-add counted as two flops). Used by the perf model and the
+/// criterion benchmarks to report achieved TF/s.
+#[must_use]
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+/// Blocked inner kernel: `c (m x n) += a (m x k) * b (k x n)`, all row-major.
+fn gemm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for ic in (0..m).step_by(MC) {
+        let mb = MC.min(m - ic);
+        for pc in (0..k).step_by(KC) {
+            let kb = KC.min(k - pc);
+            for i in 0..mb {
+                let arow = &a[(ic + i) * k + pc..(ic + i) * k + pc + kb];
+                let crow = &mut c[(ic + i) * n..(ic + i) * n + n];
+                // 4-way unrolled rank-1 accumulation over the depth block.
+                let mut p = 0;
+                while p + 4 <= kb {
+                    let a0 = arow[p];
+                    let a1 = arow[p + 1];
+                    let a2 = arow[p + 2];
+                    let a3 = arow[p + 3];
+                    let b0 = &b[(pc + p) * n..(pc + p) * n + n];
+                    let b1 = &b[(pc + p + 1) * n..(pc + p + 1) * n + n];
+                    let b2 = &b[(pc + p + 2) * n..(pc + p + 2) * n + n];
+                    let b3 = &b[(pc + p + 3) * n..(pc + p + 3) * n + n];
+                    for j in 0..n {
+                        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                    }
+                    p += 4;
+                }
+                while p < kb {
+                    let aval = arow[p];
+                    if aval != 0.0 {
+                        let brow = &b[(pc + p) * n..(pc + p) * n + n];
+                        for j in 0..n {
+                            crow[j] += aval * brow[j];
+                        }
+                    }
+                    p += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor2, b: &Tensor2) -> Tensor2 {
+        let mut c = Tensor2::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 33, 9), (70, 130, 65)] {
+            let a = Tensor2::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 11) as f32 - 5.0);
+            let b = Tensor2::from_fn(k, n, |i, j| ((i * 5 + j * 2) % 13) as f32 - 6.0);
+            let got = matmul(&a, &b).unwrap();
+            let want = naive(&a, &b);
+            assert!(got.max_abs_diff(&want).unwrap() < 1e-3, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(4, 2);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = Tensor2::from_fn(9, 4, |i, j| (i * 4 + j) as f32 * 0.1);
+        let b = Tensor2::from_fn(9, 6, |i, j| (i + j) as f32 * 0.2 - 1.0);
+        let got = matmul_at_b(&a, &b).unwrap();
+        let want = matmul(&a.transposed(), &b).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = Tensor2::from_fn(5, 7, |i, j| (i * 7 + j) as f32 * 0.05);
+        let b = Tensor2::from_fn(3, 7, |i, j| (i + 2 * j) as f32 * 0.1 - 0.5);
+        let got = matmul_a_bt(&a, &b).unwrap();
+        let want = matmul(&a, &b.transposed()).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn shape_checks_on_transpose_variants() {
+        assert!(matmul_at_b(&Tensor2::zeros(3, 2), &Tensor2::zeros(4, 5)).is_err());
+        assert!(matmul_a_bt(&Tensor2::zeros(3, 2), &Tensor2::zeros(4, 5)).is_err());
+    }
+
+    #[test]
+    fn flops_counts_multiply_add() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic weight initialization.
+//!
+//! All initializers take an explicit RNG so that training is bit-wise
+//! reproducible across runs and across worker counts — a property the paper
+//! calls out (§4.1.2) and that the integration tests assert.
+
+use rand::Rng;
+
+use crate::Tensor2;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Example
+///
+/// ```
+/// use neo_tensor::init;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = init::xavier_uniform(64, 32, &mut rng);
+/// assert_eq!(w.shape(), (64, 32));
+/// ```
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor2 {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// Uniform initialization `U(lo, hi)` for a `rows x cols` tensor.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor2 {
+    let mut t = Tensor2::zeros(rows, cols);
+    for v in t.as_mut_slice() {
+        *v = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Embedding-table initialization matching the DLRM reference:
+/// `U(-1/sqrt(num_rows), 1/sqrt(num_rows))`.
+pub fn embedding_uniform(num_rows: usize, dim: usize, rng: &mut impl Rng) -> Tensor2 {
+    let a = 1.0 / (num_rows.max(1) as f32).sqrt();
+    uniform(num_rows, dim, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let w = xavier_uniform(100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
+        assert_eq!(uniform(4, 4, -1.0, 1.0, &mut r1), uniform(4, 4, -1.0, 1.0, &mut r2));
+    }
+
+    #[test]
+    fn embedding_scale_shrinks_with_rows() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = embedding_uniform(10_000, 8, &mut rng);
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= 0.01));
+    }
+}

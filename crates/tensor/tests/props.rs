@@ -1,0 +1,93 @@
+//! Property-based tests for the dense substrate.
+
+use neo_tensor::{gemm, F16, Tensor2};
+use proptest::prelude::*;
+
+fn tensor_strategy(max: usize) -> impl Strategy<Value = Tensor2> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor2::from_vec(r, c, v).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A B)^T == B^T A^T
+    #[test]
+    fn matmul_transpose_identity(
+        a in tensor_strategy(12),
+        cols in 1usize..12,
+    ) {
+        let b = Tensor2::from_fn(a.cols(), cols, |i, j| ((i * 13 + j * 7) % 9) as f32 - 4.0);
+        let left = gemm::matmul(&a, &b).unwrap().transposed();
+        let right = gemm::matmul(&b.transposed(), &a.transposed()).unwrap();
+        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-3);
+    }
+
+    /// A * I == A
+    #[test]
+    fn identity_is_neutral(a in tensor_strategy(10)) {
+        let eye = Tensor2::from_fn(a.cols(), a.cols(), |i, j| f32::from(i == j));
+        let prod = gemm::matmul(&a, &eye).unwrap();
+        prop_assert!(prod.max_abs_diff(&a).unwrap() < 1e-5);
+    }
+
+    /// the specialized transpose kernels agree with explicit transposition
+    #[test]
+    fn transpose_kernels_agree(a in tensor_strategy(10), n in 1usize..10) {
+        let b = Tensor2::from_fn(a.rows(), n, |i, j| (i as f32 - j as f32) * 0.25);
+        let at_b = gemm::matmul_at_b(&a, &b).unwrap();
+        let explicit = gemm::matmul(&a.transposed(), &b).unwrap();
+        prop_assert!(at_b.max_abs_diff(&explicit).unwrap() < 1e-3);
+
+        let c = Tensor2::from_fn(n, a.cols(), |i, j| ((i + 2 * j) % 5) as f32 * 0.3);
+        let a_ct = gemm::matmul_a_bt(&a, &c).unwrap();
+        let explicit2 = gemm::matmul(&a, &c.transposed()).unwrap();
+        prop_assert!(a_ct.max_abs_diff(&explicit2).unwrap() < 1e-3);
+    }
+
+    /// hcat/hsplit round-trips for arbitrary block widths
+    #[test]
+    fn hcat_hsplit_roundtrip(
+        rows in 1usize..8,
+        widths in proptest::collection::vec(1usize..6, 1..5),
+    ) {
+        let blocks: Vec<Tensor2> = widths
+            .iter()
+            .enumerate()
+            .map(|(k, &w)| Tensor2::from_fn(rows, w, |i, j| (k * 100 + i * 10 + j) as f32))
+            .collect();
+        let refs: Vec<&Tensor2> = blocks.iter().collect();
+        let cat = Tensor2::hcat(&refs).unwrap();
+        let back = cat.hsplit(&widths).unwrap();
+        prop_assert_eq!(back, blocks);
+    }
+
+    /// axpy is linear: axpy(a) then axpy(b) == axpy(a+b)
+    #[test]
+    fn axpy_linearity(x in tensor_strategy(8), a in -3.0f32..3.0, b in -3.0f32..3.0) {
+        let y = Tensor2::from_fn(x.rows(), x.cols(), |i, j| (i + j) as f32 * 0.5);
+        let mut s1 = x.clone();
+        s1.axpy(a, &y).unwrap();
+        s1.axpy(b, &y).unwrap();
+        let mut s2 = x.clone();
+        s2.axpy(a + b, &y).unwrap();
+        prop_assert!(s1.max_abs_diff(&s2).unwrap() < 1e-3);
+    }
+
+    /// f16 conversion is monotone: x <= y implies f16(x) <= f16(y)
+    #[test]
+    fn f16_monotone(x in -1000.0f32..1000.0, y in -1000.0f32..1000.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// f16 double round-trip is idempotent
+    #[test]
+    fn f16_idempotent(x in -60000.0f32..60000.0) {
+        let once = F16::from_f32(x).to_f32();
+        let twice = F16::from_f32(once).to_f32();
+        prop_assert_eq!(once, twice);
+    }
+}

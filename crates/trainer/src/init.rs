@@ -1,0 +1,114 @@
+//! Position-deterministic embedding initialization.
+//!
+//! A sequential RNG stream cannot initialize a *sharded* table identically
+//! to the whole table (the shard would need every preceding draw). Hashing
+//! `(seed, table, row, column)` instead makes each element a pure function
+//! of its coordinates, so any shard of any scheme starts from bit-identical
+//! values — the foundation of the sharding-equivalence tests.
+
+use neo_dlrm_model::{DlrmConfig, DlrmModel};
+use neo_tensor::ShapeError;
+
+/// Deterministic value of element `(table, row, col)` for a table of
+/// `num_rows` rows: `U(-1/sqrt(H), 1/sqrt(H))` like the standard DLRM
+/// initialization, but position-hashed.
+#[must_use]
+pub fn det_element(seed: u64, table: usize, row: u64, col: usize, num_rows: u64) -> f32 {
+    let scale = 1.0 / (num_rows.max(1) as f32).sqrt();
+    let h = splitmix(
+        seed ^ (table as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ row.wrapping_mul(0xE703_7ED1_A0B4_28DB)
+            ^ (col as u64).wrapping_mul(0x8EBC_6AF0_9C88_C6E3),
+    );
+    ((h >> 11) as f32 / (1u64 << 53) as f32 * 2.0 - 1.0) * scale
+}
+
+/// Materializes one full row.
+#[must_use]
+pub fn det_row(seed: u64, table: usize, row: u64, dim: usize, num_rows: u64) -> Vec<f32> {
+    (0..dim).map(|c| det_element(seed, table, row, c, num_rows)).collect()
+}
+
+/// Materializes a column slice `[col_off, col_off + width)` of one row —
+/// what a column-wise shard needs.
+#[must_use]
+pub fn det_row_slice(
+    seed: u64,
+    table: usize,
+    row: u64,
+    col_off: usize,
+    width: usize,
+    num_rows: u64,
+) -> Vec<f32> {
+    (col_off..col_off + width)
+        .map(|c| det_element(seed, table, row, c, num_rows))
+        .collect()
+}
+
+/// Builds the single-device reference model whose embedding tables use the
+/// deterministic position-hashed initialization (MLPs come from the seeded
+/// stream exactly as the distributed workers draw them).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the config is invalid.
+pub fn reference_model(cfg: &DlrmConfig, seed: u64) -> Result<DlrmModel, ShapeError> {
+    let mut model = DlrmModel::new(cfg, seed)?;
+    for (t, table) in model.tables.iter_mut().enumerate() {
+        let rows = table.num_rows();
+        let dim = table.dim();
+        for r in 0..rows {
+            table.write_row(r, &det_row(seed, t, r, dim, rows));
+        }
+    }
+    Ok(model)
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_bounded_and_deterministic() {
+        for r in 0..50u64 {
+            for c in 0..8 {
+                let v = det_element(1, 2, r, c, 100);
+                assert!(v.abs() <= 0.1);
+                assert_eq!(v, det_element(1, 2, r, c, 100));
+            }
+        }
+    }
+
+    #[test]
+    fn slices_agree_with_full_rows() {
+        let full = det_row(9, 1, 17, 16, 1000);
+        let left = det_row_slice(9, 1, 17, 0, 7, 1000);
+        let right = det_row_slice(9, 1, 17, 7, 9, 1000);
+        assert_eq!(&full[..7], &left[..]);
+        assert_eq!(&full[7..], &right[..]);
+    }
+
+    #[test]
+    fn different_coordinates_differ() {
+        assert_ne!(det_element(1, 0, 0, 0, 10), det_element(1, 0, 0, 1, 10));
+        assert_ne!(det_element(1, 0, 0, 0, 10), det_element(1, 0, 1, 0, 10));
+        assert_ne!(det_element(1, 0, 0, 0, 10), det_element(1, 1, 0, 0, 10));
+        assert_ne!(det_element(1, 0, 0, 0, 10), det_element(2, 0, 0, 0, 10));
+    }
+
+    #[test]
+    fn reference_model_uses_det_rows() {
+        let cfg = neo_dlrm_model::DlrmConfig::tiny(2, 20, 4);
+        let mut m = reference_model(&cfg, 5).unwrap();
+        let mut buf = [0.0f32; 4];
+        m.tables[1].read_row(3, &mut buf);
+        assert_eq!(buf.to_vec(), det_row(5, 1, 3, 4, 20));
+    }
+}

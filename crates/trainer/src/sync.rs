@@ -1,0 +1,1514 @@
+//! The synchronous hybrid-parallel trainer (§3, Fig. 4).
+//!
+//! Each simulated GPU is a worker thread holding:
+//!
+//! * a full replica of the bottom/top MLPs (data parallelism),
+//! * its shards of the embedding tables per the
+//!   [`ShardingPlan`] (model parallelism),
+//! * replicas of the data-parallel tables,
+//! * a [`Communicator`] into the group.
+//!
+//! One training iteration follows the paper's dependency graph (Fig. 9):
+//!
+//! 1. split the global batch; run the bottom MLP on the local sub-batch;
+//! 2. redistribute embedding inputs: table-wise inputs go to the owner,
+//!    column-wise inputs are replicated to each column shard, row-wise
+//!    inputs are bucketized (one AlltoAll of `IndexMsg`s — the
+//!    lengths+indices exchange of §4.4);
+//! 3. owners run the fused pooled lookup over the *global* batch for their
+//!    local shards; pooled outputs return via a (quantizable) AlltoAll,
+//!    row-wise partials via ReduceScatter (Fig. 8);
+//! 4. dot interaction + top MLP + BCE loss on the local sub-batch;
+//! 5. backward mirrors forward: grad AlltoAll (quantizable) back to owners,
+//!    AllGather for row-wise tables, sparse-grad AllGather for
+//!    data-parallel tables; owners apply *exact* sparse updates;
+//! 6. MLP gradients AllReduce, then an SGD step on every replica.
+//!
+//! Both sides derive the wire manifest from the shared plan, so no shape
+//! metadata is exchanged at runtime.
+
+use std::fmt;
+use std::sync::Arc;
+
+use neo_collectives::{CommStats, Communicator, ProcessGroup, QuantMode};
+use neo_dataio::ops::bucketize_rows;
+use neo_dataio::CombinedBatch;
+use neo_dlrm_model::interaction::{dot_interaction, dot_interaction_backward, num_pairs};
+use neo_dlrm_model::{bce_with_logits, DlrmConfig, NormalizedEntropy};
+use neo_embeddings::bag::{fused_backward_grads, pooled_forward};
+use neo_embeddings::store::{DenseStore, HalfStore, RowStore};
+use neo_embeddings::{
+    RowWiseAdagrad, SparseAdagrad, SparseGrad, SparseOptimizer, SparseSgd,
+};
+use neo_sharding::{Scheme, ShardingPlan};
+use neo_tensor::mlp::{Activation, Mlp, MlpConfig};
+use neo_tensor::Tensor2;
+use rand::SeedableRng;
+
+use crate::init::{det_row, det_row_slice};
+
+/// Error type for distributed training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncError {
+    msg: String,
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sync trainer error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+impl SyncError {
+    /// Creates an error from a message (crate-internal constructor).
+    pub(crate) fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+fn err(msg: impl Into<String>) -> SyncError {
+    SyncError::msg(msg)
+}
+
+/// Which exact sparse optimizer the embedding shards use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SparseOpt {
+    /// Plain SGD (matches the dense side; used by equivalence tests).
+    #[default]
+    Sgd,
+    /// Element-wise AdaGrad.
+    Adagrad,
+    /// Row-wise AdaGrad (§4.1.4).
+    RowWiseAdagrad,
+}
+
+/// Which dense optimizer the replicated MLPs use (§4.1.2 names AdaGrad,
+/// LAMB and Adam as the optimizers the system must support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DenseOpt {
+    /// Plain SGD.
+    #[default]
+    Sgd,
+    /// Dense AdaGrad.
+    Adagrad,
+    /// Adam.
+    Adam,
+    /// LAMB — layer-wise trust-ratio scaling, the large-batch optimizer.
+    Lamb,
+}
+
+/// Per-iteration learning-rate schedule: linear warmup to the base LR,
+/// then optional exponential decay — the standard production DLRM recipe
+/// behind §5.3.2's "appropriately tuned optimizer/hyper-parameters".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrSchedule {
+    /// Iterations of linear warmup from ~0 to the base LR (0 = none).
+    pub warmup_iters: u64,
+    /// Multiplicative decay applied each post-warmup iteration (1.0 = none).
+    pub decay_per_iter: f32,
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        Self { warmup_iters: 0, decay_per_iter: 1.0 }
+    }
+}
+
+impl LrSchedule {
+    /// The LR for iteration `iter` (0-based) given a base rate.
+    #[must_use]
+    pub fn lr_at(&self, base: f32, iter: u64) -> f32 {
+        if iter < self.warmup_iters {
+            base * (iter + 1) as f32 / self.warmup_iters as f32
+        } else {
+            base * self.decay_per_iter.powi((iter - self.warmup_iters) as i32)
+        }
+    }
+}
+
+/// Trainer configuration.
+#[derive(Debug, Clone)]
+pub struct SyncConfig {
+    /// Number of simulated GPUs.
+    pub world: usize,
+    /// Model architecture.
+    pub model: DlrmConfig,
+    /// Embedding placement.
+    pub plan: ShardingPlan,
+    /// Learning rate for both dense and sparse parameters.
+    pub lr: f32,
+    /// Seed for parameter initialization.
+    pub seed: u64,
+    /// Wire precision of the forward pooled-embedding AlltoAll (§5.3.2
+    /// uses FP16).
+    pub quant_fwd: QuantMode,
+    /// Wire precision of the backward gradient AlltoAll (§5.3.2 uses BF16).
+    pub quant_bwd: QuantMode,
+    /// Global batch size (must divide by `world`).
+    pub global_batch: usize,
+    /// Sparse optimizer for embedding shards.
+    pub optimizer: SparseOpt,
+    /// Dense optimizer for the replicated MLPs.
+    pub dense_optimizer: DenseOpt,
+    /// Store embedding shards in FP16 (§5.3.2's memory optimization).
+    pub fp16_embeddings: bool,
+    /// Gather the trained model to a single [`neo_dlrm_model::DlrmModel`]
+    /// after training (the publish-for-inference path).
+    pub gather_final_model: bool,
+    /// Learning-rate schedule applied on top of [`SyncConfig::lr`].
+    pub lr_schedule: LrSchedule,
+}
+
+impl SyncConfig {
+    /// A config with FP32 everywhere and SGD — the setting the
+    /// reference-equivalence tests use.
+    pub fn exact(world: usize, model: DlrmConfig, plan: ShardingPlan, global_batch: usize) -> Self {
+        Self {
+            world,
+            model,
+            plan,
+            lr: 0.05,
+            seed: 42,
+            quant_fwd: QuantMode::Fp32,
+            quant_bwd: QuantMode::Fp32,
+            global_batch,
+            optimizer: SparseOpt::Sgd,
+            dense_optimizer: DenseOpt::Sgd,
+            fp16_embeddings: false,
+            gather_final_model: false,
+            lr_schedule: LrSchedule::default(),
+        }
+    }
+}
+
+/// What a training run returns.
+#[derive(Debug)]
+pub struct TrainOutput {
+    /// Global mean loss per training iteration.
+    pub losses: Vec<f32>,
+    /// `(samples seen, normalized entropy)` measured on the eval stream
+    /// every `eval_every` iterations plus once at the end.
+    pub ne_curve: Vec<(u64, f64)>,
+    /// Logits on the probe batch (rank-order concatenation), if a probe
+    /// was supplied.
+    pub probe_logits: Option<Tensor2>,
+    /// Per-rank communication counters.
+    pub comm: Vec<CommStats>,
+    /// The reassembled trained model (rank 0's gather), when
+    /// [`SyncConfig::gather_final_model`] is set.
+    pub final_model: Option<neo_dlrm_model::DlrmModel>,
+}
+
+/// One wire chunk in the pooled/grad AlltoAll manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkDesc {
+    table: usize,
+    shard: usize,
+    col_off: usize,
+    width: usize,
+}
+
+/// The chunks owner `rank` serves, in deterministic (table, shard) order.
+fn owner_manifest(plan: &ShardingPlan, model: &DlrmConfig, rank: usize) -> Vec<ChunkDesc> {
+    let mut out = Vec::new();
+    for p in &plan.placements {
+        match &p.scheme {
+            Scheme::TableWise { worker } if *worker == rank => {
+                out.push(ChunkDesc {
+                    table: p.table,
+                    shard: 0,
+                    col_off: 0,
+                    width: model.tables[p.table].dim,
+                });
+            }
+            Scheme::ColumnWise { workers, split_dims } => {
+                let mut off = 0;
+                for (k, (&w, &d)) in workers.iter().zip(split_dims).enumerate() {
+                    if w == rank {
+                        out.push(ChunkDesc { table: p.table, shard: k, col_off: off, width: d });
+                    }
+                    off += d;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// A local model-parallel shard with its optimizer.
+struct ShardState {
+    desc: ChunkDesc,
+    store: Box<dyn RowStore>,
+    opt: Box<dyn SparseOptimizer>,
+    /// The global-batch inputs this shard served in the current iteration.
+    lengths: Vec<u32>,
+    indices: Vec<u64>,
+}
+
+/// A row-wise shard (handled separately: ReduceScatter, bucketized inputs).
+struct RowShardState {
+    table: usize,
+    row_off: u64,
+    store: Box<dyn RowStore>,
+    opt: Box<dyn SparseOptimizer>,
+    lengths: Vec<u32>,
+    indices: Vec<u64>,
+}
+
+/// A data-parallel replica.
+struct DpState {
+    table: usize,
+    store: Box<dyn RowStore>,
+    opt: Box<dyn SparseOptimizer>,
+}
+
+struct Worker {
+    rank: usize,
+    world: usize,
+    cfg: Arc<SyncConfig>,
+    comm: Communicator,
+    bottom: Mlp,
+    top: Mlp,
+    shards: Vec<ShardState>,
+    row_shards: Vec<RowShardState>,
+    dp: Vec<DpState>,
+    /// Row-wise table ids in deterministic order (every rank iterates the
+    /// same list so the ReduceScatter/AllGather sequences line up).
+    row_tables: Vec<usize>,
+    /// Data-parallel table ids in deterministic order.
+    dp_tables: Vec<usize>,
+    scratch_grads: Vec<f32>,
+    /// Features cached between `forward(train=true)` and `backward_update`.
+    cached_features: Option<Vec<Tensor2>>,
+    bottom_opt: Box<dyn neo_tensor::optim::DenseOptimizer>,
+    top_opt: Box<dyn neo_tensor::optim::DenseOptimizer>,
+}
+
+fn make_dense_opt(
+    cfg: &SyncConfig,
+    num_params: usize,
+) -> Box<dyn neo_tensor::optim::DenseOptimizer> {
+    use neo_tensor::optim::{DenseAdagrad, DenseAdam, DenseLamb, DenseSgd};
+    match cfg.dense_optimizer {
+        DenseOpt::Sgd => Box::new(DenseSgd::new(cfg.lr)),
+        DenseOpt::Adagrad => Box::new(DenseAdagrad::new(cfg.lr, 1e-8, num_params)),
+        DenseOpt::Adam => Box::new(DenseAdam::new(cfg.lr, 1e-8, num_params)),
+        DenseOpt::Lamb => Box::new(DenseLamb::new(cfg.lr, 1e-8, 0.0, num_params)),
+    }
+}
+
+fn make_store(cfg: &SyncConfig, rows: u64, width: usize) -> Box<dyn RowStore> {
+    if cfg.fp16_embeddings {
+        Box::new(HalfStore::zeros(rows, width))
+    } else {
+        Box::new(DenseStore::zeros(rows, width))
+    }
+}
+
+fn make_opt(cfg: &SyncConfig, rows: u64, width: usize) -> Box<dyn SparseOptimizer> {
+    match cfg.optimizer {
+        SparseOpt::Sgd => Box::new(SparseSgd::new(cfg.lr)),
+        SparseOpt::Adagrad => Box::new(SparseAdagrad::new(cfg.lr, 1e-8, rows, width)),
+        SparseOpt::RowWiseAdagrad => Box::new(RowWiseAdagrad::new(cfg.lr, 1e-8, rows)),
+    }
+}
+
+impl Worker {
+    fn new(cfg: Arc<SyncConfig>, comm: Communicator) -> Self {
+        let rank = comm.rank();
+        let world = comm.world();
+        let model = &cfg.model;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let bottom = Mlp::new(
+            &MlpConfig::new(model.dense_dim, &model.bottom_mlp, Activation::Relu),
+            &mut rng,
+        );
+        let top = Mlp::new(
+            &MlpConfig::new(model.top_input_dim(), &model.top_mlp, Activation::Relu)
+                .with_final_activation(Activation::Identity),
+            &mut rng,
+        );
+        let bottom_params = bottom.num_params();
+        let top_params = top.num_params();
+
+        let mut shards = Vec::new();
+        let mut row_shards = Vec::new();
+        let mut dp = Vec::new();
+        let mut row_tables = Vec::new();
+        let mut dp_tables = Vec::new();
+        for p in &cfg.plan.placements {
+            let t = p.table;
+            let tc = &model.tables[t];
+            match &p.scheme {
+                Scheme::TableWise { worker } => {
+                    if *worker == rank {
+                        let mut store = make_store(&cfg, tc.num_rows, tc.dim);
+                        for r in 0..tc.num_rows {
+                            store.write_row(r, &det_row(cfg.seed, t, r, tc.dim, tc.num_rows));
+                        }
+                        let opt = make_opt(&cfg, tc.num_rows, tc.dim);
+                        shards.push(ShardState {
+                            desc: ChunkDesc { table: t, shard: 0, col_off: 0, width: tc.dim },
+                            store,
+                            opt,
+                            lengths: Vec::new(),
+                            indices: Vec::new(),
+                        });
+                    }
+                }
+                Scheme::ColumnWise { workers, split_dims } => {
+                    let mut off = 0usize;
+                    for (k, (&w, &d)) in workers.iter().zip(split_dims).enumerate() {
+                        if w == rank {
+                            let mut store = make_store(&cfg, tc.num_rows, d);
+                            for r in 0..tc.num_rows {
+                                store.write_row(
+                                    r,
+                                    &det_row_slice(cfg.seed, t, r, off, d, tc.num_rows),
+                                );
+                            }
+                            let opt = make_opt(&cfg, tc.num_rows, d);
+                            shards.push(ShardState {
+                                desc: ChunkDesc { table: t, shard: k, col_off: off, width: d },
+                                store,
+                                opt,
+                                lengths: Vec::new(),
+                                indices: Vec::new(),
+                            });
+                        }
+                        off += d;
+                    }
+                }
+                Scheme::RowWise { workers } => {
+                    row_tables.push(t);
+                    let block = tc.num_rows.div_ceil(workers.len() as u64);
+                    for (k, &w) in workers.iter().enumerate() {
+                        if w != rank {
+                            continue;
+                        }
+                        let lo = block * k as u64;
+                        let hi = (lo + block).min(tc.num_rows);
+                        let local_rows = hi.saturating_sub(lo);
+                        let mut store = make_store(&cfg, local_rows.max(1), tc.dim);
+                        for r in 0..local_rows {
+                            store.write_row(
+                                r,
+                                &det_row(cfg.seed, t, lo + r, tc.dim, tc.num_rows),
+                            );
+                        }
+                        let opt = make_opt(&cfg, local_rows.max(1), tc.dim);
+                        row_shards.push(RowShardState {
+                            table: t,
+                            row_off: lo,
+                            store,
+                            opt,
+                            lengths: Vec::new(),
+                            indices: Vec::new(),
+                        });
+                    }
+                }
+                Scheme::DataParallel => {
+                    dp_tables.push(t);
+                    let mut store = make_store(&cfg, tc.num_rows, tc.dim);
+                    for r in 0..tc.num_rows {
+                        store.write_row(r, &det_row(cfg.seed, t, r, tc.dim, tc.num_rows));
+                    }
+                    let opt = make_opt(&cfg, tc.num_rows, tc.dim);
+                    dp.push(DpState { table: t, store, opt });
+                }
+            }
+        }
+
+        let bottom_opt = make_dense_opt(&cfg, bottom_params);
+        let top_opt = make_dense_opt(&cfg, top_params);
+        Self {
+            rank,
+            world,
+            cfg,
+            comm,
+            bottom,
+            top,
+            shards,
+            row_shards,
+            dp,
+            row_tables,
+            dp_tables,
+            scratch_grads: Vec::new(),
+            cached_features: None,
+            bottom_opt,
+            top_opt,
+        }
+    }
+
+    /// Forward pass over the worker's sub-batch, participating in the
+    /// group's collectives. Returns `(logits, sub_batch)`.
+    fn forward(
+        &mut self,
+        global: &CombinedBatch,
+        train: bool,
+    ) -> Result<(Tensor2, CombinedBatch), SyncError> {
+        let world = self.world;
+        let sub = global
+            .split(world)
+            .map_err(|e| err(e.to_string()))?
+            .swap_remove(self.rank);
+        let b_loc = sub.batch_size();
+        let model = self.cfg.model.clone();
+        let d = model.emb_dim();
+
+        // 1. bottom MLP on local dense features
+        let z0 = if train {
+            self.bottom.forward(&sub.dense)
+        } else {
+            self.bottom.forward_inference(&sub.dense)
+        };
+
+        // 2. index redistribution
+        #[derive(Clone)]
+        struct IndexMsg {
+            table: usize,
+            shard: usize,
+            lengths: Vec<u32>,
+            indices: Vec<u64>,
+        }
+        let mut sends: Vec<Vec<IndexMsg>> = vec![Vec::new(); world];
+        for p in &self.cfg.plan.placements {
+            let t = p.table;
+            let (lens, idx) = sub.table_inputs(t);
+            match &p.scheme {
+                Scheme::TableWise { worker } => sends[*worker].push(IndexMsg {
+                    table: t,
+                    shard: 0,
+                    lengths: lens.to_vec(),
+                    indices: idx.to_vec(),
+                }),
+                Scheme::ColumnWise { workers, .. } => {
+                    for (k, &w) in workers.iter().enumerate() {
+                        sends[w].push(IndexMsg {
+                            table: t,
+                            shard: k,
+                            lengths: lens.to_vec(),
+                            indices: idx.to_vec(),
+                        });
+                    }
+                }
+                Scheme::RowWise { workers } => {
+                    let bz =
+                        bucketize_rows(workers.len(), model.tables[t].num_rows, lens, idx)
+                            .map_err(|e| err(e.to_string()))?;
+                    for (k, &w) in workers.iter().enumerate() {
+                        let (bl, bi) = bz.shard_inputs(k);
+                        sends[w].push(IndexMsg {
+                            table: t,
+                            shard: k,
+                            lengths: bl.to_vec(),
+                            indices: bi.to_vec(),
+                        });
+                    }
+                }
+                Scheme::DataParallel => {}
+            }
+        }
+        let recv = self.comm.all_to_all_v(sends);
+
+        // 3. pooled lookups for owned shards over the global batch
+        // table-wise / column-wise shards
+        for sh in &mut self.shards {
+            sh.lengths.clear();
+            sh.indices.clear();
+            for src in &recv {
+                let msg = src
+                    .iter()
+                    .find(|m| m.table == sh.desc.table && m.shard == sh.desc.shard)
+                    .ok_or_else(|| err("missing index message for owned shard"))?;
+                sh.lengths.extend_from_slice(&msg.lengths);
+                sh.indices.extend_from_slice(&msg.indices);
+            }
+        }
+        // row-wise shards
+        for rs in &mut self.row_shards {
+            rs.lengths.clear();
+            rs.indices.clear();
+            for src in &recv {
+                let shard_no = self.cfg.plan.placements[rs.table]
+                    .scheme
+                    .row_shard_index(self.rank, rs.row_off, &model, rs.table);
+                let msg = src
+                    .iter()
+                    .find(|m| m.table == rs.table && m.shard == shard_no)
+                    .ok_or_else(|| err("missing index message for row shard"))?;
+                rs.lengths.extend_from_slice(&msg.lengths);
+                rs.indices.extend_from_slice(&msg.indices);
+            }
+        }
+        drop(recv);
+
+        // pooled outputs of owned shards (global batch)
+        let mut owned_pooled: Vec<Tensor2> = Vec::with_capacity(self.shards.len());
+        for sh in &mut self.shards {
+            let pooled = pooled_forward(sh.store.as_mut(), &sh.lengths, &sh.indices)
+                .map_err(|e| err(e.to_string()))?;
+            owned_pooled.push(pooled);
+        }
+
+        // 4a. pooled AlltoAll for table-/column-wise shards (manifest order)
+        let mut payloads: Vec<Vec<f32>> = vec![Vec::new(); world];
+        for (sh, pooled) in self.shards.iter().zip(&owned_pooled) {
+            debug_assert_eq!(pooled.rows(), world * b_loc, "shard {:?}", sh.desc);
+            for (dest, payload) in payloads.iter_mut().enumerate() {
+                let chunk = pooled.slice_rows(dest * b_loc, (dest + 1) * b_loc);
+                payload.extend_from_slice(chunk.as_slice());
+            }
+        }
+        let pooled_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_fwd);
+
+        // assemble per-table pooled features for the local sub-batch
+        let mut pooled_features: Vec<Tensor2> =
+            (0..model.tables.len()).map(|_| Tensor2::zeros(b_loc, d)).collect();
+        for (owner, data) in pooled_recv.iter().enumerate() {
+            let manifest = owner_manifest(&self.cfg.plan, &model, owner);
+            let mut off = 0usize;
+            for c in manifest {
+                let n = b_loc * c.width;
+                let chunk = &data[off..off + n];
+                off += n;
+                let dst = &mut pooled_features[c.table];
+                for row in 0..b_loc {
+                    let src_row = &chunk[row * c.width..(row + 1) * c.width];
+                    dst.row_mut(row)[c.col_off..c.col_off + c.width].copy_from_slice(src_row);
+                }
+            }
+            if off != data.len() {
+                return Err(err("pooled payload length mismatch"));
+            }
+        }
+
+        // 4b. ReduceScatter for row-wise tables (table-id order, all ranks)
+        let row_tables = self.row_tables.clone();
+        for &t in &row_tables {
+            let mut partial = vec![0.0f32; world * b_loc * d];
+            if let Some(rs) = self.row_shards.iter_mut().find(|r| r.table == t) {
+                let pooled = pooled_forward(rs.store.as_mut(), &rs.lengths, &rs.indices)
+                    .map_err(|e| err(e.to_string()))?;
+                partial.copy_from_slice(pooled.as_slice());
+            }
+            let mine = self.comm.reduce_scatter(&partial);
+            pooled_features[t] =
+                Tensor2::from_vec(b_loc, d, mine).map_err(|e| err(e.to_string()))?;
+        }
+
+        // 4c. local lookups for data-parallel replicas
+        for dpt in &mut self.dp {
+            let (lens, idx) = sub.table_inputs(dpt.table);
+            pooled_features[dpt.table] = pooled_forward(dpt.store.as_mut(), lens, idx)
+                .map_err(|e| err(e.to_string()))?;
+        }
+
+        // 5. interaction + top MLP
+        let mut features = vec![z0];
+        features.append(&mut pooled_features);
+        let refs: Vec<&Tensor2> = features.iter().collect();
+        let inter = dot_interaction(&refs).map_err(|e| err(e.to_string()))?;
+        let top_in = Tensor2::hcat(&[&features[0], &inter]).map_err(|e| err(e.to_string()))?;
+        let logits = if train {
+            self.top.forward(&top_in)
+        } else {
+            self.top.forward_inference(&top_in)
+        };
+        if train {
+            self.cached_features = Some(features);
+        }
+        Ok((logits, sub))
+    }
+
+    /// Backward + update from the local logit gradient (already scaled by
+    /// the *global* batch size).
+    fn backward_update(
+        &mut self,
+        sub: &CombinedBatch,
+        grad_logits: &Tensor2,
+    ) -> Result<(), SyncError> {
+        let world = self.world;
+        let b_loc = sub.batch_size();
+        let model = self.cfg.model.clone();
+        let d = model.emb_dim();
+        let features =
+            self.cached_features.take().ok_or_else(|| err("backward without forward"))?;
+
+        // 7. dense backward
+        let g_top_in = self.top.backward(grad_logits).map_err(|e| err(e.to_string()))?;
+        let splits = g_top_in
+            .hsplit(&[d, num_pairs(model.tables.len() + 1)])
+            .map_err(|e| err(e.to_string()))?;
+        let refs: Vec<&Tensor2> = features.iter().collect();
+        let mut g_features =
+            dot_interaction_backward(&refs, &splits[1]).map_err(|e| err(e.to_string()))?;
+        g_features[0] += &splits[0];
+        self.bottom.backward(&g_features[0]).map_err(|e| err(e.to_string()))?;
+
+        // 8a. grad AlltoAll back to table-/column-wise owners
+        let mut payloads: Vec<Vec<f32>> = vec![Vec::new(); world];
+        for (owner, payload) in payloads.iter_mut().enumerate() {
+            for c in owner_manifest(&self.cfg.plan, &model, owner) {
+                let g = &g_features[c.table + 1];
+                for row in 0..b_loc {
+                    payload.extend_from_slice(&g.row(row)[c.col_off..c.col_off + c.width]);
+                }
+            }
+        }
+        let grad_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_bwd);
+
+        // owners apply exact sparse updates on the reassembled global grads
+        let my_manifest = owner_manifest(&self.cfg.plan, &model, self.rank);
+        // per-source offset cursors
+        let mut cursors = vec![0usize; world];
+        for c in &my_manifest {
+            let mut grads = Tensor2::zeros(world * b_loc, c.width);
+            for (src, data) in grad_recv.iter().enumerate() {
+                let n = b_loc * c.width;
+                let chunk = &data[cursors[src]..cursors[src] + n];
+                cursors[src] += n;
+                for row in 0..b_loc {
+                    grads
+                        .row_mut(src * b_loc + row)
+                        .copy_from_slice(&chunk[row * c.width..(row + 1) * c.width]);
+                }
+            }
+            let sh = self
+                .shards
+                .iter_mut()
+                .find(|s| s.desc.table == c.table && s.desc.shard == c.shard)
+                .ok_or_else(|| err("manifest chunk without local shard"))?;
+            // fused backward (§4.1.1): merge straight into per-row
+            // accumulators, never materializing the expanded gradient
+            let sg = fused_backward_grads(&sh.lengths, &sh.indices, &grads)
+                .map_err(|e| err(e.to_string()))?;
+            sh.opt.apply_merged(sh.store.as_mut(), &sg);
+        }
+
+        // 8b. AllGather for row-wise tables (mirror of the ReduceScatter)
+        let row_tables = self.row_tables.clone();
+        for &t in &row_tables {
+            let flat = g_features[t + 1].as_slice().to_vec();
+            let global_grads = self.comm.all_gather(&flat);
+            if let Some(rs) = self.row_shards.iter_mut().find(|r| r.table == t) {
+                let grads = Tensor2::from_vec(world * b_loc, d, global_grads)
+                    .map_err(|e| err(e.to_string()))?;
+                let sg = fused_backward_grads(&rs.lengths, &rs.indices, &grads)
+                    .map_err(|e| err(e.to_string()))?;
+                rs.opt.apply_merged(rs.store.as_mut(), &sg);
+            }
+        }
+
+        // 8c. data-parallel tables: AllGather the sparse grads, apply the
+        // identical merged update on every replica
+        let dp_tables = self.dp_tables.clone();
+        for &t in &dp_tables {
+            let (lens, idx) = sub.table_inputs(t);
+            // ship per-rank *merged* grads: rank-order concatenation then a
+            // final merge reproduces the raw-occurrence accumulation order
+            // bit-for-bit while shrinking the AllGather payload
+            let local = fused_backward_grads(lens, idx, &g_features[t + 1])
+                .map_err(|e| err(e.to_string()))?;
+            let pairs: Vec<(u64, Vec<f32>)> = local
+                .indices
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, local.grads.row(k).to_vec()))
+                .collect();
+            let gathered = self.comm.all_to_all_v(vec![pairs; world]);
+            let mut indices = Vec::new();
+            let mut rows: Vec<f32> = Vec::new();
+            for src in &gathered {
+                for (i, g) in src {
+                    indices.push(*i);
+                    rows.extend_from_slice(g);
+                }
+            }
+            let n = indices.len();
+            let combined = SparseGrad {
+                indices,
+                grads: Tensor2::from_vec(n, d, rows).map_err(|e| err(e.to_string()))?,
+            };
+            let dpt = self
+                .dp
+                .iter_mut()
+                .find(|x| x.table == t)
+                .ok_or_else(|| err("missing dp replica"))?;
+            dpt.opt.step(dpt.store.as_mut(), &combined);
+        }
+
+        // 9. MLP AllReduce + SGD
+        self.scratch_grads.clear();
+        self.bottom.grads_flat(&mut self.scratch_grads);
+        self.top.grads_flat(&mut self.scratch_grads);
+        let mut buf = std::mem::take(&mut self.scratch_grads);
+        self.comm.all_reduce(&mut buf);
+        let nb = self.bottom.num_params();
+        self.bottom.set_grads_flat(&buf[..nb]).map_err(|e| err(e.to_string()))?;
+        self.top.set_grads_flat(&buf[nb..]).map_err(|e| err(e.to_string()))?;
+        self.scratch_grads = buf;
+        self.bottom.apply_optimizer(self.bottom_opt.as_mut());
+        self.top.apply_optimizer(self.top_opt.as_mut());
+        Ok(())
+    }
+}
+
+// Worker keeps the forward features between forward() and
+// backward_update(); stored out-of-line to keep Worker::new tidy.
+impl Worker {
+    fn set_lr(&mut self, lr: f32) {
+        self.bottom_opt.set_lr(lr);
+        self.top_opt.set_lr(lr);
+        for sh in &mut self.shards {
+            sh.opt.set_lr(lr);
+        }
+        for rs in &mut self.row_shards {
+            rs.opt.set_lr(lr);
+        }
+        for dp in &mut self.dp {
+            dp.opt.set_lr(lr);
+        }
+    }
+
+    fn train_step(&mut self, iter: u64, global: &CombinedBatch) -> Result<f32, SyncError> {
+        self.set_lr(self.cfg.lr_schedule.lr_at(self.cfg.lr, iter));
+        let (logits, sub) = self.forward(global, true)?;
+        let (loss, mut grad) =
+            bce_with_logits(&logits, &sub.labels).map_err(|e| err(e.to_string()))?;
+        // bce divides by the local batch; rescale to the global batch
+        grad.scale(sub.batch_size() as f32 / self.cfg.global_batch as f32);
+        self.backward_update(&sub, &grad)?;
+        // global mean loss (sub-batches are equal-sized)
+        let mut l = vec![loss];
+        self.comm.all_reduce_mean(&mut l);
+        Ok(l[0])
+    }
+
+    fn evaluate(&mut self, batches: &[CombinedBatch]) -> Result<NormalizedEntropy, SyncError> {
+        let mut ne = NormalizedEntropy::new();
+        for b in batches {
+            let (logits, sub) = self.forward(b, false)?;
+            ne.observe_logits(&logits, &sub.labels);
+        }
+        Ok(ne)
+    }
+
+    /// Gathers every embedding shard to rank 0 and reassembles the full
+    /// trained model there — the "publish for inference" path. All ranks
+    /// must call this (it is a collective); only rank 0 returns `Some`.
+    fn gather_model(&mut self) -> Result<Option<neo_dlrm_model::DlrmModel>, SyncError> {
+        #[derive(Clone)]
+        struct GatherMsg {
+            table: usize,
+            col_off: usize,
+            width: usize,
+            row_off: u64,
+            rows: u64,
+            data: Vec<f32>,
+        }
+        let mut to_root: Vec<GatherMsg> = Vec::new();
+        let mut pack = |table: usize,
+                        col_off: usize,
+                        row_off: u64,
+                        store: &mut Box<dyn RowStore>| {
+            let rows = store.num_rows();
+            let width = store.dim();
+            let mut data = Vec::with_capacity(rows as usize * width);
+            let mut buf = vec![0.0f32; width];
+            for r in 0..rows {
+                store.read_row(r, &mut buf);
+                data.extend_from_slice(&buf);
+            }
+            to_root.push(GatherMsg { table, col_off, width, row_off, rows, data });
+        };
+        for sh in &mut self.shards {
+            pack(sh.desc.table, sh.desc.col_off, 0, &mut sh.store);
+        }
+        for rs in &mut self.row_shards {
+            pack(rs.table, 0, rs.row_off, &mut rs.store);
+        }
+        // rank 0 additionally contributes its data-parallel replicas
+        if self.rank == 0 {
+            for dp in &mut self.dp {
+                pack(dp.table, 0, 0, &mut dp.store);
+            }
+        }
+        let mut sends: Vec<Vec<GatherMsg>> = vec![Vec::new(); self.world];
+        sends[0] = to_root;
+        let received = self.comm.all_to_all_v(sends);
+        if self.rank != 0 {
+            return Ok(None);
+        }
+        let mut model = neo_dlrm_model::DlrmModel::new(&self.cfg.model, self.cfg.seed)
+            .map_err(|e| err(e.to_string()))?;
+        model.bottom = self.bottom.clone();
+        model.top = self.top.clone();
+        for src in received {
+            for msg in src {
+                let table = &mut model.tables[msg.table];
+                let dim = table.dim();
+                let mut full = vec![0.0f32; dim];
+                for r in 0..msg.rows {
+                    let global = msg.row_off + r;
+                    if global >= table.num_rows() {
+                        continue; // padding rows of the last row block
+                    }
+                    table.read_row(global, &mut full);
+                    let slice = &msg.data[r as usize * msg.width..(r as usize + 1) * msg.width];
+                    full[msg.col_off..msg.col_off + msg.width].copy_from_slice(slice);
+                    table.write_row(global, &full);
+                }
+            }
+        }
+        Ok(Some(model))
+    }
+}
+
+/// Extension used while resolving row-wise shard ids from the plan.
+trait RowShardLookup {
+    fn row_shard_index(
+        &self,
+        rank: usize,
+        row_off: u64,
+        model: &DlrmConfig,
+        table: usize,
+    ) -> usize;
+}
+
+impl RowShardLookup for Scheme {
+    fn row_shard_index(
+        &self,
+        rank: usize,
+        row_off: u64,
+        model: &DlrmConfig,
+        table: usize,
+    ) -> usize {
+        match self {
+            Scheme::RowWise { workers } => {
+                let block = model.tables[table].num_rows.div_ceil(workers.len() as u64);
+                let k = (row_off / block.max(1)) as usize;
+                debug_assert_eq!(workers[k], rank, "row shard ownership");
+                k
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// The synchronous distributed trainer.
+///
+/// # Example
+///
+/// ```
+/// use neo_trainer::{SyncConfig, SyncTrainer};
+/// use neo_sharding::{Planner, PlannerConfig, CostModel, TableSpec};
+/// use neo_dlrm_model::DlrmConfig;
+/// use neo_dataio::{SyntheticConfig, SyntheticDataset};
+///
+/// let model = DlrmConfig::tiny(4, 64, 8);
+/// let specs: Vec<TableSpec> = model
+///     .tables
+///     .iter()
+///     .enumerate()
+///     .map(|(i, t)| TableSpec::new(i, t.num_rows, t.dim, t.avg_pooling as f64))
+///     .collect();
+/// let plan = Planner::new(CostModel::v100_prototype(32), PlannerConfig::default())
+///     .plan(&specs, 2)
+///     .unwrap();
+/// let trainer = SyncTrainer::new(SyncConfig::exact(2, model, plan, 32));
+/// let ds = SyntheticDataset::new(SyntheticConfig::uniform(4, 64, 3, 4)).unwrap();
+/// let batches: Vec<_> = (0..3).map(|k| ds.batch(32, k)).collect();
+/// let out = trainer.train(&batches, &[], 0, None).unwrap();
+/// assert_eq!(out.losses.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct SyncTrainer {
+    cfg: Arc<SyncConfig>,
+}
+
+impl SyncTrainer {
+    /// Creates a trainer from a config.
+    pub fn new(cfg: SyncConfig) -> Self {
+        Self { cfg: Arc::new(cfg) }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SyncConfig {
+        &self.cfg
+    }
+
+    /// Trains over `batches` (each a *global* batch), evaluating NE on
+    /// `eval` every `eval_every` iterations (`0` = only at the end, and
+    /// only if `eval` is nonempty). If `probe` is given, returns the final
+    /// model's logits on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] on configuration mismatches (batch sizes,
+    /// world size) or if a worker thread panics.
+    pub fn train(
+        &self,
+        batches: &[CombinedBatch],
+        eval: &[CombinedBatch],
+        eval_every: usize,
+        probe: Option<&CombinedBatch>,
+    ) -> Result<TrainOutput, SyncError> {
+        self.train_stream(batches.len() as u64, |k| batches[k as usize].clone(), eval, eval_every, probe)
+    }
+
+    /// Streaming variant of [`SyncTrainer::train`]: batches are produced on
+    /// demand by `make(k)` (deterministically — every worker calls it), so
+    /// arbitrarily long runs never materialize the full batch list. This is
+    /// how the examples stream from [`neo_dataio::PrefetchReader`]-style
+    /// sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] on configuration mismatches or if a worker
+    /// thread panics.
+    pub fn train_stream(
+        &self,
+        num_batches: u64,
+        make: impl Fn(u64) -> CombinedBatch + Sync,
+        eval: &[CombinedBatch],
+        eval_every: usize,
+        probe: Option<&CombinedBatch>,
+    ) -> Result<TrainOutput, SyncError> {
+        let cfg = &self.cfg;
+        if cfg.world == 0 {
+            return Err(err("world must be positive"));
+        }
+        if !cfg.global_batch.is_multiple_of(cfg.world) {
+            return Err(err(format!(
+                "global batch {} not divisible by world {}",
+                cfg.global_batch, cfg.world
+            )));
+        }
+        cfg.model.validate().map_err(|e| err(e.to_string()))?;
+        cfg.plan
+            .validate(
+                &cfg.model
+                    .tables
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        neo_sharding::TableSpec::new(i, t.num_rows, t.dim, t.avg_pooling as f64)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .map_err(|e| err(e.to_string()))?;
+        let check = |b: &CombinedBatch| -> Result<(), SyncError> {
+            if b.batch_size() != cfg.global_batch {
+                return Err(err("batch size mismatch"));
+            }
+            if b.num_tables() != cfg.model.tables.len() {
+                return Err(err("batch table count mismatch"));
+            }
+            Ok(())
+        };
+        for b in eval.iter().chain(probe) {
+            check(b)?;
+        }
+
+        let comms = ProcessGroup::new(cfg.world);
+        let make = &make;
+        let check = &check;
+        let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let cfg = Arc::clone(cfg);
+                    scope.spawn(move || -> Result<WorkerResult, SyncError> {
+                        let mut w = Worker::new(cfg.clone(), comm);
+                        let mut losses = Vec::with_capacity(num_batches as usize);
+                        let mut ne_curve = Vec::new();
+                        for i in 0..num_batches {
+                            let b = make(i);
+                            check(&b)?;
+                            losses.push(w.train_step(i, &b)?);
+                            let samples = (i + 1) * cfg.global_batch as u64;
+                            if eval_every > 0
+                                && (i + 1) % eval_every as u64 == 0
+                                && !eval.is_empty()
+                            {
+                                ne_curve.push((samples, w.evaluate(eval)?));
+                            }
+                        }
+                        if !eval.is_empty()
+                            && (eval_every == 0
+                                || !num_batches.is_multiple_of(eval_every.max(1) as u64))
+                        {
+                            let samples = num_batches * cfg.global_batch as u64;
+                            ne_curve.push((samples, w.evaluate(eval)?));
+                        }
+                        let probe_logits = match probe {
+                            Some(p) => Some(w.forward(p, false)?.0),
+                            None => None,
+                        };
+                        let final_model = if cfg.gather_final_model {
+                            w.gather_model()?
+                        } else {
+                            None
+                        };
+                        Ok(WorkerResult {
+                            rank: w.rank,
+                            losses,
+                            ne_curve,
+                            probe_logits,
+                            comm: w.comm.stats(),
+                            final_model,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| err("worker thread panicked"))?)
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+
+        // merge: losses identical on every rank (all-reduced); NE merged;
+        // probe logits concatenated in rank order
+        let mut by_rank = results;
+        by_rank.sort_by_key(|r| r.rank);
+        let losses = by_rank[0].losses.clone();
+        let mut ne_curve: Vec<(u64, f64)> = Vec::new();
+        if !by_rank[0].ne_curve.is_empty() {
+            for pt in 0..by_rank[0].ne_curve.len() {
+                let mut acc = NormalizedEntropy::new();
+                for r in &by_rank {
+                    acc.merge(&r.ne_curve[pt].1);
+                }
+                ne_curve.push((by_rank[0].ne_curve[pt].0, acc.value().unwrap_or(f64::NAN)));
+            }
+        }
+        let probe_logits = if by_rank[0].probe_logits.is_some() {
+            let parts: Vec<Tensor2> =
+                by_rank.iter_mut().map(|r| r.probe_logits.take().expect("probe")).collect();
+            let refs: Vec<&Tensor2> = parts.iter().collect();
+            Some(Tensor2::vcat(&refs).map_err(|e| err(e.to_string()))?)
+        } else {
+            None
+        };
+        let comm = by_rank.iter().map(|r| r.comm).collect();
+        let final_model = by_rank.iter_mut().find_map(|r| r.final_model.take());
+        Ok(TrainOutput { losses, ne_curve, probe_logits, comm, final_model })
+    }
+}
+
+struct WorkerResult {
+    rank: usize,
+    losses: Vec<f32>,
+    ne_curve: Vec<(u64, NormalizedEntropy)>,
+    probe_logits: Option<Tensor2>,
+    comm: CommStats,
+    final_model: Option<neo_dlrm_model::DlrmModel>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::reference_model;
+    use neo_dataio::{SyntheticConfig, SyntheticDataset};
+    use neo_sharding::TablePlacement;
+
+    /// A hand-built plan exercising all four schemes on a 4-table model.
+    fn mixed_plan(world: usize) -> ShardingPlan {
+        ShardingPlan {
+            world,
+            placements: vec![
+                TablePlacement { table: 0, scheme: Scheme::TableWise { worker: 1 % world } },
+                TablePlacement {
+                    table: 1,
+                    scheme: Scheme::RowWise { workers: (0..world).collect() },
+                },
+                TablePlacement {
+                    table: 2,
+                    scheme: Scheme::ColumnWise {
+                        workers: vec![0, 2 % world],
+                        split_dims: vec![4, 4],
+                    },
+                },
+                TablePlacement { table: 3, scheme: Scheme::DataParallel },
+            ],
+        }
+    }
+
+    fn model_cfg() -> DlrmConfig {
+        DlrmConfig::tiny(4, 64, 8)
+    }
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::new(SyntheticConfig::uniform(4, 64, 3, 4)).unwrap()
+    }
+
+    fn batches(n: u64, b: usize) -> Vec<CombinedBatch> {
+        let ds = dataset();
+        (0..n).map(|k| ds.batch(b, k)).collect()
+    }
+
+    /// Single-device reference training with the same math.
+    fn train_reference(
+        cfg: &DlrmConfig,
+        seed: u64,
+        lr: f32,
+        train: &[CombinedBatch],
+        probe: &CombinedBatch,
+    ) -> Tensor2 {
+        let mut m = reference_model(cfg, seed).unwrap();
+        let mut opts: Vec<SparseSgd> =
+            cfg.tables.iter().map(|_| SparseSgd::new(lr)).collect();
+        for b in train {
+            let logits = m.forward(b).unwrap();
+            let (_, grad) = bce_with_logits(&logits, &b.labels).unwrap();
+            let sparse = m.backward(&grad).unwrap();
+            m.dense_sgd_step(lr);
+            for (opt, (table, sg)) in opts.iter_mut().zip(m.tables.iter_mut().zip(&sparse)) {
+                opt.step(table.as_mut(), sg);
+            }
+        }
+        m.forward_inference(probe).unwrap()
+    }
+
+    #[test]
+    fn distributed_matches_single_device_reference() {
+        let cfg = model_cfg();
+        let train = batches(8, 32);
+        let probe = dataset().batch(32, 999);
+        let reference = train_reference(&cfg, 42, 0.05, &train, &probe);
+
+        let sc = SyncConfig::exact(4, cfg, mixed_plan(4), 32);
+        let out = SyncTrainer::new(sc).train(&train, &[], 0, Some(&probe)).unwrap();
+        let got = out.probe_logits.unwrap();
+        assert_eq!(got.shape(), reference.shape());
+        let diff = got.max_abs_diff(&reference).unwrap();
+        assert!(diff < 2e-3, "distributed vs reference logits diff {diff}");
+    }
+
+    #[test]
+    fn bitwise_deterministic_across_runs() {
+        let run = || {
+            let sc = SyncConfig::exact(4, model_cfg(), mixed_plan(4), 32);
+            SyncTrainer::new(sc)
+                .train(&batches(5, 32), &[], 0, Some(&dataset().batch(32, 77)))
+                .unwrap()
+                .probe_logits
+                .unwrap()
+        };
+        assert_eq!(run(), run(), "same seed + same data = bitwise identical");
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let probe = dataset().batch(32, 500);
+        let train = batches(6, 32);
+        let logits_at = |world: usize| {
+            let sc = SyncConfig::exact(world, model_cfg(), mixed_plan(world), 32);
+            SyncTrainer::new(sc)
+                .train(&train, &[], 0, Some(&probe))
+                .unwrap()
+                .probe_logits
+                .unwrap()
+        };
+        let w1 = logits_at(1);
+        let w2 = logits_at(2);
+        let w4 = logits_at(4);
+        assert!(w1.max_abs_diff(&w2).unwrap() < 2e-3);
+        assert!(w1.max_abs_diff(&w4).unwrap() < 2e-3);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 64);
+        let out = SyncTrainer::new(sc).train(&batches(40, 64), &[], 0, None).unwrap();
+        let head: f32 = out.losses[..5].iter().sum::<f32>() / 5.0;
+        let tail: f32 = out.losses[35..].iter().sum::<f32>() / 5.0;
+        assert!(tail < head - 0.01, "loss {head:.4} -> {tail:.4}");
+    }
+
+    #[test]
+    fn ne_curve_recorded_and_improving() {
+        let ds = dataset();
+        let eval: Vec<_> = (1000..1004).map(|k| ds.batch(32, k)).collect();
+        let sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 32);
+        let out = SyncTrainer::new(sc).train(&batches(30, 32), &eval, 10, None).unwrap();
+        assert_eq!(out.ne_curve.len(), 3);
+        let first = out.ne_curve[0].1;
+        let last = out.ne_curve[2].1;
+        assert!(last < first + 0.02, "NE {first:.4} -> {last:.4}");
+    }
+
+    #[test]
+    fn quantized_comms_save_bytes_and_stay_close() {
+        let cfg = model_cfg();
+        let train = batches(6, 32);
+        let probe = dataset().batch(32, 321);
+
+        let exact = SyncConfig::exact(4, cfg.clone(), mixed_plan(4), 32);
+        let fp32 = SyncTrainer::new(exact.clone()).train(&train, &[], 0, Some(&probe)).unwrap();
+
+        let mut quant = exact;
+        quant.quant_fwd = QuantMode::Fp16;
+        quant.quant_bwd = QuantMode::Bf16;
+        let q = SyncTrainer::new(quant).train(&train, &[], 0, Some(&probe)).unwrap();
+
+        let diff = fp32
+            .probe_logits
+            .as_ref()
+            .unwrap()
+            .max_abs_diff(q.probe_logits.as_ref().unwrap())
+            .unwrap();
+        assert!(diff < 0.05, "quantized training close to fp32: {diff}");
+        let b32: u64 = fp32.comm.iter().map(|s| s.bytes_sent).sum();
+        let b16: u64 = q.comm.iter().map(|s| s.bytes_sent).sum();
+        assert!(b16 < b32, "quantization reduces wire bytes: {b16} vs {b32}");
+    }
+
+    #[test]
+    fn fp16_embeddings_still_learn() {
+        let mut sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 64);
+        sc.fp16_embeddings = true;
+        let out = SyncTrainer::new(sc).train(&batches(40, 64), &[], 0, None).unwrap();
+        let head: f32 = out.losses[..5].iter().sum::<f32>() / 5.0;
+        let tail: f32 = out.losses[35..].iter().sum::<f32>() / 5.0;
+        assert!(tail < head, "fp16 tables: loss {head:.4} -> {tail:.4}");
+    }
+
+    #[test]
+    fn rowwise_adagrad_optimizer_runs() {
+        let mut sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 32);
+        sc.optimizer = SparseOpt::RowWiseAdagrad;
+        sc.lr = 0.1;
+        let out = SyncTrainer::new(sc).train(&batches(20, 32), &[], 0, None).unwrap();
+        assert!(out.losses.last().unwrap() < out.losses.first().unwrap());
+    }
+
+    #[test]
+    fn config_errors_detected() {
+        // batch not divisible by world
+        let sc = SyncConfig::exact(3, model_cfg(), mixed_plan(3), 32);
+        assert!(SyncTrainer::new(sc).train(&batches(1, 32), &[], 0, None).is_err());
+        // wrong batch size
+        let sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 32);
+        assert!(SyncTrainer::new(sc).train(&batches(1, 64), &[], 0, None).is_err());
+        // zero world
+        let sc = SyncConfig::exact(0, model_cfg(), mixed_plan(1), 32);
+        assert!(SyncTrainer::new(sc).train(&[], &[], 0, None).is_err());
+    }
+
+    #[test]
+    fn comm_stats_populated_per_rank() {
+        let sc = SyncConfig::exact(4, model_cfg(), mixed_plan(4), 32);
+        let out = SyncTrainer::new(sc).train(&batches(2, 32), &[], 0, None).unwrap();
+        assert_eq!(out.comm.len(), 4);
+        assert!(out.comm.iter().all(|s| s.ops > 0 && s.bytes_sent > 0));
+    }
+}
+
+#[cfg(test)]
+mod gather_and_optimizer_tests {
+    use super::*;
+    use crate::init::reference_model;
+    use neo_dataio::{SyntheticConfig, SyntheticDataset};
+    use neo_sharding::TablePlacement;
+
+    fn mixed_plan(world: usize) -> ShardingPlan {
+        ShardingPlan {
+            world,
+            placements: vec![
+                TablePlacement { table: 0, scheme: Scheme::TableWise { worker: 1 % world } },
+                TablePlacement {
+                    table: 1,
+                    scheme: Scheme::RowWise { workers: (0..world).collect() },
+                },
+                TablePlacement {
+                    table: 2,
+                    scheme: Scheme::ColumnWise {
+                        workers: vec![0, 2 % world],
+                        split_dims: vec![4, 4],
+                    },
+                },
+                TablePlacement { table: 3, scheme: Scheme::DataParallel },
+            ],
+        }
+    }
+
+    fn setup() -> (DlrmConfig, SyntheticDataset) {
+        let cfg = DlrmConfig::tiny(4, 64, 8);
+        let ds = SyntheticDataset::new(SyntheticConfig::uniform(4, 64, 3, 4)).unwrap();
+        (cfg, ds)
+    }
+
+    #[test]
+    fn gathered_model_reproduces_distributed_probe_logits() {
+        let (model, ds) = setup();
+        let batches: Vec<_> = (0..6).map(|k| ds.batch(32, k)).collect();
+        let probe = ds.batch(32, 900);
+        let mut cfg = SyncConfig::exact(4, model, mixed_plan(4), 32);
+        cfg.gather_final_model = true;
+        let out = SyncTrainer::new(cfg).train(&batches, &[], 0, Some(&probe)).unwrap();
+
+        let mut gathered = out.final_model.expect("gathered on rank 0");
+        let local_logits = gathered.forward_inference(&probe).unwrap();
+        let dist_logits = out.probe_logits.unwrap();
+        let diff = local_logits.max_abs_diff(&dist_logits).unwrap();
+        assert!(diff < 1e-4, "gathered model matches distributed shards: {diff}");
+    }
+
+    #[test]
+    fn gathered_untrained_model_equals_reference_init() {
+        let (model, ds) = setup();
+        let mut cfg = SyncConfig::exact(4, model.clone(), mixed_plan(4), 32);
+        cfg.gather_final_model = true;
+        // zero training steps: the gather must reproduce the deterministic init
+        let out = SyncTrainer::new(cfg).train(&[], &[], 0, None).unwrap();
+        let mut gathered = out.final_model.unwrap();
+        let mut reference = reference_model(&model, 42).unwrap();
+        let probe = ds.batch(32, 1);
+        assert_eq!(
+            gathered.forward_inference(&probe).unwrap(),
+            reference.forward_inference(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn gather_disabled_returns_none() {
+        let (model, ds) = setup();
+        let cfg = SyncConfig::exact(2, model, mixed_plan(2), 32);
+        let out =
+            SyncTrainer::new(cfg).train(&[ds.batch(32, 0)], &[], 0, None).unwrap();
+        assert!(out.final_model.is_none());
+    }
+
+    #[test]
+    fn dense_optimizers_all_train() {
+        let (model, ds) = setup();
+        let batches: Vec<_> = (0..25).map(|k| ds.batch(64, k)).collect();
+        for opt in [DenseOpt::Sgd, DenseOpt::Adagrad, DenseOpt::Adam, DenseOpt::Lamb] {
+            let mut cfg = SyncConfig::exact(2, model.clone(), mixed_plan(2), 64);
+            cfg.dense_optimizer = opt;
+            cfg.lr = match opt {
+                DenseOpt::Sgd => 0.05,
+                DenseOpt::Adagrad => 0.05,
+                DenseOpt::Adam | DenseOpt::Lamb => 0.005,
+            };
+            let out = SyncTrainer::new(cfg).train(&batches, &[], 0, None).unwrap();
+            let head: f32 = out.losses[..5].iter().sum::<f32>() / 5.0;
+            let tail: f32 = out.losses[20..].iter().sum::<f32>() / 5.0;
+            assert!(tail < head, "{opt:?}: loss {head:.4} -> {tail:.4}");
+        }
+    }
+
+    #[test]
+    fn adam_replicas_stay_in_sync() {
+        // optimizer state is per-replica; identical allreduced grads must
+        // keep replicas bitwise identical, which the gathered model's MLPs
+        // witness (they come from rank 0 while probe logits use all ranks)
+        let (model, ds) = setup();
+        let batches: Vec<_> = (0..5).map(|k| ds.batch(32, k)).collect();
+        let probe = ds.batch(32, 901);
+        let mut cfg = SyncConfig::exact(4, model, mixed_plan(4), 32);
+        cfg.dense_optimizer = DenseOpt::Adam;
+        cfg.lr = 0.005;
+        cfg.gather_final_model = true;
+        let out = SyncTrainer::new(cfg).train(&batches, &[], 0, Some(&probe)).unwrap();
+        let mut gathered = out.final_model.unwrap();
+        let diff = gathered
+            .forward_inference(&probe)
+            .unwrap()
+            .max_abs_diff(&out.probe_logits.unwrap())
+            .unwrap();
+        assert!(diff < 1e-4, "{diff}");
+    }
+}
+
+#[cfg(test)]
+mod schedule_and_stream_tests {
+    use super::*;
+    use neo_dataio::{SyntheticConfig, SyntheticDataset};
+    use neo_sharding::TablePlacement;
+
+    fn plan(world: usize) -> ShardingPlan {
+        ShardingPlan {
+            world,
+            placements: (0..3)
+                .map(|t| TablePlacement { table: t, scheme: Scheme::TableWise { worker: t % world } })
+                .collect(),
+        }
+    }
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::new(SyntheticConfig::uniform(3, 64, 3, 4)).unwrap()
+    }
+
+    #[test]
+    fn lr_schedule_math() {
+        let s = LrSchedule { warmup_iters: 4, decay_per_iter: 0.5 };
+        assert_eq!(s.lr_at(1.0, 0), 0.25);
+        assert_eq!(s.lr_at(1.0, 3), 1.0);
+        assert_eq!(s.lr_at(1.0, 4), 1.0);
+        assert_eq!(s.lr_at(1.0, 6), 0.25);
+        let flat = LrSchedule::default();
+        assert_eq!(flat.lr_at(0.1, 0), 0.1);
+        assert_eq!(flat.lr_at(0.1, 99), 0.1);
+    }
+
+    #[test]
+    fn train_stream_matches_train() {
+        let ds = dataset();
+        let batches: Vec<_> = (0..5).map(|k| ds.batch(32, k)).collect();
+        let probe = ds.batch(32, 99);
+        let model = DlrmConfig::tiny(3, 64, 8);
+
+        let a = SyncTrainer::new(SyncConfig::exact(2, model.clone(), plan(2), 32))
+            .train(&batches, &[], 0, Some(&probe))
+            .unwrap();
+        let ds2 = dataset();
+        let b = SyncTrainer::new(SyncConfig::exact(2, model, plan(2), 32))
+            .train_stream(5, |k| ds2.batch(32, k), &[], 0, Some(&probe))
+            .unwrap();
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.probe_logits, b.probe_logits);
+    }
+
+    #[test]
+    fn warmup_first_step_is_gentle() {
+        let ds = dataset();
+        let probe = ds.batch(32, 98);
+        let model = DlrmConfig::tiny(3, 64, 8);
+        let run = |schedule: LrSchedule, iters: u64| {
+            let mut cfg = SyncConfig::exact(2, model.clone(), plan(2), 32);
+            cfg.lr = 0.2;
+            cfg.lr_schedule = schedule;
+            let ds = dataset();
+            SyncTrainer::new(cfg)
+                .train_stream(iters, |k| ds.batch(32, k), &[], 0, Some(&probe))
+                .unwrap()
+                .probe_logits
+                .unwrap()
+        };
+        let untrained = run(LrSchedule::default(), 0);
+        let warm = run(LrSchedule { warmup_iters: 8, decay_per_iter: 1.0 }, 1);
+        let flat = run(LrSchedule::default(), 1);
+        // one warmup step (lr/8) displaces the model far less than one
+        // full-LR step
+        let dw = warm.max_abs_diff(&untrained).unwrap();
+        let df = flat.max_abs_diff(&untrained).unwrap();
+        assert!(dw < df * 0.5, "warmup step gentler: {dw} vs {df}");
+        assert!(dw > 0.0, "but it does move");
+    }
+
+    #[test]
+    fn stream_validates_generated_batches() {
+        let ds = dataset();
+        let model = DlrmConfig::tiny(3, 64, 8);
+        let t = SyncTrainer::new(SyncConfig::exact(2, model, plan(2), 32));
+        // wrong batch size produced mid-stream
+        let r = t.train_stream(2, |k| ds.batch(if k == 1 { 16 } else { 32 }, k), &[], 0, None);
+        assert!(r.is_err());
+    }
+}

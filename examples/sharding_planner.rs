@@ -1,0 +1,58 @@
+//! Shard a production-scale model (A2 from Table 3) across 128 simulated
+//! GPUs and compare the placement heuristics of §4.2.5.
+//!
+//! ```text
+//! cargo run --release --example sharding_planner
+//! ```
+
+use neo_dlrm::prelude::*;
+use neo_dlrm::sharding::planner::Algorithm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = ModelProfile::a2();
+    let specs: Vec<TableSpec> = profile
+        .synthetic_tables()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (rows, dim, pooling))| TableSpec::new(i, rows, dim, pooling))
+        .collect();
+    println!(
+        "model {}: {} tables, {:.0}B parameters",
+        profile.name,
+        specs.len(),
+        profile.num_params / 1e9
+    );
+
+    let cost = CostModel::v100_prototype(65536);
+    for (label, config) in [
+        ("table-wise only, greedy", PlannerConfig::default().table_wise_only().with_algorithm(Algorithm::Greedy)),
+        ("mixed schemes,   greedy", PlannerConfig::default().with_algorithm(Algorithm::Greedy)),
+        ("mixed schemes,   LDM   ", PlannerConfig::default().with_algorithm(Algorithm::KarmarkarKarp)),
+    ] {
+        let planner = Planner::new(cost, config);
+        let plan = planner.plan(&specs, 128)?;
+        let (tw, rw, cw, dp) = plan.scheme_histogram();
+        let imb = planner.plan_imbalance(&plan, &specs);
+        let mem = plan.memory_per_worker(&specs, 4);
+        let max_mem = *mem.iter().max().unwrap() as f64 / (1u64 << 30) as f64;
+        println!(
+            "  {label}: imbalance {imb:.3} | schemes tw={tw} rw={rw} cw={cw} dp={dp} | \
+             max worker memory {max_mem:.1} GiB"
+        );
+    }
+
+    // per-worker cost spread under the best plan
+    let planner = Planner::new(cost, PlannerConfig::default());
+    let plan = planner.plan(&specs, 128)?;
+    let load = planner.per_worker_cost(&plan, &specs);
+    let min = load.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = load.iter().copied().fold(0.0f64, f64::max);
+    let mean: f64 = load.iter().sum::<f64>() / load.len() as f64;
+    println!(
+        "  per-worker model-parallel cost: min {:.2} ms, mean {:.2} ms, max {:.2} ms",
+        min * 1e3,
+        mean * 1e3,
+        max * 1e3
+    );
+    Ok(())
+}

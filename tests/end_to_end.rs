@@ -1,0 +1,184 @@
+//! End-to-end pipeline tests: data ingestion → planner → distributed
+//! training → evaluation, with the paper's optimization stack
+//! (FP16 tables, quantized comms, row-wise AdaGrad) enabled.
+
+use neo_dlrm::collectives::QuantMode;
+use neo_dlrm::dataio::{PrefetchReader, SyntheticConfig, SyntheticDataset};
+use neo_dlrm::dlrm::DlrmConfig;
+use neo_dlrm::sharding::{CostModel, Planner, PlannerConfig, TableSpec};
+use neo_dlrm::trainer::sync::SparseOpt;
+use neo_dlrm::trainer::{PsConfig, PsTrainer, SyncConfig, SyncTrainer};
+
+fn specs_of(model: &DlrmConfig) -> Vec<TableSpec> {
+    model
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TableSpec::new(i, t.num_rows, t.dim, t.avg_pooling as f64))
+        .collect()
+}
+
+#[test]
+fn full_stack_trains_with_all_optimizations() {
+    let model = DlrmConfig::tiny(6, 512, 8);
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(6, 512, 4, 4)).unwrap();
+    let plan = Planner::new(CostModel::v100_prototype(64), PlannerConfig::default())
+        .plan(&specs_of(&model), 4)
+        .unwrap();
+
+    let mut cfg = SyncConfig::exact(4, model, plan, 64);
+    cfg.quant_fwd = QuantMode::Fp16;
+    cfg.quant_bwd = QuantMode::Bf16;
+    cfg.fp16_embeddings = true;
+    cfg.optimizer = SparseOpt::RowWiseAdagrad;
+    cfg.lr = 0.1;
+
+    // ingest through the prefetching reader, like production
+    let gen = ds.clone();
+    let mut reader = PrefetchReader::spawn(50, 2, move |k| gen.batch(64, k));
+    let mut batches = Vec::new();
+    while let Some(b) = reader.next_batch() {
+        batches.push(b);
+    }
+    assert_eq!(batches.len(), 50);
+
+    let eval: Vec<_> = (9_000..9_004).map(|k| ds.batch(64, k)).collect();
+    let out = SyncTrainer::new(cfg).train(&batches, &eval, 25, None).unwrap();
+    assert_eq!(out.losses.len(), 50);
+    assert_eq!(out.ne_curve.len(), 2);
+    let head: f32 = out.losses[..5].iter().sum::<f32>() / 5.0;
+    let tail: f32 = out.losses[45..].iter().sum::<f32>() / 5.0;
+    assert!(tail < head, "loss {head:.4} -> {tail:.4}");
+    assert!(
+        out.ne_curve[1].1 <= out.ne_curve[0].1 + 0.01,
+        "NE {:.4} -> {:.4}",
+        out.ne_curve[0].1,
+        out.ne_curve[1].1
+    );
+}
+
+#[test]
+fn planner_generated_plans_work_at_several_world_sizes() {
+    let model = DlrmConfig::tiny(5, 300, 8);
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(5, 300, 3, 4)).unwrap();
+    for world in [1usize, 2, 4, 8] {
+        let plan = Planner::new(CostModel::v100_prototype(32), PlannerConfig::default())
+            .plan(&specs_of(&model), world)
+            .unwrap();
+        let cfg = SyncConfig::exact(world, model.clone(), plan, 32);
+        let batches: Vec<_> = (0..3).map(|k| ds.batch(32, k)).collect();
+        let out = SyncTrainer::new(cfg).train(&batches, &[], 0, None).unwrap();
+        assert_eq!(out.losses.len(), 3, "world {world}");
+        assert!(out.losses.iter().all(|l| l.is_finite()));
+    }
+}
+
+#[test]
+fn sync_large_batch_quality_on_par_with_async_small_batch() {
+    // the Fig. 10 claim as a regression test (abbreviated workload)
+    let model = DlrmConfig::tiny(3, 256, 8);
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(3, 256, 4, 4)).unwrap();
+    let eval: Vec<_> = (30_000..30_006).map(|k| ds.batch(128, k)).collect();
+    let budget = 16_384u64; // samples
+
+    let mut ps = PsTrainer::new(PsConfig {
+        model: model.clone(),
+        num_trainers: 4,
+        batch_size: 16,
+        staleness: 8,
+        lr: 0.03,
+        seed: 5,
+    dense_sync: Default::default(),
+    })
+    .unwrap();
+    ps.train(&ds, budget / 16, &[]).unwrap();
+    let async_ne = ps.evaluate(&eval).unwrap();
+
+    let plan = Planner::new(CostModel::v100_prototype(128), PlannerConfig::default())
+        .plan(&specs_of(&model), 4)
+        .unwrap();
+    let mut cfg = SyncConfig::exact(4, model, plan, 128);
+    cfg.lr = 0.03 * (128.0 / 16.0); // linear LR scaling
+    cfg.seed = 5;
+    let batches: Vec<_> = (0..budget / 128).map(|k| ds.batch(128, k + 90_000)).collect();
+    let out = SyncTrainer::new(cfg).train(&batches, &eval, 0, None).unwrap();
+    let sync_ne = out.ne_curve.last().unwrap().1;
+
+    assert!(
+        sync_ne < async_ne + 0.02,
+        "sync NE {sync_ne:.4} on par with async NE {async_ne:.4}"
+    );
+}
+
+#[test]
+fn hierarchical_plan_trains_end_to_end() {
+    // §4.2.5 table-wise-then-row-wise: row shards confined to one "node";
+    // must train identically well through the sync trainer
+    use neo_dlrm::sharding::planner::Algorithm;
+    let model = DlrmConfig::tiny(4, 50_000, 8); // big tables -> row-wise
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(4, 50_000, 3, 4)).unwrap();
+    let mut pc = PlannerConfig::default()
+        .with_algorithm(Algorithm::Greedy)
+        .hierarchical(2); // "nodes" of 2 workers
+    pc.rowwise_min_bytes = 1 << 20; // force row-wise for these tables
+    let plan = Planner::new(CostModel::v100_prototype(32), pc)
+        .plan(&specs_of(&model), 4)
+        .unwrap();
+    // every row-wise placement must sit inside a single 2-worker node
+    let mut saw_rowwise = false;
+    for p in &plan.placements {
+        if let neo_dlrm::sharding::Scheme::RowWise { workers } = &p.scheme {
+            saw_rowwise = true;
+            assert_eq!(workers.len(), 2);
+            assert_eq!(workers[0] / 2, workers[1] / 2, "same node: {workers:?}");
+        }
+    }
+    assert!(saw_rowwise, "test premise: tables were row-sharded");
+
+    let cfg = SyncConfig::exact(4, model, plan, 32);
+    let batches: Vec<_> = (0..10).map(|k| ds.batch(32, k)).collect();
+    let out = SyncTrainer::new(cfg).train(&batches, &[], 0, None).unwrap();
+    assert!(out.losses.iter().all(|l| l.is_finite()));
+    assert!(out.losses.last().unwrap() < out.losses.first().unwrap());
+}
+
+#[test]
+fn tt_compressed_tables_train_in_the_model() {
+    // TT-Rec (§4.1.4) as drop-in storage: swap a dense table for a
+    // tensor-train factorized one and keep training
+    use neo_dlrm::embeddings::ttrec::{TtRecTable, TtShape};
+    use neo_dlrm::dlrm::bce_with_logits;
+    use neo_dlrm::embeddings::{SparseOptimizer, SparseSgd};
+    use neo_dlrm::trainer::init::reference_model;
+    use rand::SeedableRng;
+
+    let cfg = DlrmConfig::tiny(3, 256, 8); // 256 = 16*16 rows, 8 = 2*4 dims
+    let mut model = reference_model(&cfg, 3).unwrap();
+    let shape = TtShape { h1: 16, h2: 16, d1: 2, d2: 4, rank: 4 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let tt = TtRecTable::random(shape, &mut rng).unwrap().with_write_lr(0.5);
+    let dense_bytes = 256 * 8 * 4;
+    assert!(tt.shape().compressed_params() * 4 < dense_bytes / 2, "compressed");
+    model.tables[1] = Box::new(tt);
+
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(3, 256, 3, 4)).unwrap();
+    let mut opts: Vec<SparseSgd> = (0..3).map(|_| SparseSgd::new(0.05)).collect();
+    let eval = ds.batch(128, 999);
+    let loss_of = |m: &mut neo_dlrm::dlrm::DlrmModel| {
+        let logits = m.forward_inference(&eval).unwrap();
+        bce_with_logits(&logits, &eval.labels).unwrap().0
+    };
+    let before = loss_of(&mut model);
+    for k in 0..40 {
+        let b = ds.batch(64, k);
+        let logits = model.forward(&b).unwrap();
+        let (_, g) = bce_with_logits(&logits, &b.labels).unwrap();
+        let sparse = model.backward(&g).unwrap();
+        model.dense_sgd_step(0.05);
+        for (opt, (table, sg)) in opts.iter_mut().zip(model.tables.iter_mut().zip(&sparse)) {
+            opt.step(table.as_mut(), sg);
+        }
+    }
+    let after = loss_of(&mut model);
+    assert!(after < before, "TT tables keep learning: {before:.4} -> {after:.4}");
+}

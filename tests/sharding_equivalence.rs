@@ -1,0 +1,140 @@
+//! Cross-crate invariant: every sharding scheme — and any mix of them —
+//! must train to the same model as the unsharded single-device reference.
+//!
+//! This is the load-bearing correctness property of hybrid parallelism
+//! (§4.2): sharding is a *performance* decision that must be invisible to
+//! the math.
+
+use neo_dlrm::dataio::{SyntheticConfig, SyntheticDataset};
+use neo_dlrm::dlrm::{bce_with_logits, DlrmConfig};
+use neo_dlrm::embeddings::{SparseOptimizer, SparseSgd};
+use neo_dlrm::sharding::{Scheme, ShardingPlan, TablePlacement};
+use neo_dlrm::tensor::Tensor2;
+use neo_dlrm::trainer::init::reference_model;
+use neo_dlrm::trainer::{SyncConfig, SyncTrainer};
+
+const TABLES: usize = 4;
+const ROWS: u64 = 96;
+const DIM: usize = 8;
+const BATCH: usize = 32;
+const ITERS: u64 = 6;
+
+fn model_cfg() -> DlrmConfig {
+    DlrmConfig::tiny(TABLES, ROWS, DIM)
+}
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::new(SyntheticConfig::uniform(TABLES, ROWS, 3, 4)).unwrap()
+}
+
+/// Reference logits after training on the same batches.
+fn reference_logits() -> Tensor2 {
+    let ds = dataset();
+    let mut m = reference_model(&model_cfg(), 42).unwrap();
+    let mut opts: Vec<SparseSgd> = (0..TABLES).map(|_| SparseSgd::new(0.05)).collect();
+    for k in 0..ITERS {
+        let b = ds.batch(BATCH, k);
+        let logits = m.forward(&b).unwrap();
+        let (_, grad) = bce_with_logits(&logits, &b.labels).unwrap();
+        let sparse = m.backward(&grad).unwrap();
+        m.dense_sgd_step(0.05);
+        for (opt, (table, sg)) in opts.iter_mut().zip(m.tables.iter_mut().zip(&sparse)) {
+            opt.step(table.as_mut(), sg);
+        }
+    }
+    m.forward_inference(&ds.batch(BATCH, 10_000)).unwrap()
+}
+
+fn distributed_logits(world: usize, plan: ShardingPlan) -> Tensor2 {
+    let ds = dataset();
+    let batches: Vec<_> = (0..ITERS).map(|k| ds.batch(BATCH, k)).collect();
+    let probe = ds.batch(BATCH, 10_000);
+    let cfg = SyncConfig::exact(world, model_cfg(), plan, BATCH);
+    SyncTrainer::new(cfg)
+        .train(&batches, &[], 0, Some(&probe))
+        .unwrap()
+        .probe_logits
+        .unwrap()
+}
+
+fn uniform_plan(world: usize, make: impl Fn(usize) -> Scheme) -> ShardingPlan {
+    ShardingPlan {
+        world,
+        placements: (0..TABLES)
+            .map(|t| TablePlacement { table: t, scheme: make(t) })
+            .collect(),
+    }
+}
+
+fn assert_matches_reference(plan: ShardingPlan, world: usize, label: &str) {
+    let want = reference_logits();
+    let got = distributed_logits(world, plan);
+    let diff = got.max_abs_diff(&want).unwrap();
+    assert!(diff < 2e-3, "{label}: max logit diff {diff}");
+}
+
+#[test]
+fn all_table_wise_matches_reference() {
+    let plan = uniform_plan(4, |t| Scheme::TableWise { worker: t % 4 });
+    assert_matches_reference(plan, 4, "table-wise");
+}
+
+#[test]
+fn all_row_wise_matches_reference() {
+    let plan = uniform_plan(4, |_| Scheme::RowWise { workers: vec![0, 1, 2, 3] });
+    assert_matches_reference(plan, 4, "row-wise");
+}
+
+#[test]
+fn partial_row_wise_matches_reference() {
+    // shards on a strict subset of the workers
+    let plan = uniform_plan(4, |_| Scheme::RowWise { workers: vec![1, 3] });
+    assert_matches_reference(plan, 4, "row-wise on 2 of 4 workers");
+}
+
+#[test]
+fn all_column_wise_matches_reference() {
+    let plan = uniform_plan(4, |_| Scheme::ColumnWise {
+        workers: vec![0, 1, 2, 3],
+        split_dims: vec![2, 2, 2, 2],
+    });
+    assert_matches_reference(plan, 4, "column-wise");
+}
+
+#[test]
+fn uneven_column_split_matches_reference() {
+    let plan = uniform_plan(2, |_| Scheme::ColumnWise {
+        workers: vec![0, 1],
+        split_dims: vec![5, 3],
+    });
+    assert_matches_reference(plan, 2, "uneven column-wise");
+}
+
+#[test]
+fn all_data_parallel_matches_reference() {
+    let plan = uniform_plan(4, |_| Scheme::DataParallel);
+    assert_matches_reference(plan, 4, "data-parallel");
+}
+
+#[test]
+fn mixed_schemes_match_reference() {
+    let plan = ShardingPlan {
+        world: 4,
+        placements: vec![
+            TablePlacement { table: 0, scheme: Scheme::TableWise { worker: 2 } },
+            TablePlacement { table: 1, scheme: Scheme::RowWise { workers: vec![0, 1, 2, 3] } },
+            TablePlacement {
+                table: 2,
+                scheme: Scheme::ColumnWise { workers: vec![3, 1], split_dims: vec![4, 4] },
+            },
+            TablePlacement { table: 3, scheme: Scheme::DataParallel },
+        ],
+    };
+    assert_matches_reference(plan, 4, "mixed");
+}
+
+#[test]
+fn single_worker_plan_matches_reference() {
+    let plan = uniform_plan(1, |_| Scheme::TableWise { worker: 0 });
+    assert_matches_reference(plan, 1, "world=1");
+}
