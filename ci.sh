@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate for the neo-dlrm workspace.
+#
+# Every gate is mandatory; the script stops at the first failure:
+#   1. formatting        (cargo fmt --check)
+#   2. clippy            (warnings are errors)
+#   3. neo-xtask lint    (panic / hash_iter / crate_header / props_cover)
+#   4. tier-1 tests      (root-package build + tests, the ROADMAP gate)
+#   5. workspace tests   (all crates)
+#   6. sanitizer tests   (numeric sanitizer armed via --features sanitize)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> [1/6] cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> [2/6] cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> [3/6] cargo run -p neo-xtask -- lint"
+cargo run -q -p neo-xtask -- lint
+
+echo "==> [4/6] tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> [5/6] cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> [6/6] cargo test -q -p neo-tensor -p neo-embeddings --features sanitize"
+cargo test -q -p neo-tensor -p neo-embeddings --features sanitize
+
+echo "ci.sh: all gates passed"

@@ -33,7 +33,7 @@ fn bench_allreduce(c: &mut Criterion) {
             b.iter(|| {
                 run_group(move |rank, comm| {
                     let mut buf = vec![rank as f32; n];
-                    comm.all_reduce(&mut buf);
+                    comm.all_reduce(&mut buf).expect("all_reduce");
                     buf[0]
                 })
             });
@@ -51,7 +51,9 @@ fn bench_alltoall_quant(c: &mut Criterion) {
                 run_group(move |rank, comm| {
                     let payload = vec![rank as f32 * 0.1; n];
                     let sends = vec![payload; WORLD];
-                    comm.all_to_all_v_quant(sends, mode).len()
+                    comm.all_to_all_v_quant(sends, mode)
+                        .expect("alltoall")
+                        .len()
                 })
             });
         });
@@ -66,7 +68,7 @@ fn bench_reduce_scatter(c: &mut Criterion) {
         b.iter(|| {
             run_group(move |rank, comm| {
                 let input = vec![rank as f32; n];
-                comm.reduce_scatter(&input)[0]
+                comm.reduce_scatter(&input).expect("reduce_scatter")[0]
             })
         });
     });
@@ -74,12 +76,17 @@ fn bench_reduce_scatter(c: &mut Criterion) {
         b.iter(|| {
             run_group(move |rank, comm| {
                 let input = vec![rank as f32; n / WORLD];
-                comm.all_gather(&input).len()
+                comm.all_gather(&input).expect("all_gather").len()
             })
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_allreduce, bench_alltoall_quant, bench_reduce_scatter);
+criterion_group!(
+    benches,
+    bench_allreduce,
+    bench_alltoall_quant,
+    bench_reduce_scatter
+);
 criterion_main!(benches);

@@ -17,7 +17,11 @@ fn inputs(tables: usize, seed: u64) -> (Vec<u32>, Vec<Vec<u64>>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let lengths = vec![POOLING as u32; BATCH];
     let indices = (0..tables)
-        .map(|_| (0..BATCH * POOLING).map(|_| rng.gen_range(0..ROWS)).collect())
+        .map(|_| {
+            (0..BATCH * POOLING)
+                .map(|_| rng.gen_range(0..ROWS))
+                .collect()
+        })
         .collect();
     (lengths, indices)
 }
@@ -54,7 +58,10 @@ fn bench_fusion(c: &mut Criterion) {
             b.iter(|| {
                 let batches: Vec<TableBatch> = indices
                     .iter()
-                    .map(|idx| TableBatch { lengths: &lengths, indices: idx })
+                    .map(|idx| TableBatch {
+                        lengths: &lengths,
+                        indices: idx,
+                    })
                     .collect();
                 fused_pooled_forward(&mut stores, &batches).unwrap()
             });
@@ -82,5 +89,10 @@ fn bench_backward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lookup_precision, bench_fusion, bench_backward);
+criterion_group!(
+    benches,
+    bench_lookup_precision,
+    bench_fusion,
+    bench_backward
+);
 criterion_main!(benches);

@@ -24,8 +24,12 @@ fn bench_gemm(c: &mut Criterion) {
     let a = Tensor2::from_fn(n, n, |i, j| (i + j) as f32 * 1e-3);
     let b = Tensor2::from_fn(n, n, |i, j| (i * 2 + j) as f32 * 1e-3);
     group.bench_function("a_b", |bench| bench.iter(|| gemm::matmul(&a, &b).unwrap()));
-    group.bench_function("at_b", |bench| bench.iter(|| gemm::matmul_at_b(&a, &b).unwrap()));
-    group.bench_function("a_bt", |bench| bench.iter(|| gemm::matmul_a_bt(&a, &b).unwrap()));
+    group.bench_function("at_b", |bench| {
+        bench.iter(|| gemm::matmul_at_b(&a, &b).unwrap())
+    });
+    group.bench_function("a_bt", |bench| {
+        bench.iter(|| gemm::matmul_a_bt(&a, &b).unwrap())
+    });
     group.finish();
 }
 

@@ -19,12 +19,20 @@ fn bench_partitioners(c: &mut Criterion) {
         // report balance quality once
         let ig = imbalance(&costs, &greedy(&costs, bins), bins);
         let ik = imbalance(&costs, &karmarkar_karp(&costs, bins), bins);
-        println!("{}: {} tables on {bins} GPUs — greedy imbalance {ig:.4}, LDM {ik:.4}", p.name, costs.len());
+        println!(
+            "{}: {} tables on {bins} GPUs — greedy imbalance {ig:.4}, LDM {ik:.4}",
+            p.name,
+            costs.len()
+        );
 
         let mut group = c.benchmark_group(format!("partition_{}", p.name));
-        group.bench_with_input(BenchmarkId::new("greedy", costs.len()), &costs, |b, costs| {
-            b.iter(|| greedy(costs, bins));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy", costs.len()),
+            &costs,
+            |b, costs| {
+                b.iter(|| greedy(costs, bins));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("ldm", costs.len()), &costs, |b, costs| {
             b.iter(|| karmarkar_karp(costs, bins));
         });

@@ -84,8 +84,9 @@ fn bench_fused_backward(c: &mut Criterion) {
     let pooling = 16u32;
     let lengths = vec![pooling; batch];
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-    let indices: Vec<u64> =
-        (0..batch * pooling as usize).map(|_| rng.gen_range(0..256)).collect();
+    let indices: Vec<u64> = (0..batch * pooling as usize)
+        .map(|_| rng.gen_range(0..256))
+        .collect();
     let grad_out = Tensor2::from_fn(batch, DIM, |i, j| ((i + j) % 5) as f32 * 0.01);
 
     let mut group = c.benchmark_group("backward_fusion");
@@ -93,9 +94,7 @@ fn bench_fused_backward(c: &mut Criterion) {
         b.iter(|| fused_backward_grads(&lengths, &indices, &grad_out).unwrap());
     });
     group.bench_function("expand_then_merge", |b| {
-        b.iter(|| {
-            merge_grads(&pooled_backward(&lengths, &indices, &grad_out).unwrap())
-        });
+        b.iter(|| merge_grads(&pooled_backward(&lengths, &indices, &grad_out).unwrap()));
     });
     group.finish();
 }

@@ -34,7 +34,11 @@ fn bench_world_sizes(c: &mut Criterion) {
         let (cfg, batches) = setup(world);
         group.throughput(Throughput::Elements((4 * BATCH) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, _| {
-            b.iter(|| SyncTrainer::new(cfg.clone()).train(&batches, &[], 0, None).unwrap());
+            b.iter(|| {
+                SyncTrainer::new(cfg.clone())
+                    .train(&batches, &[], 0, None)
+                    .unwrap()
+            });
         });
     }
     group.finish();
@@ -51,7 +55,11 @@ fn bench_wire_precision(c: &mut Criterion) {
         cfg.quant_fwd = fwd;
         cfg.quant_bwd = bwd;
         group.bench_function(label, |b| {
-            b.iter(|| SyncTrainer::new(cfg.clone()).train(&batches, &[], 0, None).unwrap());
+            b.iter(|| {
+                SyncTrainer::new(cfg.clone())
+                    .train(&batches, &[], 0, None)
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -26,9 +26,26 @@ use neo_trainer::{PsConfig, PsTrainer, SyncConfig, SyncTrainer};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
-        "table1", "table2", "table3", "table4", "fig1", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "headline", "capacity",
-        "ablations", "timeline",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig1",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "headline",
+        "capacity",
+        "ablations",
+        "timeline",
     ];
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()
@@ -46,26 +63,38 @@ fn main() {
             "fig11" => fig11(),
             "fig12" => fig12(),
             "fig13" => fig13(),
-            "fig14" => gemm_fig("Figure 14: GEMM FP32/TF32 (TF/s)", &[
-                (DeviceProfile::v100(), Precision::Fp32),
-                (DeviceProfile::a100(), Precision::Fp32),
-                (DeviceProfile::a100(), Precision::Tf32),
-            ]),
-            "fig15" => gemm_fig("Figure 15: GEMM FP16/BF16 (TF/s)", &[
-                (DeviceProfile::v100(), Precision::Fp16),
-                (DeviceProfile::a100(), Precision::Fp16),
-                (DeviceProfile::a100(), Precision::Bf16),
-            ]),
-            "fig16" => mlp_fig("Figure 16: MLP bench FP32/TF32 (TF/s)", &[
-                (DeviceProfile::v100(), Precision::Fp32),
-                (DeviceProfile::a100(), Precision::Fp32),
-                (DeviceProfile::a100(), Precision::Tf32),
-            ]),
-            "fig17" => mlp_fig("Figure 17: MLP bench FP16/BF16 (TF/s)", &[
-                (DeviceProfile::v100(), Precision::Fp16),
-                (DeviceProfile::a100(), Precision::Fp16),
-                (DeviceProfile::a100(), Precision::Bf16),
-            ]),
+            "fig14" => gemm_fig(
+                "Figure 14: GEMM FP32/TF32 (TF/s)",
+                &[
+                    (DeviceProfile::v100(), Precision::Fp32),
+                    (DeviceProfile::a100(), Precision::Fp32),
+                    (DeviceProfile::a100(), Precision::Tf32),
+                ],
+            ),
+            "fig15" => gemm_fig(
+                "Figure 15: GEMM FP16/BF16 (TF/s)",
+                &[
+                    (DeviceProfile::v100(), Precision::Fp16),
+                    (DeviceProfile::a100(), Precision::Fp16),
+                    (DeviceProfile::a100(), Precision::Bf16),
+                ],
+            ),
+            "fig16" => mlp_fig(
+                "Figure 16: MLP bench FP32/TF32 (TF/s)",
+                &[
+                    (DeviceProfile::v100(), Precision::Fp32),
+                    (DeviceProfile::a100(), Precision::Fp32),
+                    (DeviceProfile::a100(), Precision::Tf32),
+                ],
+            ),
+            "fig17" => mlp_fig(
+                "Figure 17: MLP bench FP16/BF16 (TF/s)",
+                &[
+                    (DeviceProfile::v100(), Precision::Fp16),
+                    (DeviceProfile::a100(), Precision::Fp16),
+                    (DeviceProfile::a100(), Precision::Bf16),
+                ],
+            ),
             "fig18" => fig18(),
             "fig19" => fig19(),
             "fig20" => fig20(),
@@ -112,12 +141,18 @@ fn table1() {
     let qps = 1.5e6;
     let compute = qps * p.mflops_per_sample * 1e6; // total train flops/sample
     let capacity = ModelProfile::f1().num_params * 2.0; // fp16 storage
-    // provisioned rates of the 16-node prototype that the demand sizes
+                                                        // provisioned rates of the 16-node prototype that the demand sizes
     let mem_bw_provisioned = 16.0 * 7.2e12;
     let inj_per_node = 8.0 * 12.5e9;
     let bisection = 12.5e9 * 128.0 / 2.0;
-    println!("  total compute        : {:>10.1} PF/s   (paper: 1+ PF/s)", compute / 1e15);
-    println!("  total memory capacity: {:>10.1} TB     (paper: 1+ TB)", capacity / 1e12);
+    println!(
+        "  total compute        : {:>10.1} PF/s   (paper: 1+ PF/s)",
+        compute / 1e15
+    );
+    println!(
+        "  total memory capacity: {:>10.1} TB     (paper: 1+ TB)",
+        capacity / 1e12
+    );
     println!(
         "  total memory BW      : {:>10.1} TB/s   (paper: 100+ TB/s; 16 nodes x 7.2 TB/s)",
         mem_bw_provisioned / 1e12
@@ -126,7 +161,10 @@ fn table1() {
         "  injection BW / node  : {:>10.1} GB/s   (paper: 100+ GB/s/worker; 8 x 100 Gbps NICs)",
         inj_per_node / 1e9
     );
-    println!("  bisection BW         : {:>10.2} TB/s   (paper: 1+ TB/s)", bisection / 1e12);
+    println!(
+        "  bisection BW         : {:>10.2} TB/s   (paper: 1+ TB/s)",
+        bisection / 1e12
+    );
 }
 
 fn table2() {
@@ -134,17 +172,32 @@ fn table2() {
     let d = DeviceProfile::v100();
     let h = MemoryHierarchy::zionex_prototype_node();
     let t = ClusterTopology::zionex_prototype(16);
-    println!("  compute    : {:.0} TFLOPS FP32 / {:.0} TFLOPS FP16 per node",
-        8.0 * d.fp32_peak / 1e12, 8.0 * d.fp16_peak / 1e12);
+    println!(
+        "  compute    : {:.0} TFLOPS FP32 / {:.0} TFLOPS FP16 per node",
+        8.0 * d.fp32_peak / 1e12,
+        8.0 * d.fp16_peak / 1e12
+    );
     let hbm = h.tiers()[0];
     let ddr = h.tiers()[1];
-    println!("  HBM        : {} @ {:.1} TB/s", fmt_bytes(hbm.capacity_bytes as f64), hbm.read_bw / 1e12);
-    println!("  DDR        : {} @ {:.0} GB/s", fmt_bytes(ddr.capacity_bytes as f64), ddr.read_bw / 1e9);
-    println!("  scale-up   : {:.1} TB/s per node (uni-directional)",
-        t.scale_up.bandwidth * 8.0 / 1e12);
+    println!(
+        "  HBM        : {} @ {:.1} TB/s",
+        fmt_bytes(hbm.capacity_bytes as f64),
+        hbm.read_bw / 1e12
+    );
+    println!(
+        "  DDR        : {} @ {:.0} GB/s",
+        fmt_bytes(ddr.capacity_bytes as f64),
+        ddr.read_bw / 1e9
+    );
+    println!(
+        "  scale-up   : {:.1} TB/s per node (uni-directional)",
+        t.scale_up.bandwidth * 8.0 / 1e12
+    );
     // 8 GPUs x 100 Gbps RoCE NICs; the LinkSpec stores the achievable rate
-    println!("  scale-out  : {:.0} Gbps per node (uni-directional, line rate)",
-        (t.scale_out.bandwidth / 0.84) * 8.0 * 8.0 / 1e9);
+    println!(
+        "  scale-out  : {:.0} Gbps per node (uni-directional, line rate)",
+        (t.scale_out.bandwidth / 0.84) * 8.0 * 8.0 / 1e9
+    );
     println!("  host NW    : 2 x 100 Gbps");
 }
 
@@ -179,11 +232,17 @@ fn table4() {
         ("A3 @ 128 GPUs", ModelProfile::a3(), 16, 65536, 360e3),
         ("F1 @ 128 GPUs", ModelProfile::f1(), 16, 65536, 970e3),
     ];
-    println!("  {:<14} {:>12} {:>12} {:>8}", "config", "model QPS", "paper QPS", "ratio");
+    println!(
+        "  {:<14} {:>12} {:>12} {:>8}",
+        "config", "model QPS", "paper QPS", "ratio"
+    );
     for (label, p, nodes, batch, paper) in rows {
         let scen = optimized_scenario(&p, nodes, batch);
         let qps = m.qps(&scen, nodes);
-        println!("  {label:<14} {qps:>12.0} {paper:>12.0} {:>8.2}", qps / paper);
+        println!(
+            "  {label:<14} {qps:>12.0} {paper:>12.0} {:>8.2}",
+            qps / paper
+        );
     }
 }
 
@@ -205,7 +264,10 @@ fn fig1() {
     for p in ModelProfile::all() {
         let flops = p.mflops_per_sample * 1e6 * 3.0 * dlrm_samples;
         let pf_days = flops / 1e15 / 86400.0;
-        println!("  DLRM-{:<7} {:>14.2e} {:>16.1}", p.name, p.num_params, pf_days);
+        println!(
+            "  DLRM-{:<7} {:>14.2e} {:>16.1}",
+            p.name, p.num_params, pf_days
+        );
     }
 }
 
@@ -213,7 +275,7 @@ fn fig10() {
     banner("Figure 10: training quality — async small-batch PS vs sync large-batch");
     // functional training at laptop scale: same model, same sample budget
     let model = DlrmConfig::tiny(4, 512, 8);
-    let ds = SyntheticDataset::new(SyntheticConfig::uniform(4, 512, 4, 4)).unwrap();
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(4, 512, 4, 4)).unwrap(); // lint: allow(panic) — demo binary with hard-coded valid config
     let eval: Vec<_> = (10_000..10_008).map(|k| ds.batch(256, k)).collect();
 
     // async PS: batch 16, 4 trainers, staleness 8
@@ -224,10 +286,10 @@ fn fig10() {
         staleness: 8,
         lr: 0.03,
         seed: 7,
-    dense_sync: Default::default(),
+        dense_sync: Default::default(),
     })
-    .unwrap();
-    let ps_curve = ps.train(&ds, 4096, &eval).unwrap();
+    .unwrap(); // lint: allow(panic) — demo binary with hard-coded valid config
+    let ps_curve = ps.train(&ds, 4096, &eval).unwrap(); // lint: allow(panic) — demo binary with hard-coded valid config
 
     // sync large batch: 256 global on 4 workers, same total samples
     let specs = table_specs_from(&model);
@@ -236,13 +298,15 @@ fn fig10() {
         PlannerConfig::default(),
     )
     .plan(&specs, 4)
-    .unwrap();
-    // linear LR scaling for the 16x larger batch — §5.3's tuned setup
+    .unwrap(); // lint: allow(panic) — demo binary with hard-coded valid config
+               // linear LR scaling for the 16x larger batch — §5.3's tuned setup
     let mut cfg = SyncConfig::exact(4, model, plan, 256);
     cfg.lr = 0.5;
     cfg.seed = 7;
     let batches: Vec<_> = (0..256u64).map(|k| ds.batch(256, k + 50_000)).collect();
-    let out = SyncTrainer::new(cfg).train(&batches, &eval, 32, None).unwrap();
+    let out = SyncTrainer::new(cfg)
+        .train(&batches, &eval, 32, None)
+        .unwrap(); // lint: allow(panic) — demo binary with hard-coded valid config
 
     println!("  async PS (B=16, 4 trainers, staleness 8):");
     for (s, ne) in ps_curve.iter().step_by(2) {
@@ -277,7 +341,10 @@ fn fig11() {
             .with_fp16_embeddings()
             .with_quantized_comms();
         let sweep = m.scaling_sweep(&base, 512, |n| {
-            let shrunk = ModelProfile { num_params: p.num_params * n as f64 / 16.0, ..p.clone() };
+            let shrunk = ModelProfile {
+                num_params: p.num_params * n as f64 / 16.0,
+                ..p.clone()
+            };
             capacity_aware_imbalance(&shrunk, n, 2, 512 * n * 8, true).effective_imbalance()
         });
         println!("  model {}:", p.name);
@@ -302,12 +369,23 @@ fn fig12() {
     let p = ModelProfile::a2();
     println!(
         "  {:<8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
-        "nodes", "MLP(ms)", "emb(ms)", "a2a(ms)", "ar(ms)", "input", "HtoD", "serial(ms)", "total(ms)"
+        "nodes",
+        "MLP(ms)",
+        "emb(ms)",
+        "a2a(ms)",
+        "ar(ms)",
+        "input",
+        "HtoD",
+        "serial(ms)",
+        "total(ms)"
     );
     for nodes in [1usize, 2, 4, 8, 16] {
         let batch = 512 * nodes * 8;
         // same shrunk-cardinality protocol as Fig. 11 (§5.3.1)
-        let shrunk = ModelProfile { num_params: p.num_params * nodes as f64 / 16.0, ..p.clone() };
+        let shrunk = ModelProfile {
+            num_params: p.num_params * nodes as f64 / 16.0,
+            ..p.clone()
+        };
         let imb = capacity_aware_imbalance(&shrunk, nodes, 2, batch, true).effective_imbalance();
         let scen = ModelScenario::from_profile(&p, batch)
             .with_fp16_embeddings()
@@ -378,7 +456,10 @@ fn fig13() {
         if i == 0 {
             first = qps;
         }
-        println!("  {label:<42} QPS {qps:>10.0}  (+{:>4.0}% vs baseline)", (qps / first - 1.0) * 100.0);
+        println!(
+            "  {label:<42} QPS {qps:>10.0}  (+{:>4.0}% vs baseline)",
+            (qps / first - 1.0) * 100.0
+        );
     }
     println!("  (paper: collectively +87% over the FP32/64K baseline)");
 }
@@ -412,7 +493,11 @@ fn mlp_fig(title: &str, configs: &[(DeviceProfile, Precision)]) {
         for &batch in &[128u64, 512, 2048, 4096] {
             print!("    {batch:>8}");
             for (d, p) in configs {
-                let cfg = mlpbench::MlpBenchConfig { batch, width, layers: 20 };
+                let cfg = mlpbench::MlpBenchConfig {
+                    batch,
+                    width,
+                    layers: 20,
+                };
                 print!(" {:>14.1}", mlpbench::mlp_tflops(d, *p, cfg));
             }
             println!();
@@ -462,7 +547,10 @@ fn emb_fig(backward: bool) {
 fn fig20() {
     banner("Figure 20: AlltoAll & AllReduce bus bandwidth at 128 GPUs");
     let cost = CollectiveCost::new(ClusterTopology::zionex_prototype(16));
-    println!("  {:>12} {:>16} {:>16}", "bytes", "AlltoAll (GB/s)", "AllReduce (GB/s)");
+    println!(
+        "  {:>12} {:>16} {:>16}",
+        "bytes", "AlltoAll (GB/s)", "AllReduce (GB/s)"
+    );
     for p in (16..=28).step_by(2) {
         let bytes = 1u64 << p;
         println!(
@@ -481,16 +569,28 @@ fn headline_block() {
     let q16 = m.qps(&optimized_scenario(&ModelProfile::a1(), 2, 65536), 2);
     let q128 = m.qps(&optimized_scenario(&ModelProfile::a1(), 16, 65536), 16);
     let h = headline(&ModelProfile::a1(), q16, q128);
-    println!("  PS CPU baseline (16 trainers + 16 PS): {:>10.0} QPS", h.baseline_qps);
-    println!("  sync @  16 GPUs: {:>10.0} QPS  -> {:>5.1}x  (paper:  3x)", h.qps_16gpu, h.speedup_16);
-    println!("  sync @ 128 GPUs: {:>10.0} QPS  -> {:>5.1}x  (paper: 40x time-to-solution)", h.qps_128gpu, h.speedup_128);
+    println!(
+        "  PS CPU baseline (16 trainers + 16 PS): {:>10.0} QPS",
+        h.baseline_qps
+    );
+    println!(
+        "  sync @  16 GPUs: {:>10.0} QPS  -> {:>5.1}x  (paper:  3x)",
+        h.qps_16gpu, h.speedup_16
+    );
+    println!(
+        "  sync @ 128 GPUs: {:>10.0} QPS  -> {:>5.1}x  (paper: 40x time-to-solution)",
+        h.qps_128gpu, h.speedup_128
+    );
     let anchored = headline(&ModelProfile::a1(), 273e3, 1047e3);
     println!(
         "  with the paper's measured QPS against our baseline model: {:.1}x @ 16 GPUs, {:.1}x @ 128",
         anchored.speedup_16, anchored.speedup_128
     );
     let ps = PsCluster::paper_baseline();
-    println!("  (baseline async efficiency at 16 trainers: {:.0}%)", ps.efficiency() * 100.0);
+    println!(
+        "  (baseline async efficiency at 16 trainers: {:.0}%)",
+        ps.efficiency() * 100.0
+    );
 }
 
 fn capacity_block() {
@@ -511,7 +611,10 @@ fn capacity_block() {
             println!("      effective read BW: {}/s", fmt_bytes(fit.effective_bw));
         }
     }
-    println!("  per-GPU usable HBM assumed: {}", fmt_bytes(USABLE_HBM_PER_GPU as f64));
+    println!(
+        "  per-GPU usable HBM assumed: {}",
+        fmt_bytes(USABLE_HBM_PER_GPU as f64)
+    );
     println!("  (paper: 96 TB naive -> 24 TB -> fits 4 TB HBM + 24 TB DRAM; 970K QPS)");
 }
 
@@ -523,8 +626,10 @@ fn ablations() {
     println!("  [1] placement heuristic (imbalance = max/mean per-worker cost):");
     for p in [ModelProfile::a1(), ModelProfile::a2()] {
         let cm = neo_sharding::CostModel::v100_prototype(65536);
-        let costs: Vec<f64> =
-            neo_bench::table_specs(&p).iter().map(|t| cm.table_cost(t)).collect();
+        let costs: Vec<f64> = neo_bench::table_specs(&p)
+            .iter()
+            .map(|t| cm.table_cost(t))
+            .collect();
         let ig = imbalance(&costs, &greedy(&costs, 128), 128);
         let ik = imbalance(&costs, &karmarkar_karp(&costs, 128), 128);
         println!("      {} on 128 GPUs: greedy {ig:.4}  LDM {ik:.4}", p.name);
@@ -535,8 +640,10 @@ fn ablations() {
     use rand::SeedableRng;
     use rand_distr::Distribution;
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let zipf = rand_distr::Zipf::new(1_000_000u64, 1.05).unwrap();
-    let trace: Vec<u64> = (0..60_000).map(|_| zipf.sample(&mut rng) as u64 - 1).collect();
+    let zipf = rand_distr::Zipf::new(1_000_000u64, 1.05).unwrap(); // lint: allow(panic) — demo binary with hard-coded valid config
+    let trace: Vec<u64> = (0..60_000)
+        .map(|_| zipf.sample(&mut rng) as u64 - 1)
+        .collect();
     println!("  [2] caching 1M rows in 8K slots on a Zipf(1.05) trace:");
     for policy in [Policy::Lru, Policy::Lfu] {
         let mut c = SetAssocCache::with_capacity_rows(8_192, 32, policy);
@@ -546,7 +653,10 @@ fn ablations() {
                 c.insert(r, &fill);
             }
         }
-        println!("      software cache {policy}: hit rate {:.3}", c.stats().hit_rate());
+        println!(
+            "      software cache {policy}: hit rate {:.3}",
+            c.stats().hit_rate()
+        );
     }
     let mut uvm = UvmPageCache::with_capacity_rows(8_192, 128);
     for &r in &trace {
@@ -561,7 +671,10 @@ fn ablations() {
 
     // 3. kernel fusion (§4.1.1), modelled at the paper's shapes
     let v100 = DeviceProfile::v100();
-    let cfg = embbench::EmbBenchConfig { batch: 256, ..Default::default() };
+    let cfg = embbench::EmbBenchConfig {
+        batch: 256,
+        ..Default::default()
+    };
     let fused = embbench::forward_time(&v100, Precision::Fp32, cfg);
     let unfused = embbench::unfused_forward_time(&v100, Precision::Fp32, cfg);
     println!(
@@ -624,7 +737,7 @@ fn timeline_block() {
     let t = simulate(&ops);
     let scale = 60.0 / t.makespan; // 60-column gantt
     let mut rows: Vec<_> = t.ops.clone();
-    rows.sort_by(|a, b| a.1.start.partial_cmp(&b.1.start).unwrap());
+    rows.sort_by(|a, b| a.1.start.total_cmp(&b.1.start));
     for (name, s) in rows {
         let res = ops.iter().find(|o| o.name == name).map(|o| o.resource);
         let tag = match res {

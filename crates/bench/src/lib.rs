@@ -2,6 +2,8 @@
 //! Table-3 model profiles into sharding problems and extracting the plan
 //! quality numbers the performance model consumes.
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 #![deny(missing_docs)]
 
 use neo_dlrm_model::ModelProfile;
@@ -128,8 +130,10 @@ pub fn capacity_aware_imbalance(
         for (&m, &b) in mems.iter().zip(&assignment) {
             mem_sums[b] += m;
         }
-        let spilled: u64 =
-            mem_sums.iter().map(|&m| m.saturating_sub(remaining_cap)).sum();
+        let spilled: u64 = mem_sums
+            .iter()
+            .map(|&m| m.saturating_sub(remaining_cap))
+            .sum();
         spilled as f64 / total_mem.max(1) as f64
     };
 
@@ -151,7 +155,12 @@ pub fn capacity_aware_imbalance(
     };
     let _ = imbalance; // (re-exported path used by benches)
     let mean_mem = total_mem as f64 / world as f64 + base_mem_per_worker as f64;
-    ImbalanceReport { imbalance: imb.max(1.0), feasible, mean_mem_per_gpu: mean_mem, spill_fraction }
+    ImbalanceReport {
+        imbalance: imb.max(1.0),
+        feasible,
+        mean_mem_per_gpu: mean_mem,
+        spill_fraction,
+    }
 }
 
 /// Formats bytes human-readably for reports.
@@ -197,7 +206,10 @@ mod tests {
             fp16.imbalance,
             fp32.imbalance
         );
-        assert!(fp32.mean_mem_per_gpu > 0.7 * USABLE_HBM_PER_GPU as f64, "fp32 is tight");
+        assert!(
+            fp32.mean_mem_per_gpu > 0.7 * USABLE_HBM_PER_GPU as f64,
+            "fp32 is tight"
+        );
     }
 
     #[test]
@@ -206,7 +218,12 @@ mod tests {
         let p = ModelProfile::a1();
         let small = capacity_aware_imbalance(&p, 2, 4, 65536, true);
         let large = capacity_aware_imbalance(&p, 16, 4, 65536, true);
-        assert!(large.imbalance > small.imbalance, "{:?} vs {:?}", large, small);
+        assert!(
+            large.imbalance > small.imbalance,
+            "{:?} vs {:?}",
+            large,
+            small
+        );
     }
 
     #[test]

@@ -5,7 +5,61 @@ use std::sync::{Arc, Barrier};
 
 use parking_lot::Mutex;
 
-use crate::quant::QuantMode;
+use crate::quant::{QuantError, QuantMode};
+
+/// Error from a collective operation.
+///
+/// These are contract violations between ranks (a missing deposit or a
+/// payload of the wrong type) or a quantization misuse, surfaced as typed
+/// errors so trainers can shut a job down cleanly instead of unwinding
+/// through a panic on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// A rank's deposit slot was empty when results were read.
+    MissingDeposit {
+        /// The collective being executed.
+        op: &'static str,
+    },
+    /// A rank deposited a payload of a different type than expected.
+    PayloadTypeMismatch {
+        /// The collective being executed.
+        op: &'static str,
+    },
+    /// A quantized collective was asked for an impossible wire conversion.
+    Quant(QuantError),
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::MissingDeposit { op } => {
+                write!(
+                    f,
+                    "missing deposit in collective {op}: not all ranks arrived"
+                )
+            }
+            CollectiveError::PayloadTypeMismatch { op } => {
+                write!(f, "payload type mismatch in collective {op}")
+            }
+            CollectiveError::Quant(e) => write!(f, "quantized collective: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectiveError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantError> for CollectiveError {
+    fn from(e: QuantError) -> Self {
+        CollectiveError::Quant(e)
+    }
+}
 
 /// Per-rank traffic counters, updated by every collective call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,7 +104,11 @@ impl ProcessGroup {
             slots: Mutex::new((0..world).map(|_| None).collect()),
         });
         (0..world)
-            .map(|rank| Communicator { rank, shared: Arc::clone(&shared), stats: CommStats::default() })
+            .map(|rank| Communicator {
+                rank,
+                shared: Arc::clone(&shared),
+                stats: CommStats::default(),
+            })
             .collect()
     }
 }
@@ -103,125 +161,178 @@ impl Communicator {
     /// Sums `buf` element-wise across all ranks; every rank ends with the
     /// total. Accumulation is in rank order (bit-wise deterministic).
     ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError`] if a rank deposited a payload of the
+    /// wrong type or a slot was empty at read time.
+    ///
     /// # Panics
     ///
     /// Panics if ranks disagree on the operation or buffer length.
-    pub fn all_reduce(&mut self, buf: &mut [f32]) {
+    pub fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), CollectiveError> {
         self.stats.bytes_sent += (buf.len() * 4) as u64;
         let deposits = self.exchange("all_reduce", buf.to_vec(), |slots| {
             let mut acc = vec![0.0f32; buf.len()];
             for slot in slots {
-                let contrib = payload_ref::<Vec<f32>>(slot, "all_reduce");
+                let contrib = payload_ref::<Vec<f32>>(slot, "all_reduce")?;
                 assert_eq!(contrib.len(), acc.len(), "all_reduce length mismatch");
                 for (a, b) in acc.iter_mut().zip(contrib) {
                     *a += b;
                 }
             }
-            acc
-        });
+            Ok(acc)
+        })?;
         buf.copy_from_slice(&deposits);
+        Ok(())
     }
 
     /// Averages `buf` across ranks (AllReduce then scale by `1/world`).
-    pub fn all_reduce_mean(&mut self, buf: &mut [f32]) {
-        self.all_reduce(buf);
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CollectiveError`] from the underlying AllReduce.
+    pub fn all_reduce_mean(&mut self, buf: &mut [f32]) -> Result<(), CollectiveError> {
+        self.all_reduce(buf)?;
         let inv = 1.0 / self.world() as f32;
         for v in buf.iter_mut() {
             *v *= inv;
         }
+        Ok(())
     }
 
     /// Element-wise maximum across ranks.
-    pub fn all_reduce_max(&mut self, buf: &mut [f32]) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError`] if a rank deposited a payload of the
+    /// wrong type or a slot was empty at read time.
+    pub fn all_reduce_max(&mut self, buf: &mut [f32]) -> Result<(), CollectiveError> {
         self.stats.bytes_sent += (buf.len() * 4) as u64;
         let out = self.exchange("all_reduce_max", buf.to_vec(), |slots| {
             let mut acc = vec![f32::NEG_INFINITY; buf.len()];
             for slot in slots {
-                let contrib = payload_ref::<Vec<f32>>(slot, "all_reduce_max");
+                let contrib = payload_ref::<Vec<f32>>(slot, "all_reduce_max")?;
                 for (a, b) in acc.iter_mut().zip(contrib) {
                     *a = a.max(*b);
                 }
             }
-            acc
-        });
+            Ok(acc)
+        })?;
         buf.copy_from_slice(&out);
+        Ok(())
     }
 
     /// Splits each rank's `input` (length `world * chunk`) into `world`
     /// chunks, sums chunk `r` across ranks and returns it to rank `r`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError`] if a rank deposited a payload of the
+    /// wrong type or a slot was empty at read time.
+    ///
     /// # Panics
     ///
     /// Panics if `input.len()` is not divisible by `world`.
-    pub fn reduce_scatter(&mut self, input: &[f32]) -> Vec<f32> {
+    pub fn reduce_scatter(&mut self, input: &[f32]) -> Result<Vec<f32>, CollectiveError> {
         let world = self.world();
-        assert_eq!(input.len() % world, 0, "reduce_scatter length not divisible by world");
+        assert_eq!(
+            input.len() % world,
+            0,
+            "reduce_scatter length not divisible by world"
+        );
         let chunk = input.len() / world;
         let my = self.rank;
         self.stats.bytes_sent += (input.len() * 4) as u64;
         self.exchange("reduce_scatter", input.to_vec(), |slots| {
             let mut acc = vec![0.0f32; chunk];
             for slot in slots {
-                let contrib = payload_ref::<Vec<f32>>(slot, "reduce_scatter");
-                assert_eq!(contrib.len(), chunk * world, "reduce_scatter length mismatch");
+                let contrib = payload_ref::<Vec<f32>>(slot, "reduce_scatter")?;
+                assert_eq!(
+                    contrib.len(),
+                    chunk * world,
+                    "reduce_scatter length mismatch"
+                );
                 for (a, b) in acc.iter_mut().zip(&contrib[my * chunk..(my + 1) * chunk]) {
                     *a += b;
                 }
             }
-            acc
+            Ok(acc)
         })
     }
 
     /// Concatenates every rank's `input` in rank order; all ranks get the
     /// full result.
-    pub fn all_gather(&mut self, input: &[f32]) -> Vec<f32> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError`] if a rank deposited a payload of the
+    /// wrong type or a slot was empty at read time.
+    pub fn all_gather(&mut self, input: &[f32]) -> Result<Vec<f32>, CollectiveError> {
         self.stats.bytes_sent += (input.len() * 4) as u64;
         self.exchange("all_gather", input.to_vec(), |slots| {
             let mut out = Vec::new();
             for slot in slots {
-                out.extend_from_slice(payload_ref::<Vec<f32>>(slot, "all_gather"));
+                out.extend_from_slice(payload_ref::<Vec<f32>>(slot, "all_gather")?);
             }
-            out
+            Ok(out)
         })
     }
 
     /// Copies `buf` from `root` to every rank.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError`] if a rank deposited a payload of the
+    /// wrong type or a slot was empty at read time.
+    ///
     /// # Panics
     ///
     /// Panics if `root >= world` or buffer lengths mismatch.
-    pub fn broadcast(&mut self, buf: &mut [f32], root: usize) {
+    pub fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CollectiveError> {
         assert!(root < self.world(), "broadcast root {root} out of range");
         if self.rank == root {
             self.stats.bytes_sent += (buf.len() * 4) as u64;
         }
         let out = self.exchange("broadcast", buf.to_vec(), |slots| {
-            let src = payload_ref::<Vec<f32>>(&slots[root], "broadcast");
+            let src = payload_ref::<Vec<f32>>(&slots[root], "broadcast")?;
             assert_eq!(src.len(), buf.len(), "broadcast length mismatch");
-            src.clone()
-        });
+            Ok(src.clone())
+        })?;
         buf.copy_from_slice(&out);
+        Ok(())
     }
 
     /// Personalized exchange: `sends[j]` goes to rank `j`; returns
     /// `recvs` where `recvs[i]` came from rank `i`. This is the collective
     /// on the critical path of DLRM training (pooled embeddings, §3).
     ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError`] if a rank deposited a payload of the
+    /// wrong type or a slot was empty at read time.
+    ///
     /// # Panics
     ///
     /// Panics if `sends.len() != world` or ranks disagree on the operation.
-    pub fn all_to_all_v<T: Clone + Send + 'static>(&mut self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(sends.len(), self.world(), "all_to_all_v needs world send lists");
+    pub fn all_to_all_v<T: Clone + Send + 'static>(
+        &mut self,
+        sends: Vec<Vec<T>>,
+    ) -> Result<Vec<Vec<T>>, CollectiveError> {
+        assert_eq!(
+            sends.len(),
+            self.world(),
+            "all_to_all_v needs world send lists"
+        );
         let total: usize = sends.iter().map(Vec::len).sum();
         self.stats.bytes_sent += (total * std::mem::size_of::<T>()) as u64;
         let my = self.rank;
         self.exchange("all_to_all_v", sends, |slots| {
             let mut out = Vec::with_capacity(slots.len());
             for slot in slots {
-                let matrix = payload_ref::<Vec<Vec<T>>>(slot, "all_to_all_v");
+                let matrix = payload_ref::<Vec<Vec<T>>>(slot, "all_to_all_v")?;
                 out.push(matrix[my].clone());
             }
-            out
+            Ok(out)
         })
     }
 
@@ -230,6 +341,11 @@ impl Communicator {
     /// exercising real precision loss and halving [`CommStats::bytes_sent`]
     /// for the 16-bit modes.
     ///
+    /// # Errors
+    ///
+    /// Returns [`CollectiveError`] if a rank deposited a payload of the
+    /// wrong type, a slot was empty, or the wire conversion fails.
+    ///
     /// # Panics
     ///
     /// Panics if `sends.len() != world`.
@@ -237,45 +353,61 @@ impl Communicator {
         &mut self,
         sends: Vec<Vec<f32>>,
         mode: QuantMode,
-    ) -> Vec<Vec<f32>> {
+    ) -> Result<Vec<Vec<f32>>, CollectiveError> {
         match mode {
             QuantMode::Fp32 => self.all_to_all_v(sends),
             QuantMode::Fp16 | QuantMode::Bf16 => {
-                let wire: Vec<Vec<u16>> =
-                    sends.iter().map(|v| mode.quantize(v)).collect();
-                let recv = self.all_to_all_v(wire);
-                recv.into_iter().map(|v| mode.dequantize(&v)).collect()
+                let wire: Vec<Vec<u16>> = sends
+                    .iter()
+                    .map(|v| mode.quantize(v))
+                    .collect::<Result<_, _>>()?;
+                let recv = self.all_to_all_v(wire)?;
+                recv.into_iter()
+                    .map(|v| mode.dequantize(&v).map_err(CollectiveError::from))
+                    .collect()
             }
         }
     }
 
     /// Core rendezvous: deposit a payload, wait for everyone, compute this
     /// rank's result from all deposits, wait again, and let the leader
-    /// clear the slots.
+    /// clear the slots. A failed read still walks every barrier so the
+    /// other ranks are never left deadlocked by this rank's early error.
     fn exchange<P: Send + 'static, R>(
         &mut self,
         op: &'static str,
         payload: P,
-        read: impl FnOnce(&[Option<Deposit>]) -> R,
-    ) -> R {
+        read: impl FnOnce(&[Option<Deposit>]) -> Result<R, CollectiveError>,
+    ) -> Result<R, CollectiveError> {
         self.stats.ops += 1;
         {
             let mut slots = self.shared.slots.lock();
-            debug_assert!(slots[self.rank].is_none(), "rank {} double deposit", self.rank);
-            slots[self.rank] = Some(Deposit { op, payload: Box::new(payload) });
+            debug_assert!(
+                slots[self.rank].is_none(),
+                "rank {} double deposit",
+                self.rank
+            );
+            slots[self.rank] = Some(Deposit {
+                op,
+                payload: Box::new(payload),
+            });
         }
         self.shared.barrier.wait();
         let result = {
             let slots = self.shared.slots.lock();
+            let mut verified = Ok(());
             for (r, slot) in slots.iter().enumerate() {
-                let d = slot.as_ref().expect("all ranks deposited");
+                let Some(d) = slot.as_ref() else {
+                    verified = Err(CollectiveError::MissingDeposit { op });
+                    break;
+                };
                 assert_eq!(
                     d.op, op,
                     "collective mismatch: rank {} called {} while rank {r} called {}",
                     self.rank, op, d.op
                 );
             }
-            read(&slots)
+            verified.and_then(|()| read(&slots))
         };
         let leader = self.shared.barrier.wait();
         if leader.is_leader() {
@@ -289,12 +421,17 @@ impl Communicator {
     }
 }
 
-fn payload_ref<'a, T: 'static>(slot: &'a Option<Deposit>, op: &str) -> &'a T {
-    slot.as_ref()
-        .expect("all ranks deposited")
+fn payload_ref<'a, T: 'static>(
+    slot: &'a Option<Deposit>,
+    op: &'static str,
+) -> Result<&'a T, CollectiveError> {
+    let deposit = slot
+        .as_ref()
+        .ok_or(CollectiveError::MissingDeposit { op })?;
+    deposit
         .payload
         .downcast_ref::<T>()
-        .unwrap_or_else(|| panic!("payload type mismatch in {op}"))
+        .ok_or(CollectiveError::PayloadTypeMismatch { op })
 }
 
 #[cfg(test)]
@@ -316,14 +453,17 @@ mod tests {
                 thread::spawn(move || f(c.rank(), &mut c))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     }
 
     #[test]
     fn all_reduce_sums() {
         let out = run(4, |rank, c| {
             let mut v = vec![rank as f32, 1.0];
-            c.all_reduce(&mut v);
+            c.all_reduce(&mut v).unwrap();
             v
         });
         for v in out {
@@ -335,7 +475,7 @@ mod tests {
     fn all_reduce_mean_averages() {
         let out = run(4, |rank, c| {
             let mut v = vec![rank as f32];
-            c.all_reduce_mean(&mut v);
+            c.all_reduce_mean(&mut v).unwrap();
             v[0]
         });
         for v in out {
@@ -347,7 +487,7 @@ mod tests {
     fn all_reduce_max_takes_max() {
         let out = run(3, |rank, c| {
             let mut v = vec![-(rank as f32), rank as f32];
-            c.all_reduce_max(&mut v);
+            c.all_reduce_max(&mut v).unwrap();
             v
         });
         for v in out {
@@ -359,8 +499,13 @@ mod tests {
     fn reduce_scatter_matches_manual() {
         let out = run(2, |rank, c| {
             // rank r contributes [r, r, r+10, r+10]
-            let input = vec![rank as f32, rank as f32, rank as f32 + 10.0, rank as f32 + 10.0];
-            c.reduce_scatter(&input)
+            let input = vec![
+                rank as f32,
+                rank as f32,
+                rank as f32 + 10.0,
+                rank as f32 + 10.0,
+            ];
+            c.reduce_scatter(&input).unwrap()
         });
         assert_eq!(out[0], vec![1.0, 1.0]); // 0+1
         assert_eq!(out[1], vec![21.0, 21.0]); // 10+11
@@ -368,7 +513,7 @@ mod tests {
 
     #[test]
     fn all_gather_concatenates_in_rank_order() {
-        let out = run(3, |rank, c| c.all_gather(&[rank as f32 * 2.0]));
+        let out = run(3, |rank, c| c.all_gather(&[rank as f32 * 2.0]).unwrap());
         for v in out {
             assert_eq!(v, vec![0.0, 2.0, 4.0]);
         }
@@ -379,9 +524,9 @@ mod tests {
         let out = run(4, |rank, c| {
             let input: Vec<f32> = (0..8).map(|i| (rank * 8 + i) as f32).collect();
             let mut ar = input.clone();
-            c.all_reduce(&mut ar);
-            let rs = c.reduce_scatter(&input);
-            let ag = c.all_gather(&rs);
+            c.all_reduce(&mut ar).unwrap();
+            let rs = c.reduce_scatter(&input).unwrap();
+            let ag = c.all_gather(&rs).unwrap();
             (ar, ag)
         });
         for (ar, ag) in out {
@@ -393,7 +538,7 @@ mod tests {
     fn broadcast_copies_from_root() {
         let out = run(3, |rank, c| {
             let mut v = vec![rank as f32 + 100.0];
-            c.broadcast(&mut v, 1);
+            c.broadcast(&mut v, 1).unwrap();
             v[0]
         });
         for v in out {
@@ -406,7 +551,7 @@ mod tests {
         let out = run(3, |rank, c| {
             // rank r sends vec![r*10 + j] to rank j
             let sends: Vec<Vec<u64>> = (0..3).map(|j| vec![(rank * 10 + j) as u64]).collect();
-            c.all_to_all_v(sends)
+            c.all_to_all_v(sends).unwrap()
         });
         // rank j receives from rank i: i*10 + j
         for (j, recvs) in out.iter().enumerate() {
@@ -424,7 +569,7 @@ mod tests {
             } else {
                 vec![vec![9.0], vec![]]
             };
-            c.all_to_all_v(sends)
+            c.all_to_all_v(sends).unwrap()
         });
         assert_eq!(out[0], vec![vec![], vec![9.0]]);
         assert_eq!(out[1], vec![vec![1.0, 2.0, 3.0], vec![]]);
@@ -435,7 +580,7 @@ mod tests {
         let out = run(2, |_rank, c| {
             let payload: Vec<f32> = (0..256).map(|i| (i as f32) * 0.37 - 40.0).collect();
             let sends = vec![payload.clone(), payload.clone()];
-            let recv = c.all_to_all_v_quant(sends, QuantMode::Fp16);
+            let recv = c.all_to_all_v_quant(sends, QuantMode::Fp16).unwrap();
             (recv, c.stats().bytes_sent, payload)
         });
         for (recv, bytes, original) in out {
@@ -452,7 +597,7 @@ mod tests {
     fn fp32_mode_is_exact() {
         let out = run(2, |rank, c| {
             let sends = vec![vec![0.1f32, 0.2], vec![rank as f32 + 0.5]];
-            c.all_to_all_v_quant(sends, QuantMode::Fp32)
+            c.all_to_all_v_quant(sends, QuantMode::Fp32).unwrap()
         });
         // rank 0 receives sends[0] from both ranks; rank 1 receives sends[1]
         assert_eq!(out[0], vec![vec![0.1, 0.2], vec![0.1, 0.2]]);
@@ -465,7 +610,7 @@ mod tests {
             let mut acc = 0.0;
             for step in 0..10 {
                 let mut v = vec![(rank + step) as f32];
-                c.all_reduce(&mut v);
+                c.all_reduce(&mut v).unwrap();
                 acc += v[0];
             }
             acc
@@ -482,7 +627,7 @@ mod tests {
         let out = run(2, |_r, c| {
             c.barrier();
             let mut v = vec![1.0f32; 8];
-            c.all_reduce(&mut v);
+            c.all_reduce(&mut v).unwrap();
             c.stats()
         });
         for s in out {
@@ -495,8 +640,8 @@ mod tests {
     fn world_one_is_trivial() {
         let out = run(1, |_r, c| {
             let mut v = vec![5.0f32];
-            c.all_reduce(&mut v);
-            let ag = c.all_gather(&[7.0]);
+            c.all_reduce(&mut v).unwrap();
+            let ag = c.all_gather(&[7.0]).unwrap();
             (v[0], ag)
         });
         assert_eq!(out[0], (5.0, vec![7.0]));
@@ -514,9 +659,10 @@ mod tests {
         // thread scheduling, because accumulation is in rank order
         let run_once = || {
             run(4, |rank, c| {
-                let mut v: Vec<f32> =
-                    (0..64).map(|i| ((rank * 64 + i) as f32 * 0.1).sin() * 1e-3).collect();
-                c.all_reduce(&mut v);
+                let mut v: Vec<f32> = (0..64)
+                    .map(|i| ((rank * 64 + i) as f32 * 0.1).sin() * 1e-3)
+                    .collect();
+                c.all_reduce(&mut v).unwrap();
                 v
             })
         };

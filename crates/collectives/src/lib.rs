@@ -29,7 +29,7 @@
 //!     .map(|mut c| {
 //!         thread::spawn(move || {
 //!             let mut x = vec![c.rank() as f32 + 1.0];
-//!             c.all_reduce(&mut x);
+//!             c.all_reduce(&mut x).unwrap();
 //!             x[0]
 //!         })
 //!     })
@@ -39,10 +39,12 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 #![deny(missing_docs)]
 
 mod group;
 pub mod quant;
 
-pub use group::{CommStats, Communicator, ProcessGroup};
-pub use quant::QuantMode;
+pub use group::{CollectiveError, CommStats, Communicator, ProcessGroup};
+pub use quant::{QuantError, QuantMode};

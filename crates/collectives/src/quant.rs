@@ -6,6 +6,26 @@
 
 use neo_tensor::{Bf16, F16};
 
+/// Error from asking a [`QuantMode`] for a wire conversion it cannot do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantError {
+    /// [`QuantMode::Fp32`] has no 16-bit wire format; callers must
+    /// short-circuit the unquantized case instead of converting.
+    NotQuantized,
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::NotQuantized => {
+                write!(f, "fp32 payloads are not quantized (no 16-bit wire format)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
 /// Wire precision for a quantized collective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum QuantMode {
@@ -30,30 +50,28 @@ impl QuantMode {
 
     /// Quantizes to 16-bit wire format.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called on [`QuantMode::Fp32`] (which has no 16-bit wire
-    /// format — callers short-circuit that case).
-    #[must_use]
-    pub fn quantize(&self, src: &[f32]) -> Vec<u16> {
+    /// Returns [`QuantError::NotQuantized`] on [`QuantMode::Fp32`] (which
+    /// has no 16-bit wire format — callers short-circuit that case).
+    pub fn quantize(&self, src: &[f32]) -> Result<Vec<u16>, QuantError> {
         match self {
-            QuantMode::Fp32 => panic!("fp32 payloads are not quantized"),
-            QuantMode::Fp16 => src.iter().map(|&v| F16::from_f32(v).to_bits()).collect(),
-            QuantMode::Bf16 => src.iter().map(|&v| Bf16::from_f32(v).to_bits()).collect(),
+            QuantMode::Fp32 => Err(QuantError::NotQuantized),
+            QuantMode::Fp16 => Ok(src.iter().map(|&v| F16::from_f32(v).to_bits()).collect()),
+            QuantMode::Bf16 => Ok(src.iter().map(|&v| Bf16::from_f32(v).to_bits()).collect()),
         }
     }
 
     /// Dequantizes from the 16-bit wire format.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called on [`QuantMode::Fp32`].
-    #[must_use]
-    pub fn dequantize(&self, src: &[u16]) -> Vec<f32> {
+    /// Returns [`QuantError::NotQuantized`] on [`QuantMode::Fp32`].
+    pub fn dequantize(&self, src: &[u16]) -> Result<Vec<f32>, QuantError> {
         match self {
-            QuantMode::Fp32 => panic!("fp32 payloads are not quantized"),
-            QuantMode::Fp16 => src.iter().map(|&b| F16::from_bits(b).to_f32()).collect(),
-            QuantMode::Bf16 => src.iter().map(|&b| Bf16::from_bits(b).to_f32()).collect(),
+            QuantMode::Fp32 => Err(QuantError::NotQuantized),
+            QuantMode::Fp16 => Ok(src.iter().map(|&b| F16::from_bits(b).to_f32()).collect()),
+            QuantMode::Bf16 => Ok(src.iter().map(|&b| Bf16::from_bits(b).to_f32()).collect()),
         }
     }
 }
@@ -82,7 +100,9 @@ mod tests {
     #[test]
     fn fp16_roundtrip_error_bounded() {
         let src: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.123).collect();
-        let back = QuantMode::Fp16.dequantize(&QuantMode::Fp16.quantize(&src));
+        let back = QuantMode::Fp16
+            .dequantize(&QuantMode::Fp16.quantize(&src).unwrap())
+            .unwrap();
         for (a, b) in src.iter().zip(&back) {
             assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-4);
         }
@@ -91,7 +111,9 @@ mod tests {
     #[test]
     fn bf16_preserves_range() {
         let src = vec![1e30f32, -3e20, 4e-20];
-        let back = QuantMode::Bf16.dequantize(&QuantMode::Bf16.quantize(&src));
+        let back = QuantMode::Bf16
+            .dequantize(&QuantMode::Bf16.quantize(&src).unwrap())
+            .unwrap();
         for (a, b) in src.iter().zip(&back) {
             assert!(((a - b) / a).abs() < 1.0 / 128.0);
         }
@@ -100,10 +122,29 @@ mod tests {
     #[test]
     fn fp16_overflows_where_bf16_does_not() {
         let src = vec![1e10f32];
-        let f16 = QuantMode::Fp16.dequantize(&QuantMode::Fp16.quantize(&src));
-        let bf16 = QuantMode::Bf16.dequantize(&QuantMode::Bf16.quantize(&src));
+        let f16 = QuantMode::Fp16
+            .dequantize(&QuantMode::Fp16.quantize(&src).unwrap())
+            .unwrap();
+        let bf16 = QuantMode::Bf16
+            .dequantize(&QuantMode::Bf16.quantize(&src).unwrap())
+            .unwrap();
         assert!(f16[0].is_infinite(), "fp16 saturates at 65504");
         assert!(bf16[0].is_finite());
+    }
+
+    #[test]
+    fn fp32_conversion_is_a_typed_error() {
+        assert_eq!(
+            QuantMode::Fp32.quantize(&[1.0]),
+            Err(QuantError::NotQuantized)
+        );
+        assert_eq!(
+            QuantMode::Fp32.dequantize(&[0]),
+            Err(QuantError::NotQuantized)
+        );
+        assert!(QuantError::NotQuantized
+            .to_string()
+            .contains("not quantized"));
     }
 
     #[test]

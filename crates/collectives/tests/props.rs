@@ -1,4 +1,8 @@
 //! Property tests for the collective algebra.
+//!
+//! Every `pub fn` of the [`neo_collectives::Communicator`] /
+//! [`ProcessGroup`] surface is exercised here — `neo-xtask lint`
+//! (rule `props_cover`) enforces that this stays true as the API grows.
 
 use neo_collectives::{ProcessGroup, QuantMode};
 use proptest::prelude::*;
@@ -40,8 +44,8 @@ proptest! {
                     (0..payload_len).map(|k| (rank * 1000 + dest * 10 + k) as u64).collect()
                 })
                 .collect();
-            let recv = comm.all_to_all_v(sends.clone());
-            let back = comm.all_to_all_v(recv);
+            let recv = comm.all_to_all_v(sends.clone()).expect("alltoall");
+            let back = comm.all_to_all_v(recv).expect("alltoall back");
             (sends, back)
         });
         for (sends, back) in out {
@@ -62,13 +66,53 @@ proptest! {
                 .map(|i| (((seed + rank as u64 * 31 + i as u64 * 7) % 17) as f32) - 8.0)
                 .collect();
             let mut ar = input.clone();
-            comm.all_reduce(&mut ar);
-            let rs = comm.reduce_scatter(&input);
-            let ag = comm.all_gather(&rs);
+            comm.all_reduce(&mut ar).expect("all_reduce");
+            let rs = comm.reduce_scatter(&input).expect("reduce_scatter");
+            let ag = comm.all_gather(&rs).expect("all_gather");
             (ar, ag)
         });
         for (ar, ag) in out {
             prop_assert_eq!(ar, ag);
+        }
+    }
+
+    /// AllReduce-mean equals AllReduce divided by the world size, and the
+    /// element-wise max collective returns the true maximum — whichever
+    /// rank holds it.
+    #[test]
+    fn mean_and_max_agree_with_scalar_math(
+        world in 1usize..5,
+        n in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let out = run_group(world, move |rank, comm| {
+            let input: Vec<f32> = (0..n)
+                .map(|i| (((seed + rank as u64 * 13 + i as u64 * 5) % 23) as f32) - 11.0)
+                .collect();
+            let mut mean = input.clone();
+            comm.all_reduce_mean(&mut mean).expect("all_reduce_mean");
+            let mut max = input.clone();
+            comm.all_reduce_max(&mut max).expect("all_reduce_max");
+            let mut sum = input.clone();
+            comm.all_reduce(&mut sum).expect("all_reduce");
+            (mean, max, sum)
+        });
+        // recompute per-element expectations from every rank's input
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|rank| {
+                (0..n)
+                    .map(|i| (((seed + rank as u64 * 13 + i as u64 * 5) % 23) as f32) - 11.0)
+                    .collect()
+            })
+            .collect();
+        for (mean, max, sum) in out {
+            for i in 0..n {
+                let want_max = inputs.iter().map(|v| v[i]).fold(f32::NEG_INFINITY, f32::max);
+                prop_assert_eq!(max[i], want_max);
+                // the collective scales by 1/world; mirror that exactly
+                // (f32 `* (1/w)` and `/ w` round differently)
+                prop_assert_eq!(mean[i], sum[i] * (1.0 / world as f32));
+            }
         }
     }
 
@@ -78,7 +122,7 @@ proptest! {
         let root = root_pick % world;
         let out = run_group(world, move |rank, comm| {
             let mut buf: Vec<f32> = (0..n).map(|i| (rank * 100 + i) as f32).collect();
-            comm.broadcast(&mut buf, root);
+            comm.broadcast(&mut buf, root).expect("broadcast");
             buf
         });
         let want: Vec<f32> = (0..n).map(|i| (root * 100 + i) as f32).collect();
@@ -102,12 +146,39 @@ proptest! {
         let expect = payload.clone();
         let out = run_group(world, move |_rank, comm| {
             let sends = vec![payload.clone(); world];
-            comm.all_to_all_v_quant(sends, mode)
+            comm.all_to_all_v_quant(sends, mode).expect("quantized alltoall")
         });
         for recvs in out {
             for r in recvs {
                 prop_assert_eq!(r, expect.clone());
             }
+        }
+    }
+
+    /// Group bookkeeping: `ProcessGroup::new` hands out `world` handles
+    /// with ranks `0..world`, `rank()`/`world()` report them, `barrier()`
+    /// and the collectives bump `stats().ops` identically on every rank,
+    /// and `stats().bytes_sent` reflects the payload size.
+    #[test]
+    fn bookkeeping_rank_world_stats_barrier(world in 1usize..5, n in 1usize..5) {
+        let comms = ProcessGroup::new(world);
+        prop_assert_eq!(comms.len(), world);
+        let ranks: Vec<usize> = comms.iter().map(|c| c.rank()).collect();
+        prop_assert_eq!(ranks, (0..world).collect::<Vec<_>>());
+        for c in &comms {
+            prop_assert_eq!(c.world(), world);
+            prop_assert_eq!(c.stats().ops, 0);
+        }
+        let out = run_group(world, move |_rank, comm| {
+            comm.barrier();
+            let mut v = vec![1.0f32; n];
+            comm.all_reduce(&mut v).expect("all_reduce");
+            comm.barrier();
+            comm.stats()
+        });
+        for stats in out {
+            prop_assert_eq!(stats.ops, 3, "2 barriers + 1 all_reduce");
+            prop_assert_eq!(stats.bytes_sent, (n * 4) as u64);
         }
     }
 }

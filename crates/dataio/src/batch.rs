@@ -108,11 +108,21 @@ impl CombinedBatch {
         let mut table_offsets = Vec::with_capacity(num_tables + 1);
         table_offsets.push(0usize);
         for t in 0..num_tables {
-            let tlen: usize =
-                lengths[t * batch_size..(t + 1) * batch_size].iter().map(|&l| l as usize).sum();
+            let tlen: usize = lengths[t * batch_size..(t + 1) * batch_size]
+                .iter()
+                .map(|&l| l as usize)
+                .sum();
             table_offsets.push(table_offsets[t] + tlen);
         }
-        Ok(Self { batch_size, num_tables, lengths, indices, table_offsets, dense, labels })
+        Ok(Self {
+            batch_size,
+            num_tables,
+            lengths,
+            indices,
+            table_offsets,
+            dense,
+            labels,
+        })
     }
 
     /// Number of samples `B`.
@@ -197,7 +207,9 @@ impl CombinedBatch {
     /// Returns [`BatchError`] if the parts disagree on table count or dense
     /// width, or the input is empty.
     pub fn concat(parts: &[CombinedBatch]) -> Result<CombinedBatch, BatchError> {
-        let first = parts.first().ok_or_else(|| BatchError::new("concat of zero batches"))?;
+        let first = parts
+            .first()
+            .ok_or_else(|| BatchError::new("concat of zero batches"))?;
         let num_tables = first.num_tables;
         if parts.iter().any(|p| p.num_tables != num_tables) {
             return Err(BatchError::new("concat parts disagree on table count"));
@@ -214,7 +226,10 @@ impl CombinedBatch {
         }
         let denses: Vec<&Tensor2> = parts.iter().map(|p| &p.dense).collect();
         let dense = Tensor2::vcat(&denses).map_err(|e| BatchError::new(e.to_string()))?;
-        let labels: Vec<f32> = parts.iter().flat_map(|p| p.labels.iter().copied()).collect();
+        let labels: Vec<f32> = parts
+            .iter()
+            .flat_map(|p| p.labels.iter().copied())
+            .collect();
         CombinedBatch::new(batch_size, num_tables, lengths, indices, dense, labels)
     }
 
@@ -266,15 +281,10 @@ mod tests {
             vec![0.0, 1.0]
         )
         .is_err());
-        assert!(CombinedBatch::new(
-            2,
-            1,
-            vec![1],
-            vec![1],
-            Tensor2::zeros(2, 1),
-            vec![0.0, 1.0]
-        )
-        .is_err());
+        assert!(
+            CombinedBatch::new(2, 1, vec![1], vec![1], Tensor2::zeros(2, 1), vec![0.0, 1.0])
+                .is_err()
+        );
         assert!(CombinedBatch::new(
             2,
             1,
@@ -284,8 +294,9 @@ mod tests {
             vec![0.0, 1.0]
         )
         .is_err());
-        assert!(CombinedBatch::new(2, 1, vec![1, 0], vec![1], Tensor2::zeros(2, 1), vec![0.0])
-            .is_err());
+        assert!(
+            CombinedBatch::new(2, 1, vec![1, 0], vec![1], Tensor2::zeros(2, 1), vec![0.0]).is_err()
+        );
     }
 
     #[test]
@@ -313,15 +324,7 @@ mod tests {
     #[test]
     fn concat_rejects_mismatched_tables() {
         let a = batch();
-        let b = CombinedBatch::new(
-            1,
-            1,
-            vec![0],
-            vec![],
-            Tensor2::zeros(1, 2),
-            vec![0.0],
-        )
-        .unwrap();
+        let b = CombinedBatch::new(1, 1, vec![0], vec![], Tensor2::zeros(1, 2), vec![0.0]).unwrap();
         assert!(CombinedBatch::concat(&[a, b]).is_err());
         assert!(CombinedBatch::concat(&[]).is_err());
     }

@@ -20,6 +20,8 @@
 //! * [`shard`] — checksummed on-disk batch shards, the local stand-in for
 //!   the Tectonic network store the readers stream from.
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 #![deny(missing_docs)]
 
 pub mod batch;

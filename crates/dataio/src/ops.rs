@@ -48,19 +48,28 @@ pub fn permute_wtb_to_twb(
     indices: &[u64],
 ) -> Result<(Vec<u32>, Vec<u64>), OpsError> {
     if lengths.len() != w * t * b {
-        return Err(err(format!("lengths len {} != W*T*B {}", lengths.len(), w * t * b)));
+        return Err(err(format!(
+            "lengths len {} != W*T*B {}",
+            lengths.len(),
+            w * t * b
+        )));
     }
     let total: usize = lengths.iter().map(|&l| l as usize).sum();
     if total != indices.len() {
-        return Err(err(format!("lengths sum {total} != indices len {}", indices.len())));
+        return Err(err(format!(
+            "lengths sum {total} != indices len {}",
+            indices.len()
+        )));
     }
     // offset of each (w, t) block inside `indices`
     let mut block_offsets = vec![0usize; w * t + 1];
     for wi in 0..w {
         for ti in 0..t {
             let k = wi * t + ti;
-            let block: usize =
-                lengths[k * b..(k + 1) * b].iter().map(|&l| l as usize).sum();
+            let block: usize = lengths[k * b..(k + 1) * b]
+                .iter()
+                .map(|&l| l as usize)
+                .sum();
             block_offsets[k + 1] = block_offsets[k] + block;
         }
     }
@@ -158,7 +167,12 @@ pub fn bucketize_rows(
     for s in per_shard {
         out_indices.extend(s);
     }
-    Ok(Bucketized { lengths: out_lengths, indices: out_indices, shards, bags })
+    Ok(Bucketized {
+        lengths: out_lengths,
+        indices: out_indices,
+        shards,
+        bags,
+    })
 }
 
 /// Replicates one table's inputs to every column shard (§4.2.3: column-wise
@@ -169,7 +183,9 @@ pub fn replicate_inputs(
     lengths: &[u32],
     indices: &[u64],
 ) -> Vec<(Vec<u32>, Vec<u64>)> {
-    (0..shards).map(|_| (lengths.to_vec(), indices.to_vec())).collect()
+    (0..shards)
+        .map(|_| (lengths.to_vec(), indices.to_vec()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -55,7 +55,10 @@ impl PrefetchReader {
                 }
             }
         });
-        Self { rx, handle: Some(handle) }
+        Self {
+            rx,
+            handle: Some(handle),
+        }
     }
 
     /// Blocks for the next batch; `None` once the stream is exhausted.

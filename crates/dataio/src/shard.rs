@@ -171,36 +171,41 @@ impl ShardReader {
             return Err(err("shard too short"));
         }
         let (payload, tail) = body.split_at(body.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes")); // lint: allow(panic) — split_at leaves exactly 8 bytes
         let computed = payload.iter().fold(0xCBF2_9CE4_8422_2325u64, |h, &b| {
             (h ^ b as u64).wrapping_mul(0x1000_0000_01B3)
         });
         if stored != computed {
             return Err(err("shard checksum mismatch"));
         }
+        // lint: allow(panic) — 4-byte slice converts to [u8; 4] infallibly
         if u32::from_le_bytes(payload[0..4].try_into().expect("4")) != MAGIC {
             return Err(err("bad shard magic"));
         }
+        // lint: allow(panic) — 4-byte slice converts to [u8; 4] infallibly
         if u32::from_le_bytes(payload[4..8].try_into().expect("4")) != VERSION {
             return Err(err("unsupported shard version"));
         }
         // index: [.. index .. index_off][fnv]; all offsets are absolute
         // file positions (the header is part of the hashed stream)
         let index_off = u64::from_le_bytes(
-            payload[payload.len() - 8..].try_into().expect("8 bytes"),
+            payload[payload.len() - 8..].try_into().expect("8 bytes"), // lint: allow(panic) — 8-byte slice, length checked above
         ) as usize;
         if index_off + 8 > payload.len() {
             return Err(err("shard index out of range"));
         }
         let n =
-            u64::from_le_bytes(payload[index_off..index_off + 8].try_into().expect("8")) as usize;
+            u64::from_le_bytes(payload[index_off..index_off + 8].try_into().expect("8")) as usize; // lint: allow(panic) — bounds checked above
         let mut offsets = Vec::with_capacity(n);
         let mut pos = index_off + 8;
         for _ in 0..n {
             if pos + 8 > payload.len() {
                 return Err(err("truncated shard index"));
             }
-            offsets.push(u64::from_le_bytes(payload[pos..pos + 8].try_into().expect("8")));
+            offsets.push(u64::from_le_bytes(
+                // lint: allow(panic) — bounds checked by the guard above
+                payload[pos..pos + 8].try_into().expect("8"),
+            ));
             pos += 8;
         }
         let file = BufReader::new(File::open(path).map_err(io_err)?);
@@ -219,7 +224,10 @@ impl ShardReader {
     /// Returns [`BatchError`] if `k` is out of range or the record is
     /// malformed.
     pub fn read_batch(&mut self, k: usize) -> Result<CombinedBatch, BatchError> {
-        let off = *self.offsets.get(k).ok_or_else(|| err(format!("batch {k} out of range")))?;
+        let off = *self
+            .offsets
+            .get(k)
+            .ok_or_else(|| err(format!("batch {k} out of range")))?;
         self.file.seek(SeekFrom::Start(off)).map_err(io_err)?;
         let b = self.read_u64()? as usize;
         let t = self.read_u64()? as usize;

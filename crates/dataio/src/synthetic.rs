@@ -92,7 +92,9 @@ impl SyntheticDataset {
     /// table is empty.
     pub fn new(config: SyntheticConfig) -> Result<Self, BatchError> {
         if config.rows_per_table.len() != config.avg_pooling.len() {
-            return Err(BatchError::new("rows_per_table and avg_pooling lengths differ"));
+            return Err(BatchError::new(
+                "rows_per_table and avg_pooling lengths differ",
+            ));
         }
         if config.rows_per_table.is_empty() {
             return Err(BatchError::new("need at least one table"));
@@ -124,8 +126,9 @@ impl SyntheticDataset {
     /// Panics if `batch_size == 0` (an empty batch is never meaningful).
     pub fn batch(&self, batch_size: usize, batch_index: u64) -> CombinedBatch {
         assert!(batch_size > 0, "batch size must be positive");
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(splitmix(self.config.seed ^ batch_index.wrapping_mul(0x9E37_79B9)));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix(
+            self.config.seed ^ batch_index.wrapping_mul(0x9E37_79B9),
+        ));
         let t = self.config.num_tables();
         let b = batch_size;
 
@@ -185,6 +188,7 @@ impl SyntheticDataset {
         }
 
         CombinedBatch::new(b, t, lengths, indices, dense, labels)
+            // lint: allow(panic) — generator builds mutually consistent arrays
             .expect("generator produces consistent batches")
     }
 }
@@ -255,8 +259,7 @@ mod tests {
     fn pooling_averages_near_config() {
         let d = ds();
         let b = d.batch(1024, 3);
-        let mean =
-            b.lengths().iter().map(|&l| l as f64).sum::<f64>() / b.lengths().len() as f64;
+        let mean = b.lengths().iter().map(|&l| l as f64).sum::<f64>() / b.lengths().len() as f64;
         assert!((mean - 4.0).abs() < 1.0, "mean pooling {mean} ~ 4");
     }
 
@@ -294,7 +297,10 @@ mod tests {
         }
         let hi_rate = hi.1 as f64 / hi.0.max(1) as f64;
         let lo_rate = lo.1 as f64 / lo.0.max(1) as f64;
-        assert!(hi_rate > lo_rate + 0.1, "hi {hi_rate:.3} vs lo {lo_rate:.3}");
+        assert!(
+            hi_rate > lo_rate + 0.1,
+            "hi {hi_rate:.3} vs lo {lo_rate:.3}"
+        );
     }
 
     #[test]
@@ -302,9 +308,15 @@ mod tests {
         let mut cfg = SyntheticConfig::uniform(2, 100, 3, 4);
         cfg.avg_pooling.pop();
         assert!(SyntheticDataset::new(cfg).is_err());
-        let cfg = SyntheticConfig { rows_per_table: vec![], ..SyntheticConfig::uniform(1, 1, 1, 1) };
+        let cfg = SyntheticConfig {
+            rows_per_table: vec![],
+            ..SyntheticConfig::uniform(1, 1, 1, 1)
+        };
         assert!(SyntheticDataset::new(cfg).is_err());
-        let cfg = SyntheticConfig { rows_per_table: vec![0], ..SyntheticConfig::uniform(1, 1, 1, 1) };
+        let cfg = SyntheticConfig {
+            rows_per_table: vec![0],
+            ..SyntheticConfig::uniform(1, 1, 1, 1)
+        };
         assert!(SyntheticDataset::new(cfg).is_err());
     }
 

@@ -23,7 +23,9 @@ pub fn num_pairs(f: usize) -> usize {
 /// given.
 #[allow(clippy::needless_range_loop)] // paired i<j index walk is clearest here
 pub fn dot_interaction(features: &[&Tensor2]) -> Result<Tensor2, ShapeError> {
-    let first = features.first().ok_or_else(|| ShapeError::new("interaction of 0 features"))?;
+    let first = features
+        .first()
+        .ok_or_else(|| ShapeError::new("interaction of 0 features"))?;
     let (b, d) = first.shape();
     if features.iter().any(|t| t.shape() != (b, d)) {
         return Err(ShapeError::new("interaction features must share BxD shape"));
@@ -59,7 +61,9 @@ pub fn dot_interaction_backward(
     features: &[&Tensor2],
     grad_out: &Tensor2,
 ) -> Result<Vec<Tensor2>, ShapeError> {
-    let first = features.first().ok_or_else(|| ShapeError::new("interaction of 0 features"))?;
+    let first = features
+        .first()
+        .ok_or_else(|| ShapeError::new("interaction of 0 features"))?;
     let (b, d) = first.shape();
     let f = features.len();
     if grad_out.shape() != (b, num_pairs(f)) {
@@ -149,7 +153,10 @@ mod tests {
                     arr_m[which] = &fm;
                     let fd = (loss(arr_p) - loss(arr_m)) / (2.0 * eps);
                     let an = grads[which][(i, j)];
-                    assert!((fd - an).abs() < 1e-2, "feat {which} [{i},{j}]: {fd} vs {an}");
+                    assert!(
+                        (fd - an).abs() < 1e-2,
+                        "feat {which} [{i},{j}]: {fd} vs {an}"
+                    );
                 }
             }
         }

@@ -186,7 +186,7 @@ impl Auc {
         }
         // rank-sum with average ranks for ties
         let mut sorted: Vec<(f32, bool)> = self.scores.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut rank_sum_pos = 0.0f64;
         let mut i = 0;
         while i < sorted.len() {
@@ -249,7 +249,11 @@ mod tests {
             let fp = bce_with_logits(&lp, &labels).unwrap().0;
             let fm = bce_with_logits(&lm, &labels).unwrap().0;
             let fd = (fp - fm) / (2.0 * eps);
-            assert!((fd - grad[(i, 0)]).abs() < 1e-3, "{i}: {fd} vs {}", grad[(i, 0)]);
+            assert!(
+                (fd - grad[(i, 0)]).abs() < 1e-3,
+                "{i}: {fd} vs {}",
+                grad[(i, 0)]
+            );
         }
     }
 
@@ -305,8 +309,22 @@ mod tests {
         let mut inverted = Auc::new();
         for i in 0..50 {
             let y = (i % 2) as f32;
-            perfect.observe(if y == 1.0 { 2.0 + i as f32 } else { -2.0 - i as f32 }, y);
-            inverted.observe(if y == 1.0 { -2.0 - i as f32 } else { 2.0 + i as f32 }, y);
+            perfect.observe(
+                if y == 1.0 {
+                    2.0 + i as f32
+                } else {
+                    -2.0 - i as f32
+                },
+                y,
+            );
+            inverted.observe(
+                if y == 1.0 {
+                    -2.0 - i as f32
+                } else {
+                    2.0 + i as f32
+                },
+                y,
+            );
         }
         assert_eq!(perfect.value(), Some(1.0));
         assert_eq!(inverted.value(), Some(0.0));
@@ -348,7 +366,11 @@ mod tests {
         for i in 0..30 {
             let y = (i % 3 == 0) as u8 as f32;
             let s = ((i * 7) % 11) as f32 * 0.1 + y * 0.2;
-            if i % 2 == 0 { a.observe(s, y) } else { b.observe(s, y) }
+            if i % 2 == 0 {
+                a.observe(s, y)
+            } else {
+                b.observe(s, y)
+            }
             all.observe(s, y);
         }
         a.merge(&b);

@@ -49,7 +49,11 @@ impl DlrmConfig {
             dense_dim: 4,
             bottom_mlp: vec![8, d],
             tables: (0..num_tables)
-                .map(|_| EmbTableCfg { num_rows: rows, dim: d, avg_pooling: 3 })
+                .map(|_| EmbTableCfg {
+                    num_rows: rows,
+                    dim: d,
+                    avg_pooling: 3,
+                })
                 .collect(),
             top_mlp: vec![16, 1],
         }
@@ -57,6 +61,7 @@ impl DlrmConfig {
 
     /// Embedding dimension (bottom-MLP output width).
     pub fn emb_dim(&self) -> usize {
+        // lint: allow(panic) — configs are built with at least one layer
         *self.bottom_mlp.last().expect("bottom mlp nonempty")
     }
 
@@ -165,7 +170,13 @@ impl DlrmModel {
             .iter()
             .map(|t| Box::new(DenseStore::random(t.num_rows, t.dim, &mut rng)) as Box<dyn RowStore>)
             .collect();
-        Ok(Self { cfg: cfg.clone(), bottom, top, tables, cache: None })
+        Ok(Self {
+            cfg: cfg.clone(),
+            bottom,
+            top,
+            tables,
+            cache: None,
+        })
     }
 
     /// The configuration.
@@ -201,7 +212,10 @@ impl DlrmModel {
         let inter = dot_interaction(&refs)?;
         let top_in = Tensor2::hcat(&[&features[0], &inter])?;
         let logits = self.top.forward(&top_in);
-        self.cache = Some(ForwardCache { features, lengths_indices });
+        self.cache = Some(ForwardCache {
+            features,
+            lengths_indices,
+        });
         Ok(logits)
     }
 

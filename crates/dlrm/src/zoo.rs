@@ -201,7 +201,12 @@ mod tests {
             assert_eq!(tables.len(), p.num_tables);
             let total: f64 = tables.iter().map(|&(r, d, _)| r as f64 * d as f64).sum();
             let rel = (total - p.num_params).abs() / p.num_params;
-            assert!(rel < 0.05, "{}: {total:.3e} vs {:.3e}", p.name, p.num_params);
+            assert!(
+                rel < 0.05,
+                "{}: {total:.3e} vs {:.3e}",
+                p.name,
+                p.num_params
+            );
         }
     }
 
@@ -227,13 +232,20 @@ mod tests {
     fn f1_has_multi_node_tables() {
         // §5.3.3: single tables of ~10B rows x 256 -> multi-TB
         let tables = ModelProfile::f1().synthetic_tables();
-        let biggest = tables.iter().map(|&(r, d, _)| r * d as u64 * 4).max().unwrap();
+        let biggest = tables
+            .iter()
+            .map(|&(r, d, _)| r * d as u64 * 4)
+            .max()
+            .unwrap();
         assert!(biggest > 2u64 << 40, "largest table {biggest} bytes > 2 TB");
     }
 
     #[test]
     fn deterministic() {
-        assert_eq!(ModelProfile::a1().synthetic_tables(), ModelProfile::a1().synthetic_tables());
+        assert_eq!(
+            ModelProfile::a1().synthetic_tables(),
+            ModelProfile::a1().synthetic_tables()
+        );
     }
 
     #[test]

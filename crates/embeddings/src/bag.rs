@@ -23,7 +23,10 @@ pub struct SparseGrad {
 impl SparseGrad {
     /// An empty gradient for a table of width `dim`.
     pub fn empty(dim: usize) -> Self {
-        Self { indices: Vec::new(), grads: Tensor2::zeros(0, dim) }
+        Self {
+            indices: Vec::new(),
+            grads: Tensor2::zeros(0, dim),
+        }
     }
 
     /// Number of (row, grad) pairs.
@@ -38,11 +41,7 @@ impl SparseGrad {
 }
 
 /// Validates a combined-format batch against a table.
-fn validate(
-    store: &dyn RowStore,
-    lengths: &[u32],
-    indices: &[u64],
-) -> Result<(), StoreError> {
+fn validate(store: &dyn RowStore, lengths: &[u32], indices: &[u64]) -> Result<(), StoreError> {
     let expected: usize = lengths.iter().map(|&l| l as usize).sum();
     if expected != indices.len() {
         return Err(StoreError::new(format!(
@@ -89,6 +88,7 @@ pub fn pooled_forward(
         }
         cursor += len as usize;
     }
+    neo_tensor::sanitize::check_finite("pooled embedding output", out.as_slice());
     Ok(out)
 }
 
@@ -124,7 +124,10 @@ pub fn pooled_backward(
         }
         cursor += len as usize;
     }
-    Ok(SparseGrad { indices: indices.to_vec(), grads })
+    Ok(SparseGrad {
+        indices: indices.to_vec(),
+        grads,
+    })
 }
 
 /// Weighted sum-pooled forward lookup: bag `b` pools
@@ -165,6 +168,7 @@ pub fn weighted_pooled_forward(
         }
         cursor += len as usize;
     }
+    neo_tensor::sanitize::check_finite("weighted pooled embedding output", out.as_slice());
     Ok(out)
 }
 
@@ -181,7 +185,9 @@ pub fn weighted_pooled_backward(
     grad_out: &Tensor2,
 ) -> Result<SparseGrad, StoreError> {
     if weights.len() != indices.len() {
-        return Err(StoreError::new("weights/indices mismatch in weighted backward"));
+        return Err(StoreError::new(
+            "weights/indices mismatch in weighted backward",
+        ));
     }
     let mut sg = pooled_backward(lengths, indices, grad_out)?;
     for (k, &w) in weights.iter().enumerate() {
@@ -244,7 +250,9 @@ pub fn fused_backward_grads(
 ) -> Result<SparseGrad, StoreError> {
     let expected: usize = lengths.iter().map(|&l| l as usize).sum();
     if expected != indices.len() {
-        return Err(StoreError::new("lengths/indices mismatch in fused backward"));
+        return Err(StoreError::new(
+            "lengths/indices mismatch in fused backward",
+        ));
     }
     if grad_out.rows() != lengths.len() {
         return Err(StoreError::new(format!(
@@ -281,6 +289,7 @@ pub fn fused_backward_grads(
     let n = out_indices.len();
     Ok(SparseGrad {
         indices: out_indices,
+        // lint: allow(panic) — rows holds exactly n * dim elements by construction
         grads: Tensor2::from_vec(n, dim, rows).expect("accumulator shape"),
     })
 }
@@ -332,6 +341,7 @@ pub fn fused_pooled_forward(
             }
             cursor += len as usize;
         }
+        neo_tensor::sanitize::check_finite("fused pooled embedding output", out.as_slice());
         outs.push(out);
     }
     Ok(outs)
@@ -367,7 +377,10 @@ mod tests {
     #[test]
     fn forward_rejects_bad_inputs() {
         let mut t = table();
-        assert!(pooled_forward(&mut t, &[2], &[1]).is_err(), "length mismatch");
+        assert!(
+            pooled_forward(&mut t, &[2], &[1]).is_err(),
+            "length mismatch"
+        );
         assert!(pooled_forward(&mut t, &[1], &[99]).is_err(), "oob index");
     }
 
@@ -387,7 +400,10 @@ mod tests {
     fn backward_shape_checks() {
         let g = Tensor2::zeros(1, 2);
         assert!(pooled_backward(&[2], &[1], &g).is_err(), "length mismatch");
-        assert!(pooled_backward(&[1, 1], &[1, 2], &g).is_err(), "bag count mismatch");
+        assert!(
+            pooled_backward(&[1, 1], &[1, 2], &g).is_err(),
+            "bag count mismatch"
+        );
     }
 
     /// Gradient check: d(pooled)/d(row) accumulated over duplicates.
@@ -417,8 +433,14 @@ mod tests {
             Box::new(DenseStore::random(50, 4, &mut rng)),
             Box::new(DenseStore::random(30, 8, &mut rng)),
         ];
-        let b0 = TableBatch { lengths: &[2, 3], indices: &[1, 2, 10, 11, 12] };
-        let b1 = TableBatch { lengths: &[1, 0], indices: &[29] };
+        let b0 = TableBatch {
+            lengths: &[2, 3],
+            indices: &[1, 2, 10, 11, 12],
+        };
+        let b1 = TableBatch {
+            lengths: &[1, 0],
+            indices: &[29],
+        };
         let fused = fused_pooled_forward(&mut tables, &[b0.clone(), b1.clone()]).unwrap();
         let sep0 = pooled_forward(tables[0].as_mut(), b0.lengths, b0.indices).unwrap();
         let sep1 = pooled_forward(tables[1].as_mut(), b1.lengths, b1.indices).unwrap();
@@ -538,8 +560,10 @@ mod weighted_tests {
             let fp = weighted_pooled_forward(&mut t, &lengths, &indices, &wp).unwrap();
             let fm = weighted_pooled_forward(&mut t, &lengths, &indices, &wm).unwrap();
             let mut fd = 0.0f32;
-            for (a, (b, g)) in
-                fp.as_slice().iter().zip(fm.as_slice().iter().zip(grad_out.as_slice()))
+            for (a, (b, g)) in fp
+                .as_slice()
+                .iter()
+                .zip(fm.as_slice().iter().zip(grad_out.as_slice()))
             {
                 fd += (a - b) * g;
             }

@@ -45,6 +45,7 @@ pub fn merge_grads(grad: &SparseGrad) -> SparseGrad {
     for &k in &order {
         let idx = grad.indices[k];
         if indices.last() == Some(&idx) {
+            // lint: allow(panic) — indices.last() matched, so rows is non-empty
             let acc = rows.last_mut().expect("row exists for last index");
             for (a, &g) in acc.iter_mut().zip(grad.grads.row(k)) {
                 *a += g;
@@ -82,6 +83,7 @@ pub trait SparseOptimizer: Send {
             let single = SparseGrad {
                 indices: vec![grad.indices[k]],
                 grads: Tensor2::from_vec(1, grad.grads.cols(), grad.grads.row(k).to_vec())
+                    // lint: allow(panic) — one row of cols() elements always fits
                     .expect("single row"),
             };
             self.apply_merged(store, &single);
@@ -113,6 +115,8 @@ impl SparseSgd {
 
 impl SparseOptimizer for SparseSgd {
     fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad) {
+        neo_tensor::sanitize::check_indices(self.name(), &merged.indices, store.num_rows());
+        neo_tensor::sanitize::check_finite(self.name(), merged.grads.as_slice());
         let dim = store.dim();
         let mut buf = vec![0.0f32; dim];
         for (k, &idx) in merged.indices.iter().enumerate() {
@@ -150,12 +154,19 @@ pub struct SparseAdagrad {
 impl SparseAdagrad {
     /// Creates AdaGrad state for a `num_rows x dim` table.
     pub fn new(lr: f32, eps: f32, num_rows: u64, dim: usize) -> Self {
-        Self { lr, eps, dim, moment: vec![0.0; num_rows as usize * dim] }
+        Self {
+            lr,
+            eps,
+            dim,
+            moment: vec![0.0; num_rows as usize * dim],
+        }
     }
 }
 
 impl SparseOptimizer for SparseAdagrad {
     fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad) {
+        neo_tensor::sanitize::check_indices(self.name(), &merged.indices, store.num_rows());
+        neo_tensor::sanitize::check_finite(self.name(), merged.grads.as_slice());
         let dim = self.dim;
         let mut buf = vec![0.0f32; dim];
         for (k, &idx) in merged.indices.iter().enumerate() {
@@ -197,12 +208,18 @@ pub struct RowWiseAdagrad {
 impl RowWiseAdagrad {
     /// Creates row-wise AdaGrad state for a table with `num_rows` rows.
     pub fn new(lr: f32, eps: f32, num_rows: u64) -> Self {
-        Self { lr, eps, moment: vec![0.0; num_rows as usize] }
+        Self {
+            lr,
+            eps,
+            moment: vec![0.0; num_rows as usize],
+        }
     }
 }
 
 impl SparseOptimizer for RowWiseAdagrad {
     fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad) {
+        neo_tensor::sanitize::check_indices(self.name(), &merged.indices, store.num_rows());
+        neo_tensor::sanitize::check_finite(self.name(), merged.grads.as_slice());
         let dim = store.dim();
         let mut buf = vec![0.0f32; dim];
         for (k, &idx) in merged.indices.iter().enumerate() {
@@ -266,6 +283,8 @@ impl SparseAdam {
 
 impl SparseOptimizer for SparseAdam {
     fn apply_merged(&mut self, store: &mut dyn RowStore, merged: &SparseGrad) {
+        neo_tensor::sanitize::check_indices(self.name(), &merged.indices, store.num_rows());
+        neo_tensor::sanitize::check_finite(self.name(), merged.grads.as_slice());
         let dim = self.dim;
         let mut buf = vec![0.0f32; dim];
         for (k, &idx) in merged.indices.iter().enumerate() {
@@ -277,8 +296,11 @@ impl SparseOptimizer for SparseAdam {
             store.read_row(idx, &mut buf);
             let ms = &mut self.m[r * dim..(r + 1) * dim];
             let vs = &mut self.v[r * dim..(r + 1) * dim];
-            for (((val, &g), mi), vi) in
-                buf.iter_mut().zip(merged.grads.row(k)).zip(ms.iter_mut()).zip(vs.iter_mut())
+            for (((val, &g), mi), vi) in buf
+                .iter_mut()
+                .zip(merged.grads.row(k))
+                .zip(ms.iter_mut())
+                .zip(vs.iter_mut())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
@@ -315,7 +337,10 @@ mod tests {
                 *x = v;
             }
         }
-        SparseGrad { indices: pairs.iter().map(|&(i, _)| i).collect(), grads: g }
+        SparseGrad {
+            indices: pairs.iter().map(|&(i, _)| i).collect(),
+            grads: g,
+        }
     }
 
     #[test]
@@ -359,7 +384,10 @@ mod tests {
         // merged: g=2, m=4, step = -0.1*2/2 = -0.1
         assert!((av + 0.1).abs() < 1e-6, "merged {av}");
         // unmerged: two steps of -0.1*1/1 and -0.1*1/sqrt(2)
-        assert!((bv + 0.1 - (-0.1 / 2f32.sqrt())).abs() < 1e-6, "unmerged {bv}");
+        assert!(
+            (bv + 0.1 - (-0.1 / 2f32.sqrt())).abs() < 1e-6,
+            "unmerged {bv}"
+        );
         assert_ne!(av, bv);
     }
 
@@ -416,7 +444,10 @@ mod tests {
         for _ in 0..300 {
             store.read_row(0, &mut buf);
             let g: Vec<f32> = buf.iter().map(|v| 2.0 * (v - 1.0)).collect();
-            let sg = SparseGrad { indices: vec![0], grads: Tensor2::from_vec(1, 4, g).unwrap() };
+            let sg = SparseGrad {
+                indices: vec![0],
+                grads: Tensor2::from_vec(1, 4, g).unwrap(),
+            };
             opt.step(&mut store, &sg);
         }
         store.read_row(0, &mut buf);

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use neo_tensor::{init, F16, Tensor2};
+use neo_tensor::{init, Tensor2, F16};
 use rand::{Rng, SeedableRng};
 
 /// Error produced by storage operations.
@@ -83,13 +83,17 @@ pub struct DenseStore {
 impl DenseStore {
     /// Zero-initialized table.
     pub fn zeros(num_rows: u64, dim: usize) -> Self {
-        Self { data: Tensor2::zeros(num_rows as usize, dim) }
+        Self {
+            data: Tensor2::zeros(num_rows as usize, dim),
+        }
     }
 
     /// Table initialized with `U(-1/sqrt(H), 1/sqrt(H))` like the DLRM
     /// reference implementation.
     pub fn random(num_rows: u64, dim: usize, rng: &mut impl Rng) -> Self {
-        Self { data: init::embedding_uniform(num_rows as usize, dim, rng) }
+        Self {
+            data: init::embedding_uniform(num_rows as usize, dim, rng),
+        }
     }
 
     /// Wraps an existing dense tensor.
@@ -165,7 +169,11 @@ impl HalfStore {
     /// Randomly initialized FP16 table.
     pub fn random(num_rows: u64, dim: usize, rng: &mut impl Rng) -> Self {
         let dense = init::embedding_uniform(num_rows as usize, dim, rng);
-        let bits = dense.as_slice().iter().map(|&v| F16::from_f32(v).to_bits()).collect();
+        let bits = dense
+            .as_slice()
+            .iter()
+            .map(|&v| F16::from_f32(v).to_bits())
+            .collect();
         Self {
             bits,
             num_rows,
@@ -259,7 +267,10 @@ mod tests {
         let mut buf = [0.0; 2];
         s.read_row(0, &mut buf);
         assert_eq!(buf[0], 1.0, "1.0 is exact in fp16");
-        assert!((buf[1] - 0.333_333_34).abs() < 1e-3, "quantized to ~fp16 precision");
+        assert!(
+            (buf[1] - 0.333_333_34).abs() < 1e-3,
+            "quantized to ~fp16 precision"
+        );
         assert_ne!(buf[1], 0.333_333_34, "fp16 cannot hold 1/3 exactly");
         assert_eq!(s.param_bytes(), 16, "half the fp32 footprint");
     }

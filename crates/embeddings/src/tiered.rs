@@ -127,7 +127,11 @@ mod tests {
     use crate::store::DenseStore;
 
     fn tiered(rows: u64, dim: usize, cache_rows: usize) -> TieredStore {
-        TieredStore::new(Box::new(DenseStore::zeros(rows, dim)), cache_rows, Policy::Lru)
+        TieredStore::new(
+            Box::new(DenseStore::zeros(rows, dim)),
+            cache_rows,
+            Policy::Lru,
+        )
     }
 
     #[test]
@@ -198,10 +202,18 @@ mod tests {
         let mut buf = [0.0; 4];
         // Zipf-ish: 90% of accesses to 32 hot rows
         for i in 0..5000u64 {
-            let row = if i % 10 < 9 { i % 32 } else { (i * 131) % 10_000 };
+            let row = if i % 10 < 9 {
+                i % 32
+            } else {
+                (i * 131) % 10_000
+            };
             t.read_row(row, &mut buf);
         }
-        assert!(t.cache_stats().hit_rate() > 0.8, "{}", t.cache_stats().hit_rate());
+        assert!(
+            t.cache_stats().hit_rate() > 0.8,
+            "{}",
+            t.cache_stats().hit_rate()
+        );
     }
 
     #[test]

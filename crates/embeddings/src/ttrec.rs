@@ -111,9 +111,18 @@ impl TtRecTable {
         let h = shape.num_rows() as f32;
         let target = 1.0 / h.sqrt();
         let s = (target / shape.rank as f32).sqrt();
-        let g1 = (0..shape.h1 * shape.d1 * shape.rank).map(|_| rng.gen_range(-s..s)).collect();
-        let g2 = (0..shape.h2 * shape.rank * shape.d2).map(|_| rng.gen_range(-s..s)).collect();
-        Ok(Self { shape, g1, g2, write_lr: 1.0 })
+        let g1 = (0..shape.h1 * shape.d1 * shape.rank)
+            .map(|_| rng.gen_range(-s..s))
+            .collect();
+        let g2 = (0..shape.h2 * shape.rank * shape.d2)
+            .map(|_| rng.gen_range(-s..s))
+            .collect();
+        Ok(Self {
+            shape,
+            g1,
+            g2,
+            write_lr: 1.0,
+        })
     }
 
     /// Sets the step size used when projecting writes onto the cores.
@@ -238,7 +247,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn shape() -> TtShape {
-        TtShape { h1: 8, h2: 8, d1: 2, d2: 4, rank: 3 }
+        TtShape {
+            h1: 8,
+            h2: 8,
+            d1: 2,
+            d2: 4,
+            rank: 3,
+        }
     }
 
     fn rng() -> rand::rngs::StdRng {
@@ -283,13 +298,20 @@ mod tests {
         let err = |t: &mut TtRecTable| {
             let mut cur = vec![0.0f32; 8];
             t.read_row(5, &mut cur);
-            cur.iter().zip(&target).map(|(c, g)| (c - g) * (c - g)).sum::<f32>()
+            cur.iter()
+                .zip(&target)
+                .map(|(c, g)| (c - g) * (c - g))
+                .sum::<f32>()
         };
         let before = err(&mut t);
         for _ in 0..200 {
             let mut cur = vec![0.0f32; 8];
             t.read_row(5, &mut cur);
-            let grad: Vec<f32> = cur.iter().zip(&target).map(|(c, g)| 2.0 * (c - g)).collect();
+            let grad: Vec<f32> = cur
+                .iter()
+                .zip(&target)
+                .map(|(c, g)| 2.0 * (c - g))
+                .collect();
             t.apply_row_grad(5, &grad, 0.05);
         }
         let after = err(&mut t);
@@ -298,7 +320,9 @@ mod tests {
 
     #[test]
     fn write_row_moves_toward_data() {
-        let mut t = TtRecTable::random(shape(), &mut rng()).unwrap().with_write_lr(0.1);
+        let mut t = TtRecTable::random(shape(), &mut rng())
+            .unwrap()
+            .with_write_lr(0.1);
         let target = vec![0.1f32; 8];
         let mut cur = vec![0.0f32; 8];
         t.read_row(0, &mut cur);
@@ -326,16 +350,31 @@ mod tests {
 
     #[test]
     fn param_bytes_reflect_compression() {
-        let big = TtShape { h1: 1000, h2: 1000, d1: 8, d2: 16, rank: 8 };
+        let big = TtShape {
+            h1: 1000,
+            h2: 1000,
+            d1: 8,
+            d2: 16,
+            rank: 8,
+        };
         let t = TtRecTable::random(big, &mut rng()).unwrap();
         let dense_bytes = big.dense_params() * 4;
-        assert!(t.param_bytes() * 100 < dense_bytes, "two orders of magnitude smaller");
+        assert!(
+            t.param_bytes() * 100 < dense_bytes,
+            "two orders of magnitude smaller"
+        );
     }
 
     #[test]
     fn production_scale_compression_ratio() {
         // a 10M-row, 128-dim table at rank 16 compresses > 1000x
-        let s = TtShape { h1: 3163, h2: 3163, d1: 8, d2: 16, rank: 16 };
+        let s = TtShape {
+            h1: 3163,
+            h2: 3163,
+            d1: 8,
+            d2: 16,
+            rank: 16,
+        };
         assert!(s.compression_ratio() > 1000.0, "{}", s.compression_ratio());
     }
 }

@@ -1,0 +1,67 @@
+//! Sanitizer behavior tests (ISSUE acceptance criterion): an out-of-range
+//! embedding index reaching a sparse optimizer is caught with
+//! `--features sanitize` and ignored without it.
+//!
+//! Run both ways:
+//! ```text
+//! cargo test -p neo-embeddings
+//! cargo test -p neo-embeddings --features sanitize
+//! ```
+
+use neo_embeddings::bag;
+use neo_tensor::{sanitize, Tensor2};
+
+#[cfg(feature = "sanitize")]
+mod armed {
+    use super::*;
+    use neo_embeddings::bag::SparseGrad;
+    use neo_embeddings::optim::{SparseOptimizer, SparseSgd};
+    use neo_embeddings::store::{DenseStore, RowStore};
+
+    fn oob_grad() -> SparseGrad {
+        SparseGrad {
+            indices: vec![99],
+            grads: Tensor2::full(1, 2, 0.5),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sanitize: index 99")]
+    fn oob_embedding_index_is_caught() {
+        let mut store = DenseStore::zeros(8, 2);
+        SparseSgd::new(0.1).step(&mut store, &oob_grad());
+    }
+
+    #[test]
+    #[should_panic(expected = "sanitize:")]
+    fn nan_in_embedding_table_is_caught_by_pooled_forward() {
+        let mut store = DenseStore::zeros(8, 2);
+        store.write_row(3, &[f32::NAN, 1.0]);
+        let _ = bag::pooled_forward(&mut store, &[1], &[3]);
+    }
+
+    #[test]
+    fn in_range_updates_pass_the_bounds_check() {
+        let mut store = DenseStore::zeros(8, 2);
+        let sg = SparseGrad {
+            indices: vec![3],
+            grads: Tensor2::full(1, 2, 1.0),
+        };
+        SparseSgd::new(0.1).step(&mut store, &sg);
+        assert_eq!(store.to_dense().row(3), &[-0.1, -0.1]);
+        assert!(sanitize::enabled());
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+#[test]
+fn oob_index_in_gradient_data_is_ignored_without_sanitize() {
+    // An out-of-range index is plain data until something dereferences it:
+    // the backward pass and the sanitizer hooks both let it through when
+    // the feature is off.
+    let grad_out = Tensor2::full(1, 2, 1.0);
+    let sg = bag::pooled_backward(&[1], &[999], &grad_out).unwrap();
+    assert_eq!(sg.indices, vec![999]);
+    sanitize::check_indices("feature off: compiled to a no-op", &sg.indices, 8);
+    assert!(!sanitize::enabled());
+}

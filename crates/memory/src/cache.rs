@@ -106,7 +106,10 @@ impl SetAssocCache {
     ///
     /// Panics if any dimension is zero.
     pub fn new(num_sets: usize, ways: usize, row_width: usize, policy: Policy) -> Self {
-        assert!(num_sets > 0 && ways > 0 && row_width > 0, "cache dimensions must be nonzero");
+        assert!(
+            num_sets > 0 && ways > 0 && row_width > 0,
+            "cache dimensions must be nonzero"
+        );
         Self {
             sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
@@ -259,12 +262,14 @@ impl SetAssocCache {
                     .enumerate()
                     .min_by_key(|(_, l)| l.last_used)
                     .map(|(i, _)| i)
+                    // lint: allow(panic) — guard ensures lines.len() == ways > 0
                     .expect("nonempty set"),
                 Policy::Lfu => lines
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, l)| (l.freq, l.last_used))
                     .map(|(i, _)| i)
+                    // lint: allow(panic) — guard ensures lines.len() == ways > 0
                     .expect("nonempty set"),
             };
             let line = lines.swap_remove(idx);
@@ -272,9 +277,19 @@ impl SetAssocCache {
             if line.dirty {
                 self.stats.writebacks += 1;
             }
-            victim = Some(Evicted { key: line.key, data: line.data, dirty: line.dirty });
+            victim = Some(Evicted {
+                key: line.key,
+                data: line.data,
+                dirty: line.dirty,
+            });
         }
-        lines.push(Line { key, data: data.to_vec(), dirty, last_used: clock, freq: 1 });
+        lines.push(Line {
+            key,
+            data: data.to_vec(),
+            dirty,
+            last_used: clock,
+            freq: 1,
+        });
         victim
     }
 
@@ -284,7 +299,11 @@ impl SetAssocCache {
         let lines = &mut self.sets[set];
         let idx = lines.iter().position(|l| l.key == key)?;
         let line = lines.swap_remove(idx);
-        Some(Evicted { key: line.key, data: line.data, dirty: line.dirty })
+        Some(Evicted {
+            key: line.key,
+            data: line.data,
+            dirty: line.dirty,
+        })
     }
 
     /// Drains every dirty line (clearing its dirty bit) so the caller can
@@ -294,7 +313,11 @@ impl SetAssocCache {
         for lines in &mut self.sets {
             for line in lines.iter_mut().filter(|l| l.dirty) {
                 line.dirty = false;
-                out.push(Evicted { key: line.key, data: line.data.clone(), dirty: true });
+                out.push(Evicted {
+                    key: line.key,
+                    data: line.data.clone(),
+                    dirty: true,
+                });
             }
         }
         out

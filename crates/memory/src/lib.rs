@@ -17,6 +17,8 @@
 //! page-granularity baseline, and [`tier`] describes capacities and
 //! bandwidths of each level so traffic counts convert into modelled time.
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 #![deny(missing_docs)]
 
 pub mod cache;

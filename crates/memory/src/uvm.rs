@@ -92,6 +92,7 @@ impl UvmPageCache {
                 .resident
                 .iter()
                 .min_by_key(|(_, (t, _))| *t)
+                // lint: allow(panic) — resident.len() == capacity_pages > 0 here
                 .expect("nonempty uvm cache");
             self.resident.remove(&victim);
             self.stats.evictions += 1;

@@ -117,7 +117,11 @@ impl CollectiveCost {
         let msg_per_peer = bytes_per_gpu / w;
         let saturation = msg_per_peer / (msg_per_peer + self.topology.alltoall_half_sat);
         let inter_bw = self.topology.scale_out.bandwidth * saturation;
-        let inter_t = if inter_bytes > 0.0 { inter_bytes / inter_bw } else { 0.0 };
+        let inter_t = if inter_bytes > 0.0 {
+            inter_bytes / inter_bw
+        } else {
+            0.0
+        };
         let latency = self.topology.scale_out.latency_s + (w - 1.0) * PER_PEER_OVERHEAD_S;
         intra_t.max(inter_t) + latency
     }

@@ -64,10 +64,22 @@ impl ClusterTopology {
         Self {
             num_nodes,
             gpus_per_node: 8,
-            scale_up: LinkSpec { bandwidth: 120e9, latency_s: 3e-6 },
-            scale_out: LinkSpec { bandwidth: 10.5e9, latency_s: 6e-6 },
-            host: LinkSpec { bandwidth: 2.0 * 12.5e9, latency_s: 10e-6 },
-            pcie: LinkSpec { bandwidth: 13e9, latency_s: 4e-6 },
+            scale_up: LinkSpec {
+                bandwidth: 120e9,
+                latency_s: 3e-6,
+            },
+            scale_out: LinkSpec {
+                bandwidth: 10.5e9,
+                latency_s: 6e-6,
+            },
+            host: LinkSpec {
+                bandwidth: 2.0 * 12.5e9,
+                latency_s: 10e-6,
+            },
+            pcie: LinkSpec {
+                bandwidth: 13e9,
+                latency_s: 4e-6,
+            },
             alltoall_half_sat: 768e3,
         }
     }
@@ -117,7 +129,10 @@ mod tests {
 
     #[test]
     fn transfer_time_includes_latency() {
-        let l = LinkSpec { bandwidth: 1e9, latency_s: 1e-6 };
+        let l = LinkSpec {
+            bandwidth: 1e9,
+            latency_s: 1e-6,
+        };
         assert!((l.transfer_time(1e9) - 1.000001).abs() < 1e-9);
         assert!((l.transfer_time(0.0) - 1e-6).abs() < 1e-12);
     }

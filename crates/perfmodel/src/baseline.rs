@@ -50,8 +50,10 @@ impl PsCluster {
         let compute_qps = self.trainers as f64 * self.trainer_flops / per_sample_flops;
         // network: each sample pulls + pushes its embedding rows
         let tables = model.synthetic_tables();
-        let bytes_per_sample: f64 =
-            tables.iter().map(|&(_, d, l)| 2.0 * l * d as f64 * 4.0).sum();
+        let bytes_per_sample: f64 = tables
+            .iter()
+            .map(|&(_, d, l)| 2.0 * l * d as f64 * 4.0)
+            .sum();
         let net_qps = self.parameter_servers as f64 * self.ps_net_bw / bytes_per_sample;
         compute_qps.min(net_qps) * self.efficiency()
     }
@@ -105,15 +107,29 @@ mod tests {
     #[test]
     fn headline_ratios() {
         let h = headline(&ModelProfile::a1(), 273e3, 1047e3);
-        assert!(h.speedup_16 > 1.5 && h.speedup_16 < 10.0, "3x-ish: {:.1}", h.speedup_16);
-        assert!(h.speedup_128 > 8.0, "order-of-magnitude+: {:.1}", h.speedup_128);
+        assert!(
+            h.speedup_16 > 1.5 && h.speedup_16 < 10.0,
+            "3x-ish: {:.1}",
+            h.speedup_16
+        );
+        assert!(
+            h.speedup_128 > 8.0,
+            "order-of-magnitude+: {:.1}",
+            h.speedup_128
+        );
         assert!(h.speedup_128 / h.speedup_16 > 3.0);
     }
 
     #[test]
     fn efficiency_declines_with_trainers() {
-        let few = PsCluster { trainers: 4, ..PsCluster::paper_baseline() };
-        let many = PsCluster { trainers: 64, ..PsCluster::paper_baseline() };
+        let few = PsCluster {
+            trainers: 4,
+            ..PsCluster::paper_baseline()
+        };
+        let many = PsCluster {
+            trainers: 64,
+            ..PsCluster::paper_baseline()
+        };
         assert!(few.efficiency() > many.efficiency());
         assert!(many.efficiency() >= 0.1);
     }

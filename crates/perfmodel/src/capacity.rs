@@ -40,9 +40,18 @@ pub fn capacity_chain(p: &ModelProfile) -> Vec<CapacityStep> {
     let rowwise = params * 4.0 + rows * 4.0; // per-row optimizer state
     let fp16 = params * 2.0 + rows * 4.0;
     vec![
-        CapacityStep { label: "FP32 + full AdaGrad state".into(), bytes: naive },
-        CapacityStep { label: "+ row-wise AdaGrad".into(), bytes: rowwise },
-        CapacityStep { label: "+ FP16 embeddings".into(), bytes: fp16 },
+        CapacityStep {
+            label: "FP32 + full AdaGrad state".into(),
+            bytes: naive,
+        },
+        CapacityStep {
+            label: "+ row-wise AdaGrad".into(),
+            bytes: rowwise,
+        },
+        CapacityStep {
+            label: "+ FP16 embeddings".into(),
+            bytes: fp16,
+        },
     ]
 }
 
@@ -75,9 +84,17 @@ pub fn fit_on_cluster(bytes: f64, nodes: usize) -> FitReport {
     match scaled.place(bytes as u64) {
         Ok(placement) => {
             let bw = scaled.effective_read_bw(bytes as u64).unwrap_or(0.0);
-            FitReport { placement, fits: true, effective_bw: bw }
+            FitReport {
+                placement,
+                fits: true,
+                effective_bw: bw,
+            }
         }
-        Err(_) => FitReport { placement: Vec::new(), fits: false, effective_bw: 0.0 },
+        Err(_) => FitReport {
+            placement: Vec::new(),
+            fits: false,
+            effective_bw: 0.0,
+        },
     }
 }
 
@@ -88,7 +105,11 @@ mod tests {
     #[test]
     fn f1_chain_matches_paper() {
         let chain = capacity_chain(&ModelProfile::f1());
-        assert!((chain[0].bytes - 96e12).abs() / 96e12 < 0.01, "{:.3e}", chain[0].bytes);
+        assert!(
+            (chain[0].bytes - 96e12).abs() / 96e12 < 0.01,
+            "{:.3e}",
+            chain[0].bytes
+        );
         // rowwise: 48 TB + ~0.19 TB of row state
         assert!(chain[1].bytes < 50e12 && chain[1].bytes > 48e12);
         assert!(chain[2].bytes < 26e12, "final fits the 28 TB hierarchy");
@@ -98,7 +119,10 @@ mod tests {
     #[test]
     fn naive_f1_does_not_fit_16_nodes() {
         let chain = capacity_chain(&ModelProfile::f1());
-        assert!(!fit_on_cluster(chain[0].bytes, 16).fits, "96 TB > 4 + 24 + 50 TB SSD? ");
+        assert!(
+            !fit_on_cluster(chain[0].bytes, 16).fits,
+            "96 TB > 4 + 24 + 50 TB SSD? "
+        );
     }
 
     #[test]

@@ -27,7 +27,13 @@ pub struct EmbBenchConfig {
 
 impl Default for EmbBenchConfig {
     fn default() -> Self {
-        Self { tables: 64, rows: 1_000_000, dim: 128, pooling: 32, batch: 2048 }
+        Self {
+            tables: 64,
+            rows: 1_000_000,
+            dim: 128,
+            pooling: 32,
+            batch: 2048,
+        }
     }
 }
 
@@ -86,7 +92,11 @@ mod tests {
     fn fig18_anchor_v100_fp32() {
         // paper: ~850 GB/s achievable on V100 at D=128 FP32; the model
         // lands within the same band after the row-overhead discount
-        let bw = forward_bandwidth(&DeviceProfile::v100(), Precision::Fp32, EmbBenchConfig::default());
+        let bw = forward_bandwidth(
+            &DeviceProfile::v100(),
+            Precision::Fp32,
+            EmbBenchConfig::default(),
+        );
         assert!(bw > 600e9 && bw <= 850e9, "{bw:.3e}");
     }
 
@@ -111,8 +121,22 @@ mod tests {
     #[test]
     fn narrow_rows_less_efficient() {
         let v = DeviceProfile::v100();
-        let wide = forward_bandwidth(&v, Precision::Fp32, EmbBenchConfig { dim: 256, ..Default::default() });
-        let narrow = forward_bandwidth(&v, Precision::Fp32, EmbBenchConfig { dim: 16, ..Default::default() });
+        let wide = forward_bandwidth(
+            &v,
+            Precision::Fp32,
+            EmbBenchConfig {
+                dim: 256,
+                ..Default::default()
+            },
+        );
+        let narrow = forward_bandwidth(
+            &v,
+            Precision::Fp32,
+            EmbBenchConfig {
+                dim: 16,
+                ..Default::default()
+            },
+        );
         assert!(wide > 2.0 * narrow);
     }
 
@@ -121,14 +145,18 @@ mod tests {
         let v = DeviceProfile::v100();
         let cfg = EmbBenchConfig::default();
         assert!(
-            backward_bandwidth(&v, Precision::Fp32, cfg) < forward_bandwidth(&v, Precision::Fp32, cfg)
+            backward_bandwidth(&v, Precision::Fp32, cfg)
+                < forward_bandwidth(&v, Precision::Fp32, cfg)
         );
     }
 
     #[test]
     fn fusion_wins_big() {
         let v = DeviceProfile::v100();
-        let cfg = EmbBenchConfig { batch: 256, ..Default::default() };
+        let cfg = EmbBenchConfig {
+            batch: 256,
+            ..Default::default()
+        };
         let fused = forward_time(&v, Precision::Fp32, cfg);
         let unfused = unfused_forward_time(&v, Precision::Fp32, cfg);
         let speedup = unfused / fused;

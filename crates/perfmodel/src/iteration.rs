@@ -66,8 +66,7 @@ impl ModelScenario {
         let sum_pooling_dim: f64 = tables.iter().map(|&(_, d, l)| d as f64 * l).sum();
         let sum_dim: f64 = tables.iter().map(|&(_, d, _)| d as f64).sum();
         let sum_pooling: f64 = tables.iter().map(|&(_, _, l)| l).sum();
-        let mlp_params =
-            p.num_mlp_layers as f64 * (p.avg_mlp_size as f64 * p.avg_mlp_size as f64);
+        let mlp_params = p.num_mlp_layers as f64 * (p.avg_mlp_size as f64 * p.avg_mlp_size as f64);
         Self {
             name: p.name.to_string(),
             global_batch,
@@ -216,7 +215,10 @@ impl IterationModel {
     /// Panics if `num_nodes == 0`.
     pub fn breakdown(&self, scen: &ModelScenario, num_nodes: usize) -> IterationBreakdown {
         assert!(num_nodes > 0, "need at least one node");
-        let topo = ClusterTopology { num_nodes, ..self.base_topology.clone() };
+        let topo = ClusterTopology {
+            num_nodes,
+            ..self.base_topology.clone()
+        };
         let cost = CollectiveCost::new(topo.clone());
         let w = topo.world_size() as f64;
         let b = scen.global_batch as f64;
@@ -257,7 +259,11 @@ impl IterationModel {
         let htod = (b_loc * (scen.sum_pooling * 8.0 + 4.0 * 64.0)) / topo.pcie.bandwidth;
 
         // --- Eq. 1 ---
-        let input_exposed = if scen.pipelining { 0.0 } else { input_a2a + htod };
+        let input_exposed = if scen.pipelining {
+            0.0
+        } else {
+            input_a2a + htod
+        };
         let t_fwd = (bot_mlp_fwd).max(emb_lookup + a2a_fwd + input_exposed)
             + interaction / 2.0
             + top_mlp_fwd;
@@ -265,11 +271,15 @@ impl IterationModel {
             .max(allreduce);
         let t_total = t_fwd + t_bwd + self.overhead_s;
 
-        let compute =
-            bot_mlp_fwd + bot_mlp_bwd + top_mlp_fwd + top_mlp_bwd + interaction + emb_lookup
-                + emb_update;
-        let serialized = compute + a2a_fwd + a2a_bwd + input_a2a + htod + allreduce
-            + self.overhead_s;
+        let compute = bot_mlp_fwd
+            + bot_mlp_bwd
+            + top_mlp_fwd
+            + top_mlp_bwd
+            + interaction
+            + emb_lookup
+            + emb_update;
+        let serialized =
+            compute + a2a_fwd + a2a_bwd + input_a2a + htod + allreduce + self.overhead_s;
         let exposed_comm = (t_total - compute - self.overhead_s).max(0.0);
 
         IterationBreakdown {
@@ -392,7 +402,10 @@ mod tests {
         let piped = m.breakdown(&a1(65536), 16);
         let exposed = m.breakdown(&a1(65536).without_pipelining(), 16);
         assert!(exposed.t_total > piped.t_total);
-        assert_eq!(piped.input_a2a, exposed.input_a2a, "serialized cost unchanged");
+        assert_eq!(
+            piped.input_a2a, exposed.input_a2a,
+            "serialized cost unchanged"
+        );
     }
 
     #[test]
@@ -400,7 +413,10 @@ mod tests {
         let bd = model().breakdown(&a1(65536).with_imbalance(1.7), 16);
         assert!(bd.serialized >= bd.t_total);
         assert!(bd.t_total >= bd.t_fwd + bd.t_bwd);
-        assert!(bd.exposed_comm <= bd.a2a_fwd + bd.a2a_bwd + bd.input_a2a + bd.htod + bd.allreduce + 1e-9);
+        assert!(
+            bd.exposed_comm
+                <= bd.a2a_fwd + bd.a2a_bwd + bd.input_a2a + bd.htod + bd.allreduce + 1e-9
+        );
         assert!((bd.qps - 65536.0 / bd.t_total).abs() < 1.0);
     }
 
@@ -416,7 +432,10 @@ mod tests {
             assert!(w[1].2 <= w[0].2 + 1e-9, "efficiency declines");
         }
         let eff16 = sweep[4].2;
-        assert!(eff16 > 0.2 && eff16 < 0.9, "16-node efficiency {eff16:.2} in the paper's band");
+        assert!(
+            eff16 > 0.2 && eff16 < 0.9,
+            "16-node efficiency {eff16:.2} in the paper's band"
+        );
     }
 
     #[test]

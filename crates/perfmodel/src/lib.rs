@@ -20,6 +20,8 @@
 //! * [`baseline`] — the distributed-CPU parameter-server throughput model
 //!   behind the 3×/40× headline comparisons.
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 #![deny(missing_docs)]
 
 pub mod baseline;
@@ -32,4 +34,4 @@ pub mod mlpbench;
 pub mod timeline;
 
 pub use device::DeviceProfile;
-pub use iteration::{IterationModel, IterationBreakdown, ModelScenario};
+pub use iteration::{IterationBreakdown, IterationModel, ModelScenario};

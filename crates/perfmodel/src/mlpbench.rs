@@ -34,8 +34,8 @@ pub fn mlp_time(dev: &DeviceProfile, p: Precision, cfg: MlpBenchConfig) -> f64 {
 /// 3×2·B·L² convention of the figures).
 #[must_use]
 pub fn mlp_tflops(dev: &DeviceProfile, p: Precision, cfg: MlpBenchConfig) -> f64 {
-    let flops = 3.0 * 2.0 * cfg.batch as f64 * cfg.width as f64 * cfg.width as f64
-        * cfg.layers as f64;
+    let flops =
+        3.0 * 2.0 * cfg.batch as f64 * cfg.width as f64 * cfg.width as f64 * cfg.layers as f64;
     flops / mlp_time(dev, p, cfg) / 1e12
 }
 
@@ -45,7 +45,19 @@ pub fn paper_sweep(dev: &DeviceProfile, p: Precision) -> Vec<(u64, u64, f64)> {
     let mut out = Vec::new();
     for &width in &[1024u64, 2048, 4096] {
         for &batch in &[128u64, 256, 512, 1024, 2048, 4096] {
-            out.push((batch, width, mlp_tflops(dev, p, MlpBenchConfig { batch, width, layers: 20 })));
+            out.push((
+                batch,
+                width,
+                mlp_tflops(
+                    dev,
+                    p,
+                    MlpBenchConfig {
+                        batch,
+                        width,
+                        layers: 20,
+                    },
+                ),
+            ));
         }
     }
     out
@@ -58,7 +70,17 @@ mod tests {
     #[test]
     fn throughput_grows_with_batch() {
         let v = DeviceProfile::v100();
-        let at = |b| mlp_tflops(&v, Precision::Fp32, MlpBenchConfig { batch: b, width: 2048, layers: 20 });
+        let at = |b| {
+            mlp_tflops(
+                &v,
+                Precision::Fp32,
+                MlpBenchConfig {
+                    batch: b,
+                    width: 2048,
+                    layers: 20,
+                },
+            )
+        };
         assert!(at(4096) > at(512));
         assert!(at(512) > at(128));
     }
@@ -68,8 +90,15 @@ mod tests {
         // at B=128, reading the L x L weights dominates: achieved flops
         // are far below the compute ceiling
         let v = DeviceProfile::v100();
-        let small =
-            mlp_tflops(&v, Precision::Fp32, MlpBenchConfig { batch: 128, width: 4096, layers: 20 });
+        let small = mlp_tflops(
+            &v,
+            Precision::Fp32,
+            MlpBenchConfig {
+                batch: 128,
+                width: 4096,
+                layers: 20,
+            },
+        );
         assert!(small * 1e12 < 0.5 * v.gemm_rate(Precision::Fp32));
     }
 
@@ -77,7 +106,11 @@ mod tests {
     fn a100_fp16_fastest() {
         let a = DeviceProfile::a100();
         let v = DeviceProfile::v100();
-        let cfg = MlpBenchConfig { batch: 4096, width: 4096, layers: 20 };
+        let cfg = MlpBenchConfig {
+            batch: 4096,
+            width: 4096,
+            layers: 20,
+        };
         assert!(mlp_tflops(&a, Precision::Fp16, cfg) > mlp_tflops(&v, Precision::Fp16, cfg));
         assert!(mlp_tflops(&a, Precision::Fp16, cfg) > mlp_tflops(&a, Precision::Fp32, cfg));
     }

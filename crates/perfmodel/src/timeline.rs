@@ -8,8 +8,8 @@
 //! The paper's pipelining moves the *next* batch's input distribution onto
 //! the network resource concurrently with this batch's compute.
 
-use serde::{Deserialize, Serialize};
 use crate::iteration::IterationBreakdown;
+use serde::{Deserialize, Serialize};
 
 /// The execution resource an operator occupies exclusively.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -76,33 +76,96 @@ impl Timeline {
 /// embedding lookup, not this one's); without it they gate the lookup.
 pub fn fig9_graph(bd: &IterationBreakdown, pipelined: bool) -> Vec<Op> {
     let input_deps: Vec<&'static str> = Vec::new();
-    let lookup_deps: Vec<&'static str> =
-        if pipelined { vec![] } else { vec!["input_a2a", "htod"] };
+    let lookup_deps: Vec<&'static str> = if pipelined {
+        vec![]
+    } else {
+        vec!["input_a2a", "htod"]
+    };
     vec![
-        Op { name: "input_a2a", duration: bd.input_a2a, resource: Resource::Network, deps: input_deps },
-        Op { name: "htod", duration: bd.htod, resource: Resource::Memory, deps: vec![] },
-        Op { name: "bot_fwd", duration: bd.bot_mlp_fwd, resource: Resource::Compute, deps: vec![] },
-        Op { name: "emb_lookup", duration: bd.emb_lookup, resource: Resource::Memory, deps: lookup_deps },
-        Op { name: "a2a_fwd", duration: bd.a2a_fwd, resource: Resource::Network, deps: vec!["emb_lookup"] },
+        Op {
+            name: "input_a2a",
+            duration: bd.input_a2a,
+            resource: Resource::Network,
+            deps: input_deps,
+        },
+        Op {
+            name: "htod",
+            duration: bd.htod,
+            resource: Resource::Memory,
+            deps: vec![],
+        },
+        Op {
+            name: "bot_fwd",
+            duration: bd.bot_mlp_fwd,
+            resource: Resource::Compute,
+            deps: vec![],
+        },
+        Op {
+            name: "emb_lookup",
+            duration: bd.emb_lookup,
+            resource: Resource::Memory,
+            deps: lookup_deps,
+        },
+        Op {
+            name: "a2a_fwd",
+            duration: bd.a2a_fwd,
+            resource: Resource::Network,
+            deps: vec!["emb_lookup"],
+        },
         Op {
             name: "interaction",
             duration: bd.interaction / 2.0,
             resource: Resource::Compute,
             deps: vec!["bot_fwd", "a2a_fwd"],
         },
-        Op { name: "top_fwd", duration: bd.top_mlp_fwd, resource: Resource::Compute, deps: vec!["interaction"] },
-        Op { name: "top_bwd", duration: bd.top_mlp_bwd, resource: Resource::Compute, deps: vec!["top_fwd"] },
+        Op {
+            name: "top_fwd",
+            duration: bd.top_mlp_fwd,
+            resource: Resource::Compute,
+            deps: vec!["interaction"],
+        },
+        Op {
+            name: "top_bwd",
+            duration: bd.top_mlp_bwd,
+            resource: Resource::Compute,
+            deps: vec!["top_fwd"],
+        },
         Op {
             name: "inter_bwd",
             duration: bd.interaction / 2.0,
             resource: Resource::Compute,
             deps: vec!["top_bwd"],
         },
-        Op { name: "a2a_bwd", duration: bd.a2a_bwd, resource: Resource::Network, deps: vec!["inter_bwd"] },
-        Op { name: "emb_update", duration: bd.emb_update, resource: Resource::Memory, deps: vec!["a2a_bwd"] },
-        Op { name: "bot_bwd", duration: bd.bot_mlp_bwd, resource: Resource::Compute, deps: vec!["inter_bwd"] },
-        Op { name: "top_ar", duration: bd.allreduce / 2.0, resource: Resource::Network, deps: vec!["top_bwd"] },
-        Op { name: "bot_ar", duration: bd.allreduce / 2.0, resource: Resource::Network, deps: vec!["bot_bwd"] },
+        Op {
+            name: "a2a_bwd",
+            duration: bd.a2a_bwd,
+            resource: Resource::Network,
+            deps: vec!["inter_bwd"],
+        },
+        Op {
+            name: "emb_update",
+            duration: bd.emb_update,
+            resource: Resource::Memory,
+            deps: vec!["a2a_bwd"],
+        },
+        Op {
+            name: "bot_bwd",
+            duration: bd.bot_mlp_bwd,
+            resource: Resource::Compute,
+            deps: vec!["inter_bwd"],
+        },
+        Op {
+            name: "top_ar",
+            duration: bd.allreduce / 2.0,
+            resource: Resource::Network,
+            deps: vec!["top_bwd"],
+        },
+        Op {
+            name: "bot_ar",
+            duration: bd.allreduce / 2.0,
+            resource: Resource::Network,
+            deps: vec!["bot_bwd"],
+        },
     ]
 }
 
@@ -117,10 +180,13 @@ pub fn simulate(ops: &[Op]) -> Timeline {
     let idx = |name: &str| -> usize {
         ops.iter()
             .position(|o| o.name == name)
+            // lint: allow(panic) — malformed-graph contract documented under # Panics
             .unwrap_or_else(|| panic!("unknown dependency {name}"))
     };
-    let deps: Vec<Vec<usize>> =
-        ops.iter().map(|o| o.deps.iter().map(|d| idx(d)).collect()).collect();
+    let deps: Vec<Vec<usize>> = ops
+        .iter()
+        .map(|o| o.deps.iter().map(|d| idx(d)).collect())
+        .collect();
 
     let mut finish: Vec<Option<f64>> = vec![None; ops.len()];
     let mut start: Vec<Option<f64>> = vec![None; ops.len()];
@@ -135,9 +201,9 @@ pub fn simulate(ops: &[Op]) -> Timeline {
             if finish[i].is_some() {
                 continue;
             }
-            let ready_at = deps[i].iter().try_fold(0.0f64, |acc, &d| {
-                finish[d].map(|f| acc.max(f))
-            });
+            let ready_at = deps[i]
+                .iter()
+                .try_fold(0.0f64, |acc, &d| finish[d].map(|f| acc.max(f)));
             let Some(ready_at) = ready_at else { continue };
             let res_free = resource_free.get(&op.resource).copied().unwrap_or(0.0);
             let s = ready_at.max(res_free);
@@ -145,6 +211,7 @@ pub fn simulate(ops: &[Op]) -> Timeline {
                 best = Some((s, i));
             }
         }
+        // lint: allow(panic) — cycle contract documented under # Panics
         let (s, i) = best.expect("cycle in op graph");
         let e = s + ops[i].duration;
         start[i] = Some(s);
@@ -153,8 +220,15 @@ pub fn simulate(ops: &[Op]) -> Timeline {
         order.push((ops[i].name, Scheduled { start: s, end: e }));
         done += 1;
     }
-    let makespan = finish.iter().map(|f| f.expect("scheduled")).fold(0.0, f64::max);
-    Timeline { ops: order, makespan }
+    let makespan = finish
+        .iter()
+        // lint: allow(panic) — the loop above scheduled every op
+        .map(|f| f.expect("scheduled"))
+        .fold(0.0, f64::max);
+    Timeline {
+        ops: order,
+        makespan,
+    }
 }
 
 #[cfg(test)]
@@ -165,8 +239,7 @@ mod tests {
 
     fn breakdown(pipelined: bool) -> IterationBreakdown {
         let m = IterationModel::prototype();
-        let mut scen =
-            ModelScenario::from_profile(&ModelProfile::a2(), 65536).with_imbalance(1.3);
+        let mut scen = ModelScenario::from_profile(&ModelProfile::a2(), 65536).with_imbalance(1.3);
         if !pipelined {
             scen = scen.without_pipelining();
         }
@@ -245,7 +318,10 @@ mod tests {
         let ops = fig9_graph(&bd, true);
         let t = simulate(&ops);
         let serial: f64 = ops.iter().map(|o| o.duration).sum();
-        assert!(t.makespan <= serial + 1e-12, "never worse than fully serial");
+        assert!(
+            t.makespan <= serial + 1e-12,
+            "never worse than fully serial"
+        );
         // never better than the longest single op
         let longest = ops.iter().map(|o| o.duration).fold(0.0, f64::max);
         assert!(t.makespan >= longest);

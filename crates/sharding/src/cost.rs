@@ -34,14 +34,18 @@ impl CostModel {
     /// Rates of the V100 prototype (§5.1: 850 GB/s achievable HBM, 7 GB/s
     /// AlltoAll) with the given global batch.
     pub fn v100_prototype(global_batch: usize) -> Self {
-        Self { hbm_bw: 850e9, alltoall_bw: 7e9, global_batch, bytes_per_elem: 4.0 }
+        Self {
+            hbm_bw: 850e9,
+            alltoall_bw: 7e9,
+            global_batch,
+            bytes_per_elem: 4.0,
+        }
     }
 
     /// Lookup time for a whole table: reads `B·L` rows of `D` elements,
     /// plus write traffic for the fused backward/update (×2, §4.1.1).
     pub fn lookup_time(&self, t: &TableSpec) -> f64 {
-        let bytes =
-            self.global_batch as f64 * t.avg_pooling * t.dim as f64 * self.bytes_per_elem;
+        let bytes = self.global_batch as f64 * t.avg_pooling * t.dim as f64 * self.bytes_per_elem;
         2.0 * bytes / self.hbm_bw
     }
 
@@ -74,8 +78,7 @@ impl CostModel {
         match scheme {
             ShardDivision::Whole => self.table_cost(t),
             ShardDivision::Row => {
-                (self.lookup_time(t) + self.output_comm_time(t)) / p
-                    + self.input_dist_time(t) / p
+                (self.lookup_time(t) + self.output_comm_time(t)) / p + self.input_dist_time(t) / p
             }
             ShardDivision::Column => {
                 (self.lookup_time(t) + self.output_comm_time(t)) / p + self.input_dist_time(t)
@@ -107,8 +110,14 @@ mod tests {
     fn costs_scale_with_drivers() {
         let m = CostModel::v100_prototype(65536);
         let t = table();
-        let wide = TableSpec { dim: 256, ..t.clone() };
-        let deep = TableSpec { avg_pooling: 40.0, ..t.clone() };
+        let wide = TableSpec {
+            dim: 256,
+            ..t.clone()
+        };
+        let deep = TableSpec {
+            avg_pooling: 40.0,
+            ..t.clone()
+        };
         assert!((m.lookup_time(&wide) / m.lookup_time(&t) - 2.0).abs() < 1e-9);
         assert!((m.lookup_time(&deep) / m.lookup_time(&t) - 2.0).abs() < 1e-9);
         assert!((m.output_comm_time(&wide) / m.output_comm_time(&t) - 2.0).abs() < 1e-9);
@@ -133,7 +142,10 @@ mod tests {
         let t = table();
         let row = m.shard_cost(&t, ShardDivision::Row, 4);
         let col = m.shard_cost(&t, ShardDivision::Column, 4);
-        assert!(col > row, "column sharding pays the duplicated index AlltoAll");
+        assert!(
+            col > row,
+            "column sharding pays the duplicated index AlltoAll"
+        );
         assert!((col - row - m.input_dist_time(&t) * 0.75).abs() / col < 1e-9);
     }
 
@@ -147,9 +159,16 @@ mod tests {
     #[test]
     fn fp16_halves_lookup_and_output() {
         let m32 = CostModel::v100_prototype(1024);
-        let m16 = CostModel { bytes_per_elem: 2.0, ..m32 };
+        let m16 = CostModel {
+            bytes_per_elem: 2.0,
+            ..m32
+        };
         let t = table();
         assert!((m32.lookup_time(&t) / m16.lookup_time(&t) - 2.0).abs() < 1e-9);
-        assert_eq!(m32.input_dist_time(&t), m16.input_dist_time(&t), "indices stay 8B");
+        assert_eq!(
+            m32.input_dist_time(&t),
+            m16.input_dist_time(&t),
+            "indices stay 8B"
+        );
     }
 }

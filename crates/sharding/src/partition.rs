@@ -35,15 +35,16 @@ pub fn imbalance(costs: &[f64], assignment: &[usize], bins: usize) -> f64 {
 pub fn greedy(costs: &[f64], bins: usize) -> Vec<usize> {
     assert!(bins > 0, "need at least one bin");
     let mut order: Vec<usize> = (0..costs.len()).collect();
-    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).expect("finite costs"));
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]));
     let mut sums = vec![0.0f64; bins];
     let mut assignment = vec![0usize; costs.len()];
     for &i in &order {
         let bin = sums
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite sums"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(k, _)| k)
+            // lint: allow(panic) — bins > 0 is asserted at function entry
             .expect("bins > 0");
         assignment[i] = bin;
         sums[bin] += costs[i];
@@ -75,7 +76,7 @@ pub fn greedy_capacitated(
     assert!(bins > 0, "need at least one bin");
     assert_eq!(costs.len(), mems.len(), "one memory size per cost");
     let mut order: Vec<usize> = (0..costs.len()).collect();
-    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).expect("finite costs"));
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]));
     let mut cost_sums = vec![0.0f64; bins];
     let mut mem_sums = vec![0u64; bins];
     let mut assignment = vec![0usize; costs.len()];
@@ -84,12 +85,13 @@ pub fn greedy_capacitated(
         // lightest (by cost) bin that still has memory room
         let candidate = (0..bins)
             .filter(|&b| mem_sums[b] + mems[i] <= cap)
-            .min_by(|&a, &b| cost_sums[a].partial_cmp(&cost_sums[b]).expect("finite"));
+            .min_by(|&a, &b| cost_sums[a].total_cmp(&cost_sums[b]));
         let bin = match candidate {
             Some(b) => b,
             None => {
                 // nothing fits: overflow onto the emptiest bin by memory
                 feasible = false;
+                // lint: allow(panic) — bins > 0 is asserted at function entry
                 (0..bins).min_by_key(|&b| mem_sums[b]).expect("bins > 0")
             }
         };
@@ -143,7 +145,7 @@ pub fn karmarkar_karp(costs: &[f64], bins: usize) -> Vec<usize> {
     while heap.len() > 1 {
         // pop the two largest spreads (linear scan keeps this simple and
         // deterministic; shard counts are small)
-        heap.sort_by(|a, b| b.spread().partial_cmp(&a.spread()).expect("finite spreads"));
+        heap.sort_by(|a, b| b.spread().total_cmp(&a.spread()));
         let a = heap.remove(0);
         let b = heap.remove(0);
         // pair a's heaviest with b's lightest
@@ -156,10 +158,11 @@ pub fn karmarkar_karp(costs: &[f64], bins: usize) -> Vec<usize> {
                 (sa + sb, ia)
             })
             .collect();
-        merged.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite sums"));
+        merged.sort_by(|x, y| y.0.total_cmp(&x.0));
         heap.push(Tuple { bins: merged });
     }
 
+    // lint: allow(panic) — non-empty costs seed the heap and merging keeps one tuple
     let solution = heap.pop().expect("nonempty heap");
     let mut assignment = vec![0usize; costs.len()];
     for (bin, (_, items)) in solution.bins.iter().enumerate() {

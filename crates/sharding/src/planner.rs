@@ -150,11 +150,11 @@ impl Planner {
                     let node = node_row_load
                         .iter()
                         .enumerate()
-                        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+                        .min_by(|(_, a), (_, b)| a.total_cmp(b))
                         .map(|(k, _)| k)
+                        // lint: allow(panic) — use_hier implies >= 1 node
                         .expect("hierarchical node list nonempty");
-                    node_row_load[node] +=
-                        self.cost.shard_cost(t, ShardDivision::Row, node_size) ;
+                    node_row_load[node] += self.cost.shard_cost(t, ShardDivision::Row, node_size);
                     (node * node_size..(node + 1) * node_size).collect()
                 } else {
                     (0..world).collect()
@@ -206,11 +206,17 @@ impl Planner {
                             parts.sort_by_key(|&(part, _)| part);
                             let workers: Vec<usize> = parts.iter().map(|&(_, w)| w).collect();
                             let split_dims = split_dim(t.dim, workers.len());
-                            Scheme::ColumnWise { workers, split_dims }
+                            Scheme::ColumnWise {
+                                workers,
+                                split_dims,
+                            }
                         }
                     }
                 };
-                TablePlacement { table: t.id, scheme }
+                TablePlacement {
+                    table: t.id,
+                    scheme,
+                }
             })
             .collect();
 
@@ -233,7 +239,9 @@ impl Planner {
                     }
                 }
                 Scheme::ColumnWise { workers, .. } => {
-                    let c = self.cost.shard_cost(t, ShardDivision::Column, workers.len());
+                    let c = self
+                        .cost
+                        .shard_cost(t, ShardDivision::Column, workers.len());
                     for &w in workers {
                         load[w] += c;
                     }
@@ -272,10 +280,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let rows = match i % 4 {
-                    0 => 100,                 // tiny -> data parallel
-                    1 => 1_000_000,           // medium
-                    2 => 5_000_000,           // large
-                    _ => 20_000_000,          // larger
+                    0 => 100,        // tiny -> data parallel
+                    1 => 1_000_000,  // medium
+                    2 => 5_000_000,  // large
+                    _ => 20_000_000, // larger
                 };
                 let dim = [8usize, 64, 128, 256][i % 4];
                 TableSpec::new(i, rows, dim, 2.0 + (i % 7) as f64 * 5.0)
@@ -321,7 +329,10 @@ mod tests {
         let tables = vec![TableSpec::new(0, 1_000_000, 256, 20.0)];
         let plan = planner().plan(&tables, 8).unwrap();
         match &plan.placements[0].scheme {
-            Scheme::ColumnWise { workers, split_dims } => {
+            Scheme::ColumnWise {
+                workers,
+                split_dims,
+            } => {
                 assert_eq!(workers.len(), 4);
                 assert_eq!(split_dims.iter().sum::<usize>(), 256);
             }
@@ -369,7 +380,10 @@ mod tests {
 
     #[test]
     fn empty_model_has_unit_imbalance() {
-        let plan = ShardingPlan { world: 4, placements: vec![] };
+        let plan = ShardingPlan {
+            world: 4,
+            placements: vec![],
+        };
         assert_eq!(planner().plan_imbalance(&plan, &[]), 1.0);
     }
 
@@ -382,8 +396,9 @@ mod tests {
     #[test]
     fn hierarchical_confines_row_shards_to_one_node() {
         // several multi-GPU-sized tables on a 2-node (16-GPU) cluster
-        let tables: Vec<TableSpec> =
-            (0..6).map(|i| TableSpec::new(i, 80_000_000, 64, 20.0)).collect();
+        let tables: Vec<TableSpec> = (0..6)
+            .map(|i| TableSpec::new(i, 80_000_000, 64, 20.0))
+            .collect();
         let p = Planner::new(
             CostModel::v100_prototype(4096),
             PlannerConfig::default().hierarchical(8),

@@ -152,7 +152,10 @@ impl ShardingPlan {
                         return Err(err(format!("table {i}: row shard worker out of range")));
                     }
                 }
-                Scheme::ColumnWise { workers, split_dims } => {
+                Scheme::ColumnWise {
+                    workers,
+                    split_dims,
+                } => {
                     if workers.len() != split_dims.len() || workers.is_empty() {
                         return Err(err(format!("table {i}: column shard shape mismatch")));
                     }
@@ -195,7 +198,10 @@ impl ShardingPlan {
                         mem[w] += hi.saturating_sub(lo) * t.dim as u64 * bytes_per_elem;
                     }
                 }
-                Scheme::ColumnWise { workers, split_dims } => {
+                Scheme::ColumnWise {
+                    workers,
+                    split_dims,
+                } => {
                     for (&w, &d) in workers.iter().zip(split_dims) {
                         mem[w] += t.num_rows * d as u64 * bytes_per_elem;
                     }
@@ -241,11 +247,19 @@ mod tests {
         ShardingPlan {
             world: 4,
             placements: vec![
-                TablePlacement { table: 0, scheme: Scheme::TableWise { worker: 1 } },
-                TablePlacement { table: 1, scheme: Scheme::DataParallel },
+                TablePlacement {
+                    table: 0,
+                    scheme: Scheme::TableWise { worker: 1 },
+                },
+                TablePlacement {
+                    table: 1,
+                    scheme: Scheme::DataParallel,
+                },
                 TablePlacement {
                     table: 2,
-                    scheme: Scheme::RowWise { workers: vec![0, 1, 2, 3] },
+                    scheme: Scheme::RowWise {
+                        workers: vec![0, 1, 2, 3],
+                    },
                 },
             ],
         }
@@ -266,20 +280,28 @@ mod tests {
     #[test]
     fn detects_bad_column_split() {
         let mut p = plan();
-        p.placements[0].scheme =
-            Scheme::ColumnWise { workers: vec![0, 1], split_dims: vec![16, 8] };
+        p.placements[0].scheme = Scheme::ColumnWise {
+            workers: vec![0, 1],
+            split_dims: vec![16, 8],
+        };
         assert!(p.validate(&tables()).is_err(), "splits must sum to 32");
-        p.placements[0].scheme =
-            Scheme::ColumnWise { workers: vec![0, 1], split_dims: vec![16, 16] };
+        p.placements[0].scheme = Scheme::ColumnWise {
+            workers: vec![0, 1],
+            split_dims: vec![16, 16],
+        };
         p.validate(&tables()).unwrap();
     }
 
     #[test]
     fn detects_more_row_shards_than_rows() {
         let mut p = plan();
-        p.placements[1].scheme = Scheme::RowWise { workers: vec![0, 1, 2, 3] };
+        p.placements[1].scheme = Scheme::RowWise {
+            workers: vec![0, 1, 2, 3],
+        };
         p.validate(&tables()).unwrap(); // 10 rows, 4 shards ok
-        p.placements[1].scheme = Scheme::RowWise { workers: (0..4).cycle().take(11).collect() };
+        p.placements[1].scheme = Scheme::RowWise {
+            workers: (0..4).cycle().take(11).collect(),
+        };
         assert!(p.validate(&tables()).is_err());
     }
 
@@ -302,7 +324,9 @@ mod tests {
             world: 3,
             placements: vec![TablePlacement {
                 table: 0,
-                scheme: Scheme::RowWise { workers: vec![0, 1, 2] },
+                scheme: Scheme::RowWise {
+                    workers: vec![0, 1, 2],
+                },
             }],
         };
         let mem = p.memory_per_worker(&t, 4);
@@ -333,6 +357,12 @@ mod tests {
     fn scheme_names() {
         assert_eq!(Scheme::DataParallel.name(), "data-parallel");
         assert_eq!(Scheme::TableWise { worker: 0 }.num_shards(), 1);
-        assert_eq!(Scheme::RowWise { workers: vec![0, 1] }.num_shards(), 2);
+        assert_eq!(
+            Scheme::RowWise {
+                workers: vec![0, 1]
+            }
+            .num_shards(),
+            2
+        );
     }
 }

@@ -26,7 +26,12 @@ pub struct TableSpec {
 impl TableSpec {
     /// Creates a table spec.
     pub fn new(id: usize, num_rows: u64, dim: usize, avg_pooling: f64) -> Self {
-        Self { id, num_rows, dim, avg_pooling }
+        Self {
+            id,
+            num_rows,
+            dim,
+            avg_pooling,
+        }
     }
 
     /// Parameter bytes at the given element width (4 for FP32, 2 for FP16).

@@ -42,6 +42,7 @@ pub fn matmul(a: &Tensor2, b: &Tensor2) -> crate::Result<Tensor2> {
     let n = b.cols();
     let mut c = Tensor2::zeros(m, n);
     gemm_blocked(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    crate::sanitize::check_finite("matmul output", c.as_slice());
     Ok(c)
 }
 
@@ -82,6 +83,7 @@ pub fn matmul_at_b(a: &Tensor2, b: &Tensor2) -> crate::Result<Tensor2> {
             }
         }
     }
+    crate::sanitize::check_finite("matmul_at_b output", c.as_slice());
     Ok(c)
 }
 
@@ -121,6 +123,7 @@ pub fn matmul_a_bt(a: &Tensor2, b: &Tensor2) -> crate::Result<Tensor2> {
             crow[j] = acc;
         }
     }
+    crate::sanitize::check_finite("matmul_a_bt output", c.as_slice());
     Ok(c)
 }
 

@@ -68,7 +68,11 @@ impl F16 {
         let hi_bits = next_toward_inf(lo_bits, value.is_sign_negative());
         let hi = f16_bits_to_f32(hi_bits);
         let span = hi - lo;
-        let frac = if span == 0.0 || !span.is_finite() { 0.0 } else { (value - lo) / span };
+        let frac = if span == 0.0 || !span.is_finite() {
+            0.0
+        } else {
+            (value - lo) / span
+        };
         if noise < frac.abs() {
             Self(hi_bits)
         } else {

@@ -58,7 +58,10 @@ mod tests {
     fn deterministic_given_seed() {
         let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
         let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
-        assert_eq!(uniform(4, 4, -1.0, 1.0, &mut r1), uniform(4, 4, -1.0, 1.0, &mut r2));
+        assert_eq!(
+            uniform(4, 4, -1.0, 1.0, &mut r1),
+            uniform(4, 4, -1.0, 1.0, &mut r2)
+        );
     }
 
     #[test]

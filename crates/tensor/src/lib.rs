@@ -22,6 +22,8 @@
 //! assert_eq!(y.shape(), (32, 4));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 #![deny(missing_docs)]
 
 pub mod gemm;
@@ -29,6 +31,7 @@ pub mod half;
 pub mod init;
 pub mod mlp;
 pub mod optim;
+pub mod sanitize;
 mod tensor;
 
 pub use crate::half::{Bf16, F16};

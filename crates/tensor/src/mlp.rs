@@ -104,6 +104,9 @@ impl Linear {
     ///
     /// Panics if `x.cols() != self.in_dim()`.
     pub fn forward_inference(&self, x: &Tensor2) -> Tensor2 {
+        crate::sanitize::check_shape("linear forward input", x.shape(), (x.rows(), self.in_dim()));
+        crate::sanitize::check_finite("linear forward input", x.as_slice());
+        // lint: allow(panic) — shape contract documented under # Panics
         let mut y = gemm::matmul(x, &self.w).expect("linear forward shape");
         for i in 0..y.rows() {
             let row = y.row_mut(i);
@@ -111,6 +114,7 @@ impl Linear {
                 *v = self.act.apply(*v + bias);
             }
         }
+        crate::sanitize::check_finite("mlp activation output", y.as_slice());
         y
     }
 
@@ -138,6 +142,7 @@ impl Linear {
         for (d, &out) in dz.as_mut_slice().iter_mut().zip(y.as_slice()) {
             *d *= self.act.grad_from_output(out);
         }
+        crate::sanitize::check_finite("mlp pre-activation gradient", dz.as_slice());
         // dW += X^T dz ; db += column sums of dz ; dX = dz W^T
         let dw = gemm::matmul_at_b(&x, &dz)?;
         self.dw += &dw;
@@ -151,8 +156,10 @@ impl Linear {
 
     /// Applies an SGD step `w -= lr * dw` and clears the gradients.
     pub fn sgd_step(&mut self, lr: f32) {
-        self.w.axpy(-lr, &self.dw).expect("dw shape");
-        self.b.axpy(-lr, &self.db).expect("db shape");
+        self.w.axpy(-lr, &self.dw).expect("dw shape"); // lint: allow(panic) — dw is allocated with w's shape
+        self.b.axpy(-lr, &self.db).expect("db shape"); // lint: allow(panic) — db is allocated with b's shape
+        crate::sanitize::check_finite("sgd-updated weights", self.w.as_slice());
+        crate::sanitize::check_finite("sgd-updated bias", self.b.as_slice());
         self.zero_grads();
     }
 
@@ -343,10 +350,16 @@ impl Mlp {
         let mut off = 0;
         for layer in &mut self.layers {
             let wlen = layer.dw.len();
-            layer.dw.as_mut_slice().copy_from_slice(&src[off..off + wlen]);
+            layer
+                .dw
+                .as_mut_slice()
+                .copy_from_slice(&src[off..off + wlen]);
             off += wlen;
             let blen = layer.db.len();
-            layer.db.as_mut_slice().copy_from_slice(&src[off..off + blen]);
+            layer
+                .db
+                .as_mut_slice()
+                .copy_from_slice(&src[off..off + blen]);
             off += blen;
         }
         Ok(())
@@ -377,6 +390,8 @@ impl Mlp {
         self.grads_flat(&mut grads);
         let segments = self.param_segments();
         opt.step(&mut params, &grads, &segments);
+        crate::sanitize::check_finite("optimizer-updated parameters", &params);
+        // lint: allow(panic) — params was built from this MLP's own layout
         self.set_params_flat(&params).expect("own parameter count");
         self.zero_grads();
     }
@@ -407,10 +422,16 @@ impl Mlp {
         let mut off = 0;
         for layer in &mut self.layers {
             let wlen = layer.w.len();
-            layer.w.as_mut_slice().copy_from_slice(&src[off..off + wlen]);
+            layer
+                .w
+                .as_mut_slice()
+                .copy_from_slice(&src[off..off + wlen]);
             off += wlen;
             let blen = layer.b.len();
-            layer.b.as_mut_slice().copy_from_slice(&src[off..off + blen]);
+            layer
+                .b
+                .as_mut_slice()
+                .copy_from_slice(&src[off..off + blen]);
             off += blen;
         }
         Ok(())
@@ -446,8 +467,8 @@ mod tests {
 
     #[test]
     fn sigmoid_in_unit_interval() {
-        let cfg = MlpConfig::new(4, &[8, 1], Activation::Relu)
-            .with_final_activation(Activation::Sigmoid);
+        let cfg =
+            MlpConfig::new(4, &[8, 1], Activation::Relu).with_final_activation(Activation::Sigmoid);
         let mlp = Mlp::new(&cfg, &mut rng());
         let x = Tensor2::from_fn(16, 4, |i, j| (i as f32 - 8.0) * (j as f32 + 1.0) * 0.05);
         let y = mlp.forward_inference(&x);
@@ -522,7 +543,8 @@ mod tests {
         let mut mlp = Mlp::new(&cfg, &mut rng());
         let x = Tensor2::full(4, 3, 0.5);
         let y = mlp.forward(&x);
-        mlp.backward(&Tensor2::full(y.rows(), y.cols(), 1.0)).unwrap();
+        mlp.backward(&Tensor2::full(y.rows(), y.cols(), 1.0))
+            .unwrap();
 
         let mut g = Vec::new();
         mlp.grads_flat(&mut g);
@@ -605,7 +627,10 @@ mod tests {
         let cfg = MlpConfig::new(10, &[20, 5], Activation::Relu);
         assert_eq!(cfg.output_dim(), 5);
         assert_eq!(cfg.flops_per_sample(), 2 * (10 * 20 + 20 * 5) as u64);
-        assert_eq!(cfg.num_params(), (10 * 20 + 20) as u64 + (20 * 5 + 5) as u64);
+        assert_eq!(
+            cfg.num_params(),
+            (10 * 20 + 20) as u64 + (20 * 5 + 5) as u64
+        );
         let mlp = Mlp::new(&cfg, &mut rng());
         assert_eq!(mlp.num_params() as u64, cfg.num_params());
     }

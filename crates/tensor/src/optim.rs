@@ -34,12 +34,16 @@ pub trait DenseOptimizer: Send {
 
 fn check(params: &[f32], grads: &[f32], segments: &[usize]) {
     assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+    crate::sanitize::check_finite("dense optimizer gradient", grads);
     assert_eq!(
         segments.last().copied().unwrap_or(0),
         params.len(),
         "segments must cover the whole buffer"
     );
-    debug_assert!(segments.windows(2).all(|w| w[0] < w[1]), "segments must increase");
+    debug_assert!(
+        segments.windows(2).all(|w| w[0] < w[1]),
+        "segments must increase"
+    );
 }
 
 /// Plain SGD: `p -= lr * g`.
@@ -61,6 +65,7 @@ impl DenseOptimizer for DenseSgd {
         for (p, &g) in params.iter_mut().zip(grads) {
             *p -= self.lr * g;
         }
+        crate::sanitize::check_finite(self.name(), params);
     }
 
     fn state_bytes(&self) -> u64 {
@@ -87,7 +92,11 @@ pub struct DenseAdagrad {
 impl DenseAdagrad {
     /// Creates AdaGrad state for `num_params` parameters.
     pub fn new(lr: f32, eps: f32, num_params: usize) -> Self {
-        Self { lr, eps, moment: vec![0.0; num_params] }
+        Self {
+            lr,
+            eps,
+            moment: vec![0.0; num_params],
+        }
     }
 }
 
@@ -99,6 +108,7 @@ impl DenseOptimizer for DenseAdagrad {
             *m += g * g;
             *p -= self.lr * g / (m.sqrt() + self.eps);
         }
+        crate::sanitize::check_finite(self.name(), params);
     }
 
     fn state_bytes(&self) -> u64 {
@@ -164,6 +174,7 @@ impl DenseOptimizer for DenseAdam {
         for (p, u) in params.iter_mut().zip(&update) {
             *p -= self.lr * u;
         }
+        crate::sanitize::check_finite(self.name(), params);
     }
 
     fn state_bytes(&self) -> u64 {
@@ -191,7 +202,11 @@ pub struct DenseLamb {
 impl DenseLamb {
     /// Creates LAMB state (Adam moments + per-layer trust scaling).
     pub fn new(lr: f32, eps: f32, weight_decay: f32, num_params: usize) -> Self {
-        Self { inner: DenseAdam::new(1.0, eps, num_params), lr, weight_decay }
+        Self {
+            inner: DenseAdam::new(1.0, eps, num_params),
+            lr,
+            weight_decay,
+        }
     }
 }
 
@@ -209,16 +224,19 @@ impl DenseOptimizer for DenseLamb {
         }
         let mut start = 0;
         for &end in segments {
-            let p_norm: f32 =
-                params[start..end].iter().map(|x| x * x).sum::<f32>().sqrt();
-            let u_norm: f32 =
-                update[start..end].iter().map(|x| x * x).sum::<f32>().sqrt();
-            let trust = if p_norm > 0.0 && u_norm > 0.0 { p_norm / u_norm } else { 1.0 };
+            let p_norm: f32 = params[start..end].iter().map(|x| x * x).sum::<f32>().sqrt();
+            let u_norm: f32 = update[start..end].iter().map(|x| x * x).sum::<f32>().sqrt();
+            let trust = if p_norm > 0.0 && u_norm > 0.0 {
+                p_norm / u_norm
+            } else {
+                1.0
+            };
             for (p, u) in params[start..end].iter_mut().zip(&update[start..end]) {
                 *p -= self.lr * trust * u;
             }
             start = end;
         }
+        crate::sanitize::check_finite(self.name(), params);
     }
 
     fn state_bytes(&self) -> u64 {
@@ -293,7 +311,10 @@ mod tests {
         opt.step(&mut p, &[1.0, 1.0, 1.0, 1.0], &[2, 4]);
         let step0 = (before[0] - p[0]).abs();
         let step1 = (before[2] - p[2]).abs();
-        assert!(step0 > 50.0 * step1, "layer-wise scaling: {step0} vs {step1}");
+        assert!(
+            step0 > 50.0 * step1,
+            "layer-wise scaling: {step0} vs {step1}"
+        );
     }
 
     #[test]

@@ -52,12 +52,20 @@ pub struct Tensor2 {
 impl Tensor2 {
     /// Creates a `rows x cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a tensor by evaluating `f(row, col)` at every position.
@@ -220,7 +228,9 @@ impl Tensor2 {
     /// Returns [`ShapeError`] if the blocks disagree on row count or the
     /// input is empty.
     pub fn hcat(blocks: &[&Tensor2]) -> crate::Result<Self> {
-        let first = blocks.first().ok_or_else(|| ShapeError::new("hcat of zero blocks"))?;
+        let first = blocks
+            .first()
+            .ok_or_else(|| ShapeError::new("hcat of zero blocks"))?;
         let rows = first.rows;
         if blocks.iter().any(|b| b.rows != rows) {
             return Err(ShapeError::new("hcat blocks disagree on row count"));
@@ -270,7 +280,10 @@ impl Tensor2 {
     ///
     /// Panics if `lo > hi` or `hi > self.rows()`.
     pub fn slice_rows(&self, lo: usize, hi: usize) -> Self {
-        assert!(lo <= hi && hi <= self.rows, "row slice {lo}..{hi} out of range");
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "row slice {lo}..{hi} out of range"
+        );
         Self {
             rows: hi - lo,
             cols: self.cols,
@@ -284,7 +297,9 @@ impl Tensor2 {
     ///
     /// Returns [`ShapeError`] on column-count mismatch or empty input.
     pub fn vcat(blocks: &[&Tensor2]) -> crate::Result<Self> {
-        let first = blocks.first().ok_or_else(|| ShapeError::new("vcat of zero blocks"))?;
+        let first = blocks
+            .first()
+            .ok_or_else(|| ShapeError::new("vcat of zero blocks"))?;
         let cols = first.cols;
         if blocks.iter().any(|b| b.cols != cols) {
             return Err(ShapeError::new("vcat blocks disagree on column count"));
@@ -366,7 +381,12 @@ impl Add<&Tensor2> for &Tensor2 {
         Tensor2 {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -382,7 +402,12 @@ impl Sub<&Tensor2> for &Tensor2 {
         Tensor2 {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

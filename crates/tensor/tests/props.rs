@@ -1,6 +1,6 @@
 //! Property-based tests for the dense substrate.
 
-use neo_tensor::{gemm, F16, Tensor2};
+use neo_tensor::{gemm, Tensor2, F16};
 use proptest::prelude::*;
 
 fn tensor_strategy(max: usize) -> impl Strategy<Value = Tensor2> {

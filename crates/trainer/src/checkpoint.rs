@@ -58,6 +58,7 @@ pub fn load(model: &mut DlrmModel, bytes: &[u8]) -> Result<(), SyncError> {
         return Err(SyncError::msg("checkpoint too short"));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
+    // lint: allow(panic) — split_at leaves exactly 8 bytes
     let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
     if fnv(body) != stored {
         return Err(SyncError::msg("checkpoint checksum mismatch"));
@@ -83,8 +84,14 @@ pub fn load(model: &mut DlrmModel, bytes: &[u8]) -> Result<(), SyncError> {
     for _ in 0..n_dense {
         dense.push(r.f32()?);
     }
-    model.bottom.set_params_flat(&dense[..nb]).map_err(|e| SyncError::msg(e.to_string()))?;
-    model.top.set_params_flat(&dense[nb..]).map_err(|e| SyncError::msg(e.to_string()))?;
+    model
+        .bottom
+        .set_params_flat(&dense[..nb])
+        .map_err(|e| SyncError::msg(e.to_string()))?;
+    model
+        .top
+        .set_params_flat(&dense[nb..])
+        .map_err(|e| SyncError::msg(e.to_string()))?;
 
     let n_tables = r.u64()? as usize;
     if n_tables != model.tables.len() {
@@ -123,15 +130,24 @@ impl Reader<'_> {
     }
 
     fn u32(&mut self) -> Result<u32, SyncError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            // lint: allow(panic) — take(4) returns exactly 4 bytes
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, SyncError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            // lint: allow(panic) — take(8) returns exactly 8 bytes
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f32(&mut self) -> Result<f32, SyncError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(
+            // lint: allow(panic) — take(4) returns exactly 4 bytes
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 }
 
@@ -183,7 +199,11 @@ mod tests {
         let mut fresh = model();
         assert_ne!(fresh.forward_inference(&probe).unwrap(), want);
         load(&mut fresh, &bytes).unwrap();
-        assert_eq!(fresh.forward_inference(&probe).unwrap(), want, "bitwise restore");
+        assert_eq!(
+            fresh.forward_inference(&probe).unwrap(),
+            want,
+            "bitwise restore"
+        );
     }
 
     #[test]

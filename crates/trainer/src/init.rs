@@ -26,7 +26,9 @@ pub fn det_element(seed: u64, table: usize, row: u64, col: usize, num_rows: u64)
 /// Materializes one full row.
 #[must_use]
 pub fn det_row(seed: u64, table: usize, row: u64, dim: usize, num_rows: u64) -> Vec<f32> {
-    (0..dim).map(|c| det_element(seed, table, row, c, num_rows)).collect()
+    (0..dim)
+        .map(|c| det_element(seed, table, row, c, num_rows))
+        .collect()
 }
 
 /// Materializes a column slice `[col_off, col_off + width)` of one row —

@@ -16,6 +16,8 @@
 //! * [`checkpoint`] — model serialization (the Check-N-Run-style service of
 //!   §4.4 reduced to its core mechanism).
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 #![deny(missing_docs)]
 
 pub mod checkpoint;

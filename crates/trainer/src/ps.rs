@@ -115,13 +115,27 @@ impl PsTrainer {
         if cfg.num_trainers == 0 {
             return Err(SyncError::msg("need at least one trainer"));
         }
-        let ps = reference_model(&cfg.model, cfg.seed).map_err(|e| SyncError::msg(e.to_string()))?;
+        let ps =
+            reference_model(&cfg.model, cfg.seed).map_err(|e| SyncError::msg(e.to_string()))?;
         let mut params = Vec::new();
         ps.bottom.params_flat(&mut params);
         ps.top.params_flat(&mut params);
-        let snapshots = (0..cfg.num_trainers).map(|_| (params.clone(), 0usize)).collect();
-        let sparse_opts = cfg.model.tables.iter().map(|_| SparseSgd::new(cfg.lr)).collect();
-        Ok(Self { cfg, ps, snapshots, sparse_opts, steps_done: 0 })
+        let snapshots = (0..cfg.num_trainers)
+            .map(|_| (params.clone(), 0usize))
+            .collect();
+        let sparse_opts = cfg
+            .model
+            .tables
+            .iter()
+            .map(|_| SparseSgd::new(cfg.lr))
+            .collect();
+        Ok(Self {
+            cfg,
+            ps,
+            snapshots,
+            sparse_opts,
+            steps_done: 0,
+        })
     }
 
     /// Total samples consumed so far.
@@ -174,15 +188,22 @@ impl PsTrainer {
         let snapshot = self.snapshots[trainer].0.clone();
         self.set_dense(&snapshot).map_err(SyncError::msg)?;
 
-        let logits = self.ps.forward(&batch).map_err(|e| SyncError::msg(e.to_string()))?;
+        let logits = self
+            .ps
+            .forward(&batch)
+            .map_err(|e| SyncError::msg(e.to_string()))?;
         let (_, grad) =
             bce_with_logits(&logits, &batch.labels).map_err(|e| SyncError::msg(e.to_string()))?;
-        let sparse = self.ps.backward(&grad).map_err(|e| SyncError::msg(e.to_string()))?;
+        let sparse = self
+            .ps
+            .backward(&grad)
+            .map_err(|e| SyncError::msg(e.to_string()))?;
 
         match self.cfg.dense_sync {
             DenseSync::Downpour => {
                 // push the gradient into the PS center
-                self.overwrite_dense_params_only(&center).map_err(SyncError::msg)?;
+                self.overwrite_dense_params_only(&center)
+                    .map_err(SyncError::msg)?;
                 self.ps.dense_sgd_step(self.cfg.lr);
                 self.snapshots[trainer].1 += 1;
                 if self.snapshots[trainer].1 >= self.cfg.staleness.max(1) {
@@ -211,15 +232,20 @@ impl PsTrainer {
                 }
                 self.snapshots[trainer].0 = local;
                 // restore the (possibly elastically moved) center to the PS
-                self.overwrite_dense_params_only(&center).map_err(SyncError::msg)?;
+                self.overwrite_dense_params_only(&center)
+                    .map_err(SyncError::msg)?;
                 self.ps.bottom.zero_grads();
                 self.ps.top.zero_grads();
             }
         }
 
         // sparse: Hogwild — apply immediately to the shared tables
-        for ((table, sg), opt) in
-            self.ps.tables.iter_mut().zip(&sparse).zip(&mut self.sparse_opts)
+        for ((table, sg), opt) in self
+            .ps
+            .tables
+            .iter_mut()
+            .zip(&sparse)
+            .zip(&mut self.sparse_opts)
         {
             opt.step(table.as_mut(), sg);
         }
@@ -234,8 +260,10 @@ impl PsTrainer {
     pub fn evaluate(&mut self, eval: &[CombinedBatch]) -> Result<f64, SyncError> {
         let mut ne = NormalizedEntropy::new();
         for b in eval {
-            let logits =
-                self.ps.forward_inference(b).map_err(|e| SyncError::msg(e.to_string()))?;
+            let logits = self
+                .ps
+                .forward_inference(b)
+                .map_err(|e| SyncError::msg(e.to_string()))?;
             ne.observe_logits(&logits, &b.labels);
         }
         Ok(ne.value().unwrap_or(f64::NAN))
@@ -247,7 +275,9 @@ impl PsTrainer {
     ///
     /// Returns [`SyncError`] if the batch does not match the model.
     pub fn probe(&mut self, batch: &CombinedBatch) -> Result<Tensor2, SyncError> {
-        self.ps.forward_inference(batch).map_err(|e| SyncError::msg(e.to_string()))
+        self.ps
+            .forward_inference(batch)
+            .map_err(|e| SyncError::msg(e.to_string()))
     }
 
     fn set_dense(&mut self, params: &[f32]) -> Result<(), String> {
@@ -256,8 +286,14 @@ impl PsTrainer {
 
     fn overwrite_dense_params_only(&mut self, params: &[f32]) -> Result<(), String> {
         let nb = self.ps.bottom.num_params();
-        self.ps.bottom.set_params_flat(&params[..nb]).map_err(|e| e.to_string())?;
-        self.ps.top.set_params_flat(&params[nb..]).map_err(|e| e.to_string())?;
+        self.ps
+            .bottom
+            .set_params_flat(&params[..nb])
+            .map_err(|e| e.to_string())?;
+        self.ps
+            .top
+            .set_params_flat(&params[nb..])
+            .map_err(|e| e.to_string())?;
         Ok(())
     }
 }
@@ -275,7 +311,7 @@ mod tests {
             staleness,
             lr: 0.05,
             seed: 11,
-    dense_sync: Default::default(),
+            dense_sync: Default::default(),
         };
         let ds = SyntheticDataset::new(SyntheticConfig::uniform(3, 100, 3, 4)).unwrap();
         (PsTrainer::new(cfg).unwrap(), ds)
@@ -297,7 +333,10 @@ mod tests {
         let eval: Vec<_> = (1000..1002).map(|k| ds.batch(16, k)).collect();
         let curve = t.train(&ds, 50, &eval).unwrap();
         assert!(curve.len() >= 10);
-        assert!(curve.windows(2).all(|w| w[0].0 < w[1].0), "samples increase");
+        assert!(
+            curve.windows(2).all(|w| w[0].0 < w[1].0),
+            "samples increase"
+        );
     }
 
     #[test]
@@ -326,7 +365,10 @@ mod tests {
         };
         let fresh = ne_at(1);
         let stale = ne_at(64);
-        assert!(fresh < stale + 0.05, "fresh {fresh:.4} vs very stale {stale:.4}");
+        assert!(
+            fresh < stale + 0.05,
+            "fresh {fresh:.4} vs very stale {stale:.4}"
+        );
     }
 
     #[test]
@@ -338,7 +380,7 @@ mod tests {
             staleness: 1,
             lr: 0.1,
             seed: 0,
-    dense_sync: Default::default(),
+            dense_sync: Default::default(),
         };
         assert!(PsTrainer::new(cfg).is_err());
     }
@@ -413,6 +455,9 @@ mod easgd_tests {
             t.train(&ds, 60, &[]).unwrap();
             t.probe(&probe).unwrap()
         };
-        assert_ne!(run(DenseSync::Downpour), run(DenseSync::Easgd { alpha: 0.3 }));
+        assert_ne!(
+            run(DenseSync::Downpour),
+            run(DenseSync::Easgd { alpha: 0.3 })
+        );
     }
 }

@@ -37,9 +37,7 @@ use neo_dlrm_model::interaction::{dot_interaction, dot_interaction_backward, num
 use neo_dlrm_model::{bce_with_logits, DlrmConfig, NormalizedEntropy};
 use neo_embeddings::bag::{fused_backward_grads, pooled_forward};
 use neo_embeddings::store::{DenseStore, HalfStore, RowStore};
-use neo_embeddings::{
-    RowWiseAdagrad, SparseAdagrad, SparseGrad, SparseOptimizer, SparseSgd,
-};
+use neo_embeddings::{RowWiseAdagrad, SparseAdagrad, SparseGrad, SparseOptimizer, SparseSgd};
 use neo_sharding::{Scheme, ShardingPlan};
 use neo_tensor::mlp::{Activation, Mlp, MlpConfig};
 use neo_tensor::Tensor2;
@@ -70,6 +68,12 @@ impl SyncError {
 
 fn err(msg: impl Into<String>) -> SyncError {
     SyncError::msg(msg)
+}
+
+impl From<neo_collectives::CollectiveError> for SyncError {
+    fn from(e: neo_collectives::CollectiveError) -> Self {
+        SyncError::msg(e.to_string())
+    }
 }
 
 /// Which exact sparse optimizer the embedding shards use.
@@ -112,7 +116,10 @@ pub struct LrSchedule {
 
 impl Default for LrSchedule {
     fn default() -> Self {
-        Self { warmup_iters: 0, decay_per_iter: 1.0 }
+        Self {
+            warmup_iters: 0,
+            decay_per_iter: 1.0,
+        }
     }
 }
 
@@ -223,11 +230,19 @@ fn owner_manifest(plan: &ShardingPlan, model: &DlrmConfig, rank: usize) -> Vec<C
                     width: model.tables[p.table].dim,
                 });
             }
-            Scheme::ColumnWise { workers, split_dims } => {
+            Scheme::ColumnWise {
+                workers,
+                split_dims,
+            } => {
                 let mut off = 0;
                 for (k, (&w, &d)) in workers.iter().zip(split_dims).enumerate() {
                     if w == rank {
-                        out.push(ChunkDesc { table: p.table, shard: k, col_off: off, width: d });
+                        out.push(ChunkDesc {
+                            table: p.table,
+                            shard: k,
+                            col_off: off,
+                            width: d,
+                        });
                     }
                     off += d;
                 }
@@ -351,7 +366,12 @@ impl Worker {
                         }
                         let opt = make_opt(&cfg, tc.num_rows, tc.dim);
                         shards.push(ShardState {
-                            desc: ChunkDesc { table: t, shard: 0, col_off: 0, width: tc.dim },
+                            desc: ChunkDesc {
+                                table: t,
+                                shard: 0,
+                                col_off: 0,
+                                width: tc.dim,
+                            },
                             store,
                             opt,
                             lengths: Vec::new(),
@@ -359,7 +379,10 @@ impl Worker {
                         });
                     }
                 }
-                Scheme::ColumnWise { workers, split_dims } => {
+                Scheme::ColumnWise {
+                    workers,
+                    split_dims,
+                } => {
                     let mut off = 0usize;
                     for (k, (&w, &d)) in workers.iter().zip(split_dims).enumerate() {
                         if w == rank {
@@ -372,7 +395,12 @@ impl Worker {
                             }
                             let opt = make_opt(&cfg, tc.num_rows, d);
                             shards.push(ShardState {
-                                desc: ChunkDesc { table: t, shard: k, col_off: off, width: d },
+                                desc: ChunkDesc {
+                                    table: t,
+                                    shard: k,
+                                    col_off: off,
+                                    width: d,
+                                },
                                 store,
                                 opt,
                                 lengths: Vec::new(),
@@ -394,10 +422,7 @@ impl Worker {
                         let local_rows = hi.saturating_sub(lo);
                         let mut store = make_store(&cfg, local_rows.max(1), tc.dim);
                         for r in 0..local_rows {
-                            store.write_row(
-                                r,
-                                &det_row(cfg.seed, t, lo + r, tc.dim, tc.num_rows),
-                            );
+                            store.write_row(r, &det_row(cfg.seed, t, lo + r, tc.dim, tc.num_rows));
                         }
                         let opt = make_opt(&cfg, local_rows.max(1), tc.dim);
                         row_shards.push(RowShardState {
@@ -417,7 +442,11 @@ impl Worker {
                         store.write_row(r, &det_row(cfg.seed, t, r, tc.dim, tc.num_rows));
                     }
                     let opt = make_opt(&cfg, tc.num_rows, tc.dim);
-                    dp.push(DpState { table: t, store, opt });
+                    dp.push(DpState {
+                        table: t,
+                        store,
+                        opt,
+                    });
                 }
             }
         }
@@ -496,9 +525,8 @@ impl Worker {
                     }
                 }
                 Scheme::RowWise { workers } => {
-                    let bz =
-                        bucketize_rows(workers.len(), model.tables[t].num_rows, lens, idx)
-                            .map_err(|e| err(e.to_string()))?;
+                    let bz = bucketize_rows(workers.len(), model.tables[t].num_rows, lens, idx)
+                        .map_err(|e| err(e.to_string()))?;
                     for (k, &w) in workers.iter().enumerate() {
                         let (bl, bi) = bz.shard_inputs(k);
                         sends[w].push(IndexMsg {
@@ -512,7 +540,7 @@ impl Worker {
                 Scheme::DataParallel => {}
             }
         }
-        let recv = self.comm.all_to_all_v(sends);
+        let recv = self.comm.all_to_all_v(sends)?;
 
         // 3. pooled lookups for owned shards over the global batch
         // table-wise / column-wise shards
@@ -563,11 +591,12 @@ impl Worker {
                 payload.extend_from_slice(chunk.as_slice());
             }
         }
-        let pooled_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_fwd);
+        let pooled_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_fwd)?;
 
         // assemble per-table pooled features for the local sub-batch
-        let mut pooled_features: Vec<Tensor2> =
-            (0..model.tables.len()).map(|_| Tensor2::zeros(b_loc, d)).collect();
+        let mut pooled_features: Vec<Tensor2> = (0..model.tables.len())
+            .map(|_| Tensor2::zeros(b_loc, d))
+            .collect();
         for (owner, data) in pooled_recv.iter().enumerate() {
             let manifest = owner_manifest(&self.cfg.plan, &model, owner);
             let mut off = 0usize;
@@ -595,7 +624,7 @@ impl Worker {
                     .map_err(|e| err(e.to_string()))?;
                 partial.copy_from_slice(pooled.as_slice());
             }
-            let mine = self.comm.reduce_scatter(&partial);
+            let mine = self.comm.reduce_scatter(&partial)?;
             pooled_features[t] =
                 Tensor2::from_vec(b_loc, d, mine).map_err(|e| err(e.to_string()))?;
         }
@@ -603,8 +632,8 @@ impl Worker {
         // 4c. local lookups for data-parallel replicas
         for dpt in &mut self.dp {
             let (lens, idx) = sub.table_inputs(dpt.table);
-            pooled_features[dpt.table] = pooled_forward(dpt.store.as_mut(), lens, idx)
-                .map_err(|e| err(e.to_string()))?;
+            pooled_features[dpt.table] =
+                pooled_forward(dpt.store.as_mut(), lens, idx).map_err(|e| err(e.to_string()))?;
         }
 
         // 5. interaction + top MLP
@@ -635,11 +664,16 @@ impl Worker {
         let b_loc = sub.batch_size();
         let model = self.cfg.model.clone();
         let d = model.emb_dim();
-        let features =
-            self.cached_features.take().ok_or_else(|| err("backward without forward"))?;
+        let features = self
+            .cached_features
+            .take()
+            .ok_or_else(|| err("backward without forward"))?;
 
         // 7. dense backward
-        let g_top_in = self.top.backward(grad_logits).map_err(|e| err(e.to_string()))?;
+        let g_top_in = self
+            .top
+            .backward(grad_logits)
+            .map_err(|e| err(e.to_string()))?;
         let splits = g_top_in
             .hsplit(&[d, num_pairs(model.tables.len() + 1)])
             .map_err(|e| err(e.to_string()))?;
@@ -647,7 +681,9 @@ impl Worker {
         let mut g_features =
             dot_interaction_backward(&refs, &splits[1]).map_err(|e| err(e.to_string()))?;
         g_features[0] += &splits[0];
-        self.bottom.backward(&g_features[0]).map_err(|e| err(e.to_string()))?;
+        self.bottom
+            .backward(&g_features[0])
+            .map_err(|e| err(e.to_string()))?;
 
         // 8a. grad AlltoAll back to table-/column-wise owners
         let mut payloads: Vec<Vec<f32>> = vec![Vec::new(); world];
@@ -659,7 +695,7 @@ impl Worker {
                 }
             }
         }
-        let grad_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_bwd);
+        let grad_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_bwd)?;
 
         // owners apply exact sparse updates on the reassembled global grads
         let my_manifest = owner_manifest(&self.cfg.plan, &model, self.rank);
@@ -693,7 +729,7 @@ impl Worker {
         let row_tables = self.row_tables.clone();
         for &t in &row_tables {
             let flat = g_features[t + 1].as_slice().to_vec();
-            let global_grads = self.comm.all_gather(&flat);
+            let global_grads = self.comm.all_gather(&flat)?;
             if let Some(rs) = self.row_shards.iter_mut().find(|r| r.table == t) {
                 let grads = Tensor2::from_vec(world * b_loc, d, global_grads)
                     .map_err(|e| err(e.to_string()))?;
@@ -719,7 +755,7 @@ impl Worker {
                 .enumerate()
                 .map(|(k, &i)| (i, local.grads.row(k).to_vec()))
                 .collect();
-            let gathered = self.comm.all_to_all_v(vec![pairs; world]);
+            let gathered = self.comm.all_to_all_v(vec![pairs; world])?;
             let mut indices = Vec::new();
             let mut rows: Vec<f32> = Vec::new();
             for src in &gathered {
@@ -746,10 +782,14 @@ impl Worker {
         self.bottom.grads_flat(&mut self.scratch_grads);
         self.top.grads_flat(&mut self.scratch_grads);
         let mut buf = std::mem::take(&mut self.scratch_grads);
-        self.comm.all_reduce(&mut buf);
+        self.comm.all_reduce(&mut buf)?;
         let nb = self.bottom.num_params();
-        self.bottom.set_grads_flat(&buf[..nb]).map_err(|e| err(e.to_string()))?;
-        self.top.set_grads_flat(&buf[nb..]).map_err(|e| err(e.to_string()))?;
+        self.bottom
+            .set_grads_flat(&buf[..nb])
+            .map_err(|e| err(e.to_string()))?;
+        self.top
+            .set_grads_flat(&buf[nb..])
+            .map_err(|e| err(e.to_string()))?;
         self.scratch_grads = buf;
         self.bottom.apply_optimizer(self.bottom_opt.as_mut());
         self.top.apply_optimizer(self.top_opt.as_mut());
@@ -784,7 +824,7 @@ impl Worker {
         self.backward_update(&sub, &grad)?;
         // global mean loss (sub-batches are equal-sized)
         let mut l = vec![loss];
-        self.comm.all_reduce_mean(&mut l);
+        self.comm.all_reduce_mean(&mut l)?;
         Ok(l[0])
     }
 
@@ -811,20 +851,25 @@ impl Worker {
             data: Vec<f32>,
         }
         let mut to_root: Vec<GatherMsg> = Vec::new();
-        let mut pack = |table: usize,
-                        col_off: usize,
-                        row_off: u64,
-                        store: &mut Box<dyn RowStore>| {
-            let rows = store.num_rows();
-            let width = store.dim();
-            let mut data = Vec::with_capacity(rows as usize * width);
-            let mut buf = vec![0.0f32; width];
-            for r in 0..rows {
-                store.read_row(r, &mut buf);
-                data.extend_from_slice(&buf);
-            }
-            to_root.push(GatherMsg { table, col_off, width, row_off, rows, data });
-        };
+        let mut pack =
+            |table: usize, col_off: usize, row_off: u64, store: &mut Box<dyn RowStore>| {
+                let rows = store.num_rows();
+                let width = store.dim();
+                let mut data = Vec::with_capacity(rows as usize * width);
+                let mut buf = vec![0.0f32; width];
+                for r in 0..rows {
+                    store.read_row(r, &mut buf);
+                    data.extend_from_slice(&buf);
+                }
+                to_root.push(GatherMsg {
+                    table,
+                    col_off,
+                    width,
+                    row_off,
+                    rows,
+                    data,
+                });
+            };
         for sh in &mut self.shards {
             pack(sh.desc.table, sh.desc.col_off, 0, &mut sh.store);
         }
@@ -839,7 +884,7 @@ impl Worker {
         }
         let mut sends: Vec<Vec<GatherMsg>> = vec![Vec::new(); self.world];
         sends[0] = to_root;
-        let received = self.comm.all_to_all_v(sends);
+        let received = self.comm.all_to_all_v(sends)?;
         if self.rank != 0 {
             return Ok(None);
         }
@@ -870,13 +915,8 @@ impl Worker {
 
 /// Extension used while resolving row-wise shard ids from the plan.
 trait RowShardLookup {
-    fn row_shard_index(
-        &self,
-        rank: usize,
-        row_off: u64,
-        model: &DlrmConfig,
-        table: usize,
-    ) -> usize;
+    fn row_shard_index(&self, rank: usize, row_off: u64, model: &DlrmConfig, table: usize)
+        -> usize;
 }
 
 impl RowShardLookup for Scheme {
@@ -957,7 +997,13 @@ impl SyncTrainer {
         eval_every: usize,
         probe: Option<&CombinedBatch>,
     ) -> Result<TrainOutput, SyncError> {
-        self.train_stream(batches.len() as u64, |k| batches[k as usize].clone(), eval, eval_every, probe)
+        self.train_stream(
+            batches.len() as u64,
+            |k| batches[k as usize].clone(),
+            eval,
+            eval_every,
+            probe,
+        )
     }
 
     /// Streaming variant of [`SyncTrainer::train`]: batches are produced on
@@ -1087,8 +1133,11 @@ impl SyncTrainer {
             }
         }
         let probe_logits = if by_rank[0].probe_logits.is_some() {
-            let parts: Vec<Tensor2> =
-                by_rank.iter_mut().map(|r| r.probe_logits.take().expect("probe")).collect();
+            let parts: Vec<Tensor2> = by_rank
+                .iter_mut()
+                // lint: allow(panic) — every worker fills probe_logits when rank 0 does
+                .map(|r| r.probe_logits.take().expect("probe"))
+                .collect();
             let refs: Vec<&Tensor2> = parts.iter().collect();
             Some(Tensor2::vcat(&refs).map_err(|e| err(e.to_string()))?)
         } else {
@@ -1096,7 +1145,13 @@ impl SyncTrainer {
         };
         let comm = by_rank.iter().map(|r| r.comm).collect();
         let final_model = by_rank.iter_mut().find_map(|r| r.final_model.take());
-        Ok(TrainOutput { losses, ne_curve, probe_logits, comm, final_model })
+        Ok(TrainOutput {
+            losses,
+            ne_curve,
+            probe_logits,
+            comm,
+            final_model,
+        })
     }
 }
 
@@ -1121,10 +1176,15 @@ mod tests {
         ShardingPlan {
             world,
             placements: vec![
-                TablePlacement { table: 0, scheme: Scheme::TableWise { worker: 1 % world } },
+                TablePlacement {
+                    table: 0,
+                    scheme: Scheme::TableWise { worker: 1 % world },
+                },
                 TablePlacement {
                     table: 1,
-                    scheme: Scheme::RowWise { workers: (0..world).collect() },
+                    scheme: Scheme::RowWise {
+                        workers: (0..world).collect(),
+                    },
                 },
                 TablePlacement {
                     table: 2,
@@ -1133,7 +1193,10 @@ mod tests {
                         split_dims: vec![4, 4],
                     },
                 },
-                TablePlacement { table: 3, scheme: Scheme::DataParallel },
+                TablePlacement {
+                    table: 3,
+                    scheme: Scheme::DataParallel,
+                },
             ],
         }
     }
@@ -1160,8 +1223,7 @@ mod tests {
         probe: &CombinedBatch,
     ) -> Tensor2 {
         let mut m = reference_model(cfg, seed).unwrap();
-        let mut opts: Vec<SparseSgd> =
-            cfg.tables.iter().map(|_| SparseSgd::new(lr)).collect();
+        let mut opts: Vec<SparseSgd> = cfg.tables.iter().map(|_| SparseSgd::new(lr)).collect();
         for b in train {
             let logits = m.forward(b).unwrap();
             let (_, grad) = bce_with_logits(&logits, &b.labels).unwrap();
@@ -1182,7 +1244,9 @@ mod tests {
         let reference = train_reference(&cfg, 42, 0.05, &train, &probe);
 
         let sc = SyncConfig::exact(4, cfg, mixed_plan(4), 32);
-        let out = SyncTrainer::new(sc).train(&train, &[], 0, Some(&probe)).unwrap();
+        let out = SyncTrainer::new(sc)
+            .train(&train, &[], 0, Some(&probe))
+            .unwrap();
         let got = out.probe_logits.unwrap();
         assert_eq!(got.shape(), reference.shape());
         let diff = got.max_abs_diff(&reference).unwrap();
@@ -1224,7 +1288,9 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 64);
-        let out = SyncTrainer::new(sc).train(&batches(40, 64), &[], 0, None).unwrap();
+        let out = SyncTrainer::new(sc)
+            .train(&batches(40, 64), &[], 0, None)
+            .unwrap();
         let head: f32 = out.losses[..5].iter().sum::<f32>() / 5.0;
         let tail: f32 = out.losses[35..].iter().sum::<f32>() / 5.0;
         assert!(tail < head - 0.01, "loss {head:.4} -> {tail:.4}");
@@ -1235,7 +1301,9 @@ mod tests {
         let ds = dataset();
         let eval: Vec<_> = (1000..1004).map(|k| ds.batch(32, k)).collect();
         let sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 32);
-        let out = SyncTrainer::new(sc).train(&batches(30, 32), &eval, 10, None).unwrap();
+        let out = SyncTrainer::new(sc)
+            .train(&batches(30, 32), &eval, 10, None)
+            .unwrap();
         assert_eq!(out.ne_curve.len(), 3);
         let first = out.ne_curve[0].1;
         let last = out.ne_curve[2].1;
@@ -1249,12 +1317,16 @@ mod tests {
         let probe = dataset().batch(32, 321);
 
         let exact = SyncConfig::exact(4, cfg.clone(), mixed_plan(4), 32);
-        let fp32 = SyncTrainer::new(exact.clone()).train(&train, &[], 0, Some(&probe)).unwrap();
+        let fp32 = SyncTrainer::new(exact.clone())
+            .train(&train, &[], 0, Some(&probe))
+            .unwrap();
 
         let mut quant = exact;
         quant.quant_fwd = QuantMode::Fp16;
         quant.quant_bwd = QuantMode::Bf16;
-        let q = SyncTrainer::new(quant).train(&train, &[], 0, Some(&probe)).unwrap();
+        let q = SyncTrainer::new(quant)
+            .train(&train, &[], 0, Some(&probe))
+            .unwrap();
 
         let diff = fp32
             .probe_logits
@@ -1272,7 +1344,9 @@ mod tests {
     fn fp16_embeddings_still_learn() {
         let mut sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 64);
         sc.fp16_embeddings = true;
-        let out = SyncTrainer::new(sc).train(&batches(40, 64), &[], 0, None).unwrap();
+        let out = SyncTrainer::new(sc)
+            .train(&batches(40, 64), &[], 0, None)
+            .unwrap();
         let head: f32 = out.losses[..5].iter().sum::<f32>() / 5.0;
         let tail: f32 = out.losses[35..].iter().sum::<f32>() / 5.0;
         assert!(tail < head, "fp16 tables: loss {head:.4} -> {tail:.4}");
@@ -1283,7 +1357,9 @@ mod tests {
         let mut sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 32);
         sc.optimizer = SparseOpt::RowWiseAdagrad;
         sc.lr = 0.1;
-        let out = SyncTrainer::new(sc).train(&batches(20, 32), &[], 0, None).unwrap();
+        let out = SyncTrainer::new(sc)
+            .train(&batches(20, 32), &[], 0, None)
+            .unwrap();
         assert!(out.losses.last().unwrap() < out.losses.first().unwrap());
     }
 
@@ -1291,10 +1367,14 @@ mod tests {
     fn config_errors_detected() {
         // batch not divisible by world
         let sc = SyncConfig::exact(3, model_cfg(), mixed_plan(3), 32);
-        assert!(SyncTrainer::new(sc).train(&batches(1, 32), &[], 0, None).is_err());
+        assert!(SyncTrainer::new(sc)
+            .train(&batches(1, 32), &[], 0, None)
+            .is_err());
         // wrong batch size
         let sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 32);
-        assert!(SyncTrainer::new(sc).train(&batches(1, 64), &[], 0, None).is_err());
+        assert!(SyncTrainer::new(sc)
+            .train(&batches(1, 64), &[], 0, None)
+            .is_err());
         // zero world
         let sc = SyncConfig::exact(0, model_cfg(), mixed_plan(1), 32);
         assert!(SyncTrainer::new(sc).train(&[], &[], 0, None).is_err());
@@ -1303,7 +1383,9 @@ mod tests {
     #[test]
     fn comm_stats_populated_per_rank() {
         let sc = SyncConfig::exact(4, model_cfg(), mixed_plan(4), 32);
-        let out = SyncTrainer::new(sc).train(&batches(2, 32), &[], 0, None).unwrap();
+        let out = SyncTrainer::new(sc)
+            .train(&batches(2, 32), &[], 0, None)
+            .unwrap();
         assert_eq!(out.comm.len(), 4);
         assert!(out.comm.iter().all(|s| s.ops > 0 && s.bytes_sent > 0));
     }
@@ -1320,10 +1402,15 @@ mod gather_and_optimizer_tests {
         ShardingPlan {
             world,
             placements: vec![
-                TablePlacement { table: 0, scheme: Scheme::TableWise { worker: 1 % world } },
+                TablePlacement {
+                    table: 0,
+                    scheme: Scheme::TableWise { worker: 1 % world },
+                },
                 TablePlacement {
                     table: 1,
-                    scheme: Scheme::RowWise { workers: (0..world).collect() },
+                    scheme: Scheme::RowWise {
+                        workers: (0..world).collect(),
+                    },
                 },
                 TablePlacement {
                     table: 2,
@@ -1332,7 +1419,10 @@ mod gather_and_optimizer_tests {
                         split_dims: vec![4, 4],
                     },
                 },
-                TablePlacement { table: 3, scheme: Scheme::DataParallel },
+                TablePlacement {
+                    table: 3,
+                    scheme: Scheme::DataParallel,
+                },
             ],
         }
     }
@@ -1350,13 +1440,18 @@ mod gather_and_optimizer_tests {
         let probe = ds.batch(32, 900);
         let mut cfg = SyncConfig::exact(4, model, mixed_plan(4), 32);
         cfg.gather_final_model = true;
-        let out = SyncTrainer::new(cfg).train(&batches, &[], 0, Some(&probe)).unwrap();
+        let out = SyncTrainer::new(cfg)
+            .train(&batches, &[], 0, Some(&probe))
+            .unwrap();
 
         let mut gathered = out.final_model.expect("gathered on rank 0");
         let local_logits = gathered.forward_inference(&probe).unwrap();
         let dist_logits = out.probe_logits.unwrap();
         let diff = local_logits.max_abs_diff(&dist_logits).unwrap();
-        assert!(diff < 1e-4, "gathered model matches distributed shards: {diff}");
+        assert!(
+            diff < 1e-4,
+            "gathered model matches distributed shards: {diff}"
+        );
     }
 
     #[test]
@@ -1379,8 +1474,9 @@ mod gather_and_optimizer_tests {
     fn gather_disabled_returns_none() {
         let (model, ds) = setup();
         let cfg = SyncConfig::exact(2, model, mixed_plan(2), 32);
-        let out =
-            SyncTrainer::new(cfg).train(&[ds.batch(32, 0)], &[], 0, None).unwrap();
+        let out = SyncTrainer::new(cfg)
+            .train(&[ds.batch(32, 0)], &[], 0, None)
+            .unwrap();
         assert!(out.final_model.is_none());
     }
 
@@ -1388,7 +1484,12 @@ mod gather_and_optimizer_tests {
     fn dense_optimizers_all_train() {
         let (model, ds) = setup();
         let batches: Vec<_> = (0..25).map(|k| ds.batch(64, k)).collect();
-        for opt in [DenseOpt::Sgd, DenseOpt::Adagrad, DenseOpt::Adam, DenseOpt::Lamb] {
+        for opt in [
+            DenseOpt::Sgd,
+            DenseOpt::Adagrad,
+            DenseOpt::Adam,
+            DenseOpt::Lamb,
+        ] {
             let mut cfg = SyncConfig::exact(2, model.clone(), mixed_plan(2), 64);
             cfg.dense_optimizer = opt;
             cfg.lr = match opt {
@@ -1415,7 +1516,9 @@ mod gather_and_optimizer_tests {
         cfg.dense_optimizer = DenseOpt::Adam;
         cfg.lr = 0.005;
         cfg.gather_final_model = true;
-        let out = SyncTrainer::new(cfg).train(&batches, &[], 0, Some(&probe)).unwrap();
+        let out = SyncTrainer::new(cfg)
+            .train(&batches, &[], 0, Some(&probe))
+            .unwrap();
         let mut gathered = out.final_model.unwrap();
         let diff = gathered
             .forward_inference(&probe)
@@ -1436,7 +1539,10 @@ mod schedule_and_stream_tests {
         ShardingPlan {
             world,
             placements: (0..3)
-                .map(|t| TablePlacement { table: t, scheme: Scheme::TableWise { worker: t % world } })
+                .map(|t| TablePlacement {
+                    table: t,
+                    scheme: Scheme::TableWise { worker: t % world },
+                })
                 .collect(),
         }
     }
@@ -1447,7 +1553,10 @@ mod schedule_and_stream_tests {
 
     #[test]
     fn lr_schedule_math() {
-        let s = LrSchedule { warmup_iters: 4, decay_per_iter: 0.5 };
+        let s = LrSchedule {
+            warmup_iters: 4,
+            decay_per_iter: 0.5,
+        };
         assert_eq!(s.lr_at(1.0, 0), 0.25);
         assert_eq!(s.lr_at(1.0, 3), 1.0);
         assert_eq!(s.lr_at(1.0, 4), 1.0);
@@ -1492,7 +1601,13 @@ mod schedule_and_stream_tests {
                 .unwrap()
         };
         let untrained = run(LrSchedule::default(), 0);
-        let warm = run(LrSchedule { warmup_iters: 8, decay_per_iter: 1.0 }, 1);
+        let warm = run(
+            LrSchedule {
+                warmup_iters: 8,
+                decay_per_iter: 1.0,
+            },
+            1,
+        );
         let flat = run(LrSchedule::default(), 1);
         // one warmup step (lr/8) displaces the model far less than one
         // full-LR step
@@ -1508,7 +1623,13 @@ mod schedule_and_stream_tests {
         let model = DlrmConfig::tiny(3, 64, 8);
         let t = SyncTrainer::new(SyncConfig::exact(2, model, plan(2), 32));
         // wrong batch size produced mid-stream
-        let r = t.train_stream(2, |k| ds.batch(if k == 1 { 16 } else { 32 }, k), &[], 0, None);
+        let r = t.train_stream(
+            2,
+            |k| ds.batch(if k == 1 { 16 } else { 32 }, k),
+            &[],
+            0,
+            None,
+        );
         assert!(r.is_err());
     }
 }

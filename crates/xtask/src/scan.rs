@@ -1,0 +1,399 @@
+//! Line-level source model for the linter.
+//!
+//! Loads a `.rs` file and produces, per line: the raw text, a *code view*
+//! with comments and string/char literal contents blanked out (so token
+//! scans cannot false-positive inside docs or literals), the comment text
+//! (where `// lint: allow(...)` annotations live), and whether the line
+//! sits inside a `#[cfg(test)]`-gated region.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A parsed source file ready for rule scans.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used in diagnostics.
+    pub path: PathBuf,
+    /// Original lines.
+    pub raw: Vec<String>,
+    /// Lines with comments and literal contents replaced by spaces.
+    pub code: Vec<String>,
+    /// Comment text of each line (empty when the line has none).
+    pub comments: Vec<String>,
+    /// Whether each line is inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+/// A single rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the violation is in (workspace-relative).
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule identifier, e.g. `panic` or `hash_iter`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Normal,
+    Str,
+    RawStr { hashes: usize },
+    BlockComment { depth: usize },
+}
+
+impl SourceFile {
+    /// Parses `text` (the contents of `path`).
+    pub fn parse(path: &Path, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let (code, comments) = strip(&raw);
+        let in_test = mark_test_regions(&code);
+        SourceFile {
+            path: path.to_path_buf(),
+            raw,
+            code,
+            comments,
+            in_test,
+        }
+    }
+
+    /// Whether `line` (0-based) carries a `// lint: allow(rule) — reason`
+    /// annotation for `rule`, either trailing the line itself or on a
+    /// comment-only line immediately above (a trailing annotation covers
+    /// only its own line).
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        if annotation_of(&self.comments[line]).is_some_and(|r| r == rule) {
+            return true;
+        }
+        line > 0
+            && self.code[line - 1].trim().is_empty()
+            && annotation_of(&self.comments[line - 1]).is_some_and(|r| r == rule)
+    }
+}
+
+/// Extracts the rule name from a well-formed lint annotation in a comment.
+///
+/// Grammar: `lint: allow(<rule>) <sep> <reason>` where `<sep>` is an em
+/// dash, hyphen, or colon and `<reason>` is non-empty. A marker without a
+/// reason does not count — the reason is the point.
+pub fn annotation_of(comment: &str) -> Option<&str> {
+    let start = comment.find("lint: allow(")?;
+    let after = &comment[start + "lint: allow(".len()..];
+    let close = after.find(')')?;
+    let rule = after[..close].trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let rest = after[close + 1..].trim_start();
+    let reason = rest
+        .strip_prefix('\u{2014}')
+        .or_else(|| rest.strip_prefix('-'))
+        .or_else(|| rest.strip_prefix(':'))?;
+    if reason.trim().len() < 3 {
+        return None;
+    }
+    Some(rule)
+}
+
+/// Blanks comments and literal contents, returning (code, comment) views.
+fn strip(raw: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut mode = Mode::Normal;
+    let mut code_lines = Vec::with_capacity(raw.len());
+    let mut comment_lines = Vec::with_capacity(raw.len());
+
+    for line in raw {
+        let mut code = String::with_capacity(line.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match mode {
+                Mode::Normal => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        comment.push_str(&chars[i..].iter().collect::<String>());
+                        break; // rest of line is comment
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment { depth: 1 };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
+                        // raw string: r"..." or r#"..."# (any hash count)
+                        let mut j = i + 1;
+                        let mut hashes = 0;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            mode = Mode::RawStr { hashes };
+                            for _ in i..=j {
+                                code.push(' ');
+                            }
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // char literal vs lifetime: a literal closes within
+                        // a few chars ('x', '\n', '\u{..}'); a lifetime
+                        // never closes
+                        if let Some(len) = char_literal_len(&chars[i..]) {
+                            code.push(' ');
+                            for _ in 1..len {
+                                code.push(' ');
+                            }
+                            i += len;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    let c = chars[i];
+                    if c == '\\' {
+                        code.push(' ');
+                        if i + 1 < chars.len() {
+                            code.push(' ');
+                            i += 1;
+                        }
+                        i += 1;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Normal;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr { hashes } => {
+                    if chars[i] == '"' {
+                        let closing: bool = (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                        if closing {
+                            for _ in 0..=hashes {
+                                code.push(' ');
+                            }
+                            i += 1 + hashes;
+                            mode = Mode::Normal;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+                Mode::BlockComment { depth } => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    if c == '*' && next == Some('/') {
+                        comment.push_str("*/");
+                        i += 2;
+                        if depth == 1 {
+                            mode = Mode::Normal;
+                            code.push(' ');
+                            code.push(' ');
+                        } else {
+                            mode = Mode::BlockComment { depth: depth - 1 };
+                        }
+                    } else if c == '/' && next == Some('*') {
+                        comment.push_str("/*");
+                        mode = Mode::BlockComment { depth: depth + 1 };
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // an unterminated normal string cannot span lines in valid Rust
+        // unless escaped; treat line end as terminating to stay robust
+        if mode == Mode::Str {
+            mode = Mode::Normal;
+        }
+        code_lines.push(code);
+        comment_lines.push(comment);
+    }
+    (code_lines, comment_lines)
+}
+
+/// Length in chars of a char literal starting at `'`, or `None` for a
+/// lifetime.
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    match chars.get(1)? {
+        '\\' => {
+            // escaped: scan to the closing quote (bounded)
+            for (k, c) in chars.iter().enumerate().skip(2).take(10) {
+                if *c == '\'' {
+                    return Some(k + 1);
+                }
+            }
+            None
+        }
+        _ => {
+            if chars.get(2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // `'a` lifetime or `'static`
+            }
+        }
+    }
+}
+
+/// Marks every line belonging to a `#[cfg(test)]`-gated item by tracking
+/// brace depth from the attribute to the close of the item it gates.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    // (closing depth) of currently open cfg(test) item, if any
+    let mut test_close_depth: Option<i64> = None;
+    // attribute seen, item body not yet opened
+    let mut pending_attr = false;
+
+    for (ln, line) in code.iter().enumerate() {
+        if test_close_depth.is_some() || pending_attr {
+            in_test[ln] = true;
+        }
+        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
+            pending_attr = true;
+            in_test[ln] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_attr && test_close_depth.is_none() {
+                        test_close_depth = Some(depth - 1);
+                        pending_attr = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(close) = test_close_depth {
+                        if depth <= close {
+                            test_close_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse(Path::new("x.rs"), text)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = parse("let x = \"panic!\"; // panic! here\nlet y = 1;");
+        assert!(!f.code[0].contains("panic!"), "code view: {:?}", f.code[0]);
+        assert!(f.comments[0].contains("panic!"));
+        assert_eq!(f.code[1], "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f =
+            parse("let s = r#\"has .unwrap() inside\"#; let c = '{'; let l: &'static str = \"x\";");
+        assert!(!f.code[0].contains(".unwrap()"));
+        assert!(
+            !f.code[0].contains('{'),
+            "char literal blanked: {:?}",
+            f.code[0]
+        );
+        assert!(
+            f.code[0].contains("static"),
+            "lifetime kept: {:?}",
+            f.code[0]
+        );
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = parse("/* start\n.unwrap()\nstill comment */ let a = 1;");
+        assert!(!f.code[1].contains(".unwrap()"));
+        assert!(f.code[2].contains("let a = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let text =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = parse(text);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[1] && f.in_test[2] && f.in_test[3] && f.in_test[4]);
+        assert!(!f.in_test[5]);
+    }
+
+    #[test]
+    fn annotation_grammar() {
+        assert_eq!(
+            annotation_of("// lint: allow(panic) — lock poisoning is fatal"),
+            Some("panic")
+        );
+        assert_eq!(
+            annotation_of("// lint: allow(hash_iter) - sorted before use"),
+            Some("hash_iter")
+        );
+        assert_eq!(
+            annotation_of("// lint: allow(panic): reason text"),
+            Some("panic")
+        );
+        assert_eq!(
+            annotation_of("// lint: allow(panic)"),
+            None,
+            "reason required"
+        );
+        assert_eq!(
+            annotation_of("// lint: allow(panic) — x"),
+            None,
+            "reason too short"
+        );
+        assert_eq!(annotation_of("// nothing to see"), None);
+    }
+
+    #[test]
+    fn allows_checks_same_and_previous_line() {
+        let text = "// lint: allow(panic) — covered above\nx.unwrap();\ny.unwrap(); // lint: allow(panic) — trailing form\nz.unwrap();\n";
+        let f = parse(text);
+        assert!(f.allows(1, "panic"));
+        assert!(f.allows(2, "panic"));
+        assert!(!f.allows(3, "panic"));
+        assert!(!f.allows(1, "hash_iter"), "rule name must match");
+    }
+}

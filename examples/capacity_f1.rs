@@ -11,10 +11,10 @@
 //! the 32-way set-associative software cache with LRU replacement, and the
 //! Zipf-skewed access pattern keeps the hit rate high.
 
+use neo_dlrm::embeddings::bag::{pooled_backward, pooled_forward};
 use neo_dlrm::perfmodel::capacity::{capacity_chain, fit_on_cluster};
 use neo_dlrm::prelude::*;
 use neo_dlrm::trainer::init::det_row;
-use neo_dlrm::embeddings::bag::{pooled_backward, pooled_forward};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- part 1: the paper's arithmetic ----

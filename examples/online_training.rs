@@ -21,9 +21,7 @@ use neo_dlrm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = DlrmConfig::tiny(4, 4096, 8);
-    let offline = SyntheticDataset::new(
-        SyntheticConfig::uniform(4, 4096, 4, 4).with_seed(100),
-    )?;
+    let offline = SyntheticDataset::new(SyntheticConfig::uniform(4, 4096, 4, 4).with_seed(100))?;
 
     // ---- phase 1: offline pre-training, 4 workers ----
     let specs: Vec<TableSpec> = model
@@ -40,8 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batches: Vec<_> = (0..200u64).map(|k| offline.batch(256, k)).collect();
     let out = SyncTrainer::new(cfg).train(&batches, &[], 0, None)?;
     let mut served = out.final_model.expect("gathered model");
-    println!("offline: {} iterations, loss {:.4} -> {:.4}",
-        out.losses.len(), out.losses[0], out.losses.last().unwrap());
+    println!(
+        "offline: {} iterations, loss {:.4} -> {:.4}",
+        out.losses.len(),
+        out.losses[0],
+        out.losses.last().unwrap()
+    );
 
     // ---- phase 2: move embeddings behind the software cache ----
     // (online deployments run on fewer, smaller hosts)
@@ -71,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let inter = neo_dlrm::dlrm::interaction::dot_interaction(&refs)?;
         let top_in = Tensor2::hcat(&[&features[0], &inter])?;
         let logits = served.top.forward(&top_in);
-        let slot = if step < 50 { &mut ne_before } else { &mut ne_after };
+        let slot = if step < 50 {
+            &mut ne_before
+        } else {
+            &mut ne_after
+        };
         slot.observe_logits(&logits, &batch.labels);
 
         // learn online: full backward, small-batch updates
@@ -80,8 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let d = 8;
         let pairs = neo_dlrm::dlrm::interaction::num_pairs(5);
         let splits = g_top.hsplit(&[d, pairs])?;
-        let mut g_feats =
-            neo_dlrm::dlrm::interaction::dot_interaction_backward(&refs, &splits[1])?;
+        let mut g_feats = neo_dlrm::dlrm::interaction::dot_interaction_backward(&refs, &splits[1])?;
         g_feats[0] += &splits[0];
         served.bottom.backward(&g_feats[0])?;
         served.bottom.sgd_step(0.05);

@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. train, evaluating NE every 20 iterations
     let out = trainer.train(&train, &eval, 20, None)?;
-    println!("loss: first {:.4} -> last {:.4}", out.losses[0], out.losses.last().unwrap());
+    println!(
+        "loss: first {:.4} -> last {:.4}",
+        out.losses[0],
+        out.losses.last().unwrap()
+    );
     for (samples, ne) in &out.ne_curve {
         println!("  after {samples:>6} samples: NE = {ne:.4}");
     }

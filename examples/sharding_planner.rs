@@ -25,9 +25,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cost = CostModel::v100_prototype(65536);
     for (label, config) in [
-        ("table-wise only, greedy", PlannerConfig::default().table_wise_only().with_algorithm(Algorithm::Greedy)),
-        ("mixed schemes,   greedy", PlannerConfig::default().with_algorithm(Algorithm::Greedy)),
-        ("mixed schemes,   LDM   ", PlannerConfig::default().with_algorithm(Algorithm::KarmarkarKarp)),
+        (
+            "table-wise only, greedy",
+            PlannerConfig::default()
+                .table_wise_only()
+                .with_algorithm(Algorithm::Greedy),
+        ),
+        (
+            "mixed schemes,   greedy",
+            PlannerConfig::default().with_algorithm(Algorithm::Greedy),
+        ),
+        (
+            "mixed schemes,   LDM   ",
+            PlannerConfig::default().with_algorithm(Algorithm::KarmarkarKarp),
+        ),
     ] {
         let planner = Planner::new(cost, config);
         let plan = planner.plan(&specs, 128)?;

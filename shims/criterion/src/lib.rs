@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock measurement loop (fixed warm-up, then timed batches, median
+//! of batch means). No statistical analysis, plots, or baselines: the
+//! point is that `cargo bench` runs and prints stable relative numbers
+//! without network access to crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared input scale of a benchmark, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Measurement driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: short warm-up, then several timed batches; the
+    /// recorded figure is the median batch mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up: run for ~30ms or at least once
+        let warm_until = Instant::now() + Duration::from_millis(30);
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        // pick a batch size targeting ~20ms per batch
+        let per_iter = Duration::from_millis(30).as_nanos() as f64 / warm_iters as f64;
+        let batch = ((20e6 / per_iter).ceil() as u64).max(1);
+        let mut means = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            means.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        means.sort_by(|a, b| a.total_cmp(b));
+        self.mean_ns = means[means.len() / 2];
+    }
+}
+
+/// A named collection of related benchmark cases.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work scale for subsequent cases.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Ignored (upstream tuning knob); present so benches compile.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored (upstream tuning knob); present so benches compile.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` as the case `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0 };
+        routine(&mut b);
+        self.report(&id.to_string(), b.mean_ns);
+        self
+    }
+
+    /// Runs `routine(bencher, input)` as the case `id`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0 };
+        routine(&mut b, input);
+        self.report(&id.to_string(), b.mean_ns);
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; we already printed).
+    pub fn finish(self) {}
+
+    fn report(&self, case: &str, mean_ns: f64) {
+        let mut line = format!("{}/{:<24} {:>12.1} ns/iter", self.name, case, mean_ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let _ = write!(line, "  {:>10.2} Melem/s", n as f64 / mean_ns * 1e3);
+            }
+            Some(Throughput::Bytes(n)) => {
+                let _ = write!(
+                    line,
+                    "  {:>10.2} MiB/s",
+                    n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+                );
+            }
+            None => {}
+        }
+        println!("{line}");
+        let _ = self.criterion; // reserved for future aggregate reporting
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmark cases.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone case.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        routine: R,
+    ) -> &mut Self {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(name);
+        g.bench_function("base", routine);
+        g.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

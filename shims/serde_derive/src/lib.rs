@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! documentation of intent — nothing serializes through serde at runtime
+//! (checkpointing is hand-rolled). These derives therefore expand to
+//! nothing; they exist so the seed sources compile unchanged without
+//! network access to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts and ignores `#[serde(...)]` helpers.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts and ignores `#[serde(...)]` helpers.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -41,6 +41,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(warnings)]
 #![deny(missing_docs)]
 
 pub use neo_collectives as collectives;
@@ -62,8 +64,8 @@ pub mod prelude {
         bce_with_logits, Auc, DlrmConfig, DlrmModel, ModelProfile, NormalizedEntropy,
     };
     pub use neo_embeddings::{
-        DenseStore, HalfStore, RowStore, RowWiseAdagrad, SparseAdagrad, SparseOptimizer,
-        SparseSgd, TieredStore,
+        DenseStore, HalfStore, RowStore, RowWiseAdagrad, SparseAdagrad, SparseOptimizer, SparseSgd,
+        TieredStore,
     };
     pub use neo_memory::{MemoryHierarchy, Policy, SetAssocCache, UvmPageCache};
     pub use neo_netsim::{ClusterTopology, CollectiveCost, CollectiveKind};

@@ -72,8 +72,7 @@ fn exact_sparse_optimizer_reproducible_under_shuffled_arrival() {
     // duplicate rows carry identical gradients (GPU-atomics would not)
     use neo_dlrm::embeddings::{bag::SparseGrad, DenseStore, RowStore};
 
-    let pairs: Vec<(u64, f32)> =
-        vec![(5, 0.1), (2, 0.2), (5, 0.1), (9, 0.05), (2, 0.2), (5, 0.1)];
+    let pairs: Vec<(u64, f32)> = vec![(5, 0.1), (2, 0.2), (5, 0.1), (9, 0.05), (2, 0.2), (5, 0.1)];
     let run = |order: &[usize]| {
         let mut store = DenseStore::zeros(16, 2);
         let mut opt = SparseAdagrad::new(0.1, 1e-8, 16, 2);
@@ -84,15 +83,19 @@ fn exact_sparse_optimizer_reproducible_under_shuffled_arrival() {
     };
     let forward = run(&[0, 1, 2, 3, 4, 5]);
     let shuffled = run(&[5, 3, 1, 4, 0, 2]);
-    assert_eq!(forward, shuffled, "merge-sorted updates are order-independent");
+    assert_eq!(
+        forward, shuffled,
+        "merge-sorted updates are order-independent"
+    );
 }
 
 #[test]
 fn checkpoint_roundtrip_through_training() {
     let ds = dataset();
     let mut m = reference_model(&model_cfg(), 9).unwrap();
-    let mut opts: Vec<SparseAdagrad> =
-        (0..3).map(|_| SparseAdagrad::new(0.05, 1e-8, 128, 8)).collect();
+    let mut opts: Vec<SparseAdagrad> = (0..3)
+        .map(|_| SparseAdagrad::new(0.05, 1e-8, 128, 8))
+        .collect();
     for k in 0..5 {
         let b = ds.batch(16, k);
         let logits = m.forward(&b).unwrap();

@@ -43,7 +43,9 @@ fn full_stack_trains_with_all_optimizations() {
     assert_eq!(batches.len(), 50);
 
     let eval: Vec<_> = (9_000..9_004).map(|k| ds.batch(64, k)).collect();
-    let out = SyncTrainer::new(cfg).train(&batches, &eval, 25, None).unwrap();
+    let out = SyncTrainer::new(cfg)
+        .train(&batches, &eval, 25, None)
+        .unwrap();
     assert_eq!(out.losses.len(), 50);
     assert_eq!(out.ne_curve.len(), 2);
     let head: f32 = out.losses[..5].iter().sum::<f32>() / 5.0;
@@ -88,7 +90,7 @@ fn sync_large_batch_quality_on_par_with_async_small_batch() {
         staleness: 8,
         lr: 0.03,
         seed: 5,
-    dense_sync: Default::default(),
+        dense_sync: Default::default(),
     })
     .unwrap();
     ps.train(&ds, budget / 16, &[]).unwrap();
@@ -100,8 +102,12 @@ fn sync_large_batch_quality_on_par_with_async_small_batch() {
     let mut cfg = SyncConfig::exact(4, model, plan, 128);
     cfg.lr = 0.03 * (128.0 / 16.0); // linear LR scaling
     cfg.seed = 5;
-    let batches: Vec<_> = (0..budget / 128).map(|k| ds.batch(128, k + 90_000)).collect();
-    let out = SyncTrainer::new(cfg).train(&batches, &eval, 0, None).unwrap();
+    let batches: Vec<_> = (0..budget / 128)
+        .map(|k| ds.batch(128, k + 90_000))
+        .collect();
+    let out = SyncTrainer::new(cfg)
+        .train(&batches, &eval, 0, None)
+        .unwrap();
     let sync_ne = out.ne_curve.last().unwrap().1;
 
     assert!(
@@ -136,29 +142,50 @@ fn hierarchical_plan_trains_end_to_end() {
     assert!(saw_rowwise, "test premise: tables were row-sharded");
 
     let cfg = SyncConfig::exact(4, model, plan, 32);
-    let batches: Vec<_> = (0..10).map(|k| ds.batch(32, k)).collect();
+    // Fresh 50k-row tables see each embedding row about once per epoch, so
+    // single-pass loss stays at noise level regardless of sharding; cycle a
+    // small set of batches so learning (memorization) is observable and the
+    // row-wise + hierarchical path is exercised across repeated updates.
+    let uniq: Vec<_> = (0..4u64).map(|k| ds.batch(32, k)).collect();
+    let batches: Vec<_> = (0..32).map(|i| uniq[i % 4].clone()).collect();
     let out = SyncTrainer::new(cfg).train(&batches, &[], 0, None).unwrap();
     assert!(out.losses.iter().all(|l| l.is_finite()));
-    assert!(out.losses.last().unwrap() < out.losses.first().unwrap());
+    let first_epoch: f32 = out.losses[..4].iter().sum::<f32>() / 4.0;
+    let last_epoch: f32 = out.losses[28..].iter().sum::<f32>() / 4.0;
+    assert!(
+        last_epoch < first_epoch,
+        "row-wise hierarchical training learns: {first_epoch:.4} -> {last_epoch:.4}"
+    );
 }
 
 #[test]
 fn tt_compressed_tables_train_in_the_model() {
     // TT-Rec (§4.1.4) as drop-in storage: swap a dense table for a
     // tensor-train factorized one and keep training
-    use neo_dlrm::embeddings::ttrec::{TtRecTable, TtShape};
     use neo_dlrm::dlrm::bce_with_logits;
+    use neo_dlrm::embeddings::ttrec::{TtRecTable, TtShape};
     use neo_dlrm::embeddings::{SparseOptimizer, SparseSgd};
     use neo_dlrm::trainer::init::reference_model;
     use rand::SeedableRng;
 
     let cfg = DlrmConfig::tiny(3, 256, 8); // 256 = 16*16 rows, 8 = 2*4 dims
     let mut model = reference_model(&cfg, 3).unwrap();
-    let shape = TtShape { h1: 16, h2: 16, d1: 2, d2: 4, rank: 4 };
+    let shape = TtShape {
+        h1: 16,
+        h2: 16,
+        d1: 2,
+        d2: 4,
+        rank: 4,
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
-    let tt = TtRecTable::random(shape, &mut rng).unwrap().with_write_lr(0.5);
+    let tt = TtRecTable::random(shape, &mut rng)
+        .unwrap()
+        .with_write_lr(0.5);
     let dense_bytes = 256 * 8 * 4;
-    assert!(tt.shape().compressed_params() * 4 < dense_bytes / 2, "compressed");
+    assert!(
+        tt.shape().compressed_params() * 4 < dense_bytes / 2,
+        "compressed"
+    );
     model.tables[1] = Box::new(tt);
 
     let ds = SyntheticDataset::new(SyntheticConfig::uniform(3, 256, 3, 4)).unwrap();
@@ -180,5 +207,8 @@ fn tt_compressed_tables_train_in_the_model() {
         }
     }
     let after = loss_of(&mut model);
-    assert!(after < before, "TT tables keep learning: {before:.4} -> {after:.4}");
+    assert!(
+        after < before,
+        "TT tables keep learning: {before:.4} -> {after:.4}"
+    );
 }

@@ -61,7 +61,10 @@ fn uniform_plan(world: usize, make: impl Fn(usize) -> Scheme) -> ShardingPlan {
     ShardingPlan {
         world,
         placements: (0..TABLES)
-            .map(|t| TablePlacement { table: t, scheme: make(t) })
+            .map(|t| TablePlacement {
+                table: t,
+                scheme: make(t),
+            })
             .collect(),
     }
 }
@@ -81,14 +84,18 @@ fn all_table_wise_matches_reference() {
 
 #[test]
 fn all_row_wise_matches_reference() {
-    let plan = uniform_plan(4, |_| Scheme::RowWise { workers: vec![0, 1, 2, 3] });
+    let plan = uniform_plan(4, |_| Scheme::RowWise {
+        workers: vec![0, 1, 2, 3],
+    });
     assert_matches_reference(plan, 4, "row-wise");
 }
 
 #[test]
 fn partial_row_wise_matches_reference() {
     // shards on a strict subset of the workers
-    let plan = uniform_plan(4, |_| Scheme::RowWise { workers: vec![1, 3] });
+    let plan = uniform_plan(4, |_| Scheme::RowWise {
+        workers: vec![1, 3],
+    });
     assert_matches_reference(plan, 4, "row-wise on 2 of 4 workers");
 }
 
@@ -121,13 +128,27 @@ fn mixed_schemes_match_reference() {
     let plan = ShardingPlan {
         world: 4,
         placements: vec![
-            TablePlacement { table: 0, scheme: Scheme::TableWise { worker: 2 } },
-            TablePlacement { table: 1, scheme: Scheme::RowWise { workers: vec![0, 1, 2, 3] } },
+            TablePlacement {
+                table: 0,
+                scheme: Scheme::TableWise { worker: 2 },
+            },
+            TablePlacement {
+                table: 1,
+                scheme: Scheme::RowWise {
+                    workers: vec![0, 1, 2, 3],
+                },
+            },
             TablePlacement {
                 table: 2,
-                scheme: Scheme::ColumnWise { workers: vec![3, 1], split_dims: vec![4, 4] },
+                scheme: Scheme::ColumnWise {
+                    workers: vec![3, 1],
+                    split_dims: vec![4, 4],
+                },
             },
-            TablePlacement { table: 3, scheme: Scheme::DataParallel },
+            TablePlacement {
+                table: 3,
+                scheme: Scheme::DataParallel,
+            },
         ],
     };
     assert_matches_reference(plan, 4, "mixed");
