@@ -1,0 +1,110 @@
+//! Exposed-communication breakdown (Fig. 14): how much wall-clock per
+//! iteration the collectives cost after overlap, and how wire precision
+//! (§5.3.2) shrinks it.
+//!
+//! Unlike the criterion benches this one measures *where* the time goes,
+//! not just how much: it arms a [`neo_telemetry::TelemetrySink`], trains a
+//! small DLRM at each wire precision, and prints the per-phase exposed
+//! cost straight from the span timeline — the same numbers `--telemetry`
+//! surfaces in the quickstart.
+//!
+//! Run with `cargo bench -p neo-bench --bench exposed_comm`.
+
+use neo_collectives::QuantMode;
+use neo_dataio::{SyntheticConfig, SyntheticDataset};
+use neo_dlrm_model::DlrmConfig;
+use neo_sharding::{CostModel, Planner, PlannerConfig, TableSpec};
+use neo_telemetry::{phase, TelemetrySink, TelemetrySummary};
+use neo_trainer::{SyncConfig, SyncTrainer};
+
+const WORLD: usize = 4;
+const BATCH: usize = 128;
+const ITERS: u64 = 24;
+
+fn run(fwd: QuantMode, bwd: QuantMode) -> (TelemetrySummary, TelemetrySink) {
+    let model = DlrmConfig::tiny(8, 4096, 16);
+    let specs: Vec<TableSpec> = model
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TableSpec::new(i, t.num_rows, t.dim, t.avg_pooling as f64))
+        .collect();
+    let plan = Planner::new(CostModel::v100_prototype(BATCH), PlannerConfig::default())
+        .plan(&specs, WORLD)
+        .expect("plan");
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(8, 4096, 4, 4)).expect("dataset");
+    let batches: Vec<_> = (0..ITERS).map(|k| ds.batch(BATCH, k)).collect();
+
+    let mut cfg = SyncConfig::exact(WORLD, model, plan, BATCH);
+    cfg.quant_fwd = fwd;
+    cfg.quant_bwd = bwd;
+    cfg.telemetry = TelemetrySink::armed();
+    let sink = cfg.telemetry.clone();
+    let out = SyncTrainer::new(cfg)
+        .train(&batches, &[], 0, None)
+        .expect("train");
+    let summary = out.telemetry_summary.expect("armed run has a summary");
+    (summary, sink)
+}
+
+fn comm_bytes_total(sink: &TelemetrySink) -> u64 {
+    let Some(snap) = sink.snapshot() else {
+        return 0;
+    };
+    snap.counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("comm.") && k.ends_with(".bytes"))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+fn report(label: &str, summary: &TelemetrySummary, sink: &TelemetrySink) {
+    let iter_ms = summary.phase_ms(phase::ITERATION).unwrap_or(0.0);
+    println!("  {label}: {ITERS} iterations x {WORLD} ranks, avg/iteration/rank:");
+    println!("    {:<16} {:>10} {:>8}", "comm phase", "ms", "% iter");
+    for name in phase::COMM {
+        let Some(ms) = summary.phase_ms(name) else {
+            continue;
+        };
+        let pct = if iter_ms > 0.0 {
+            ms / iter_ms * 100.0
+        } else {
+            0.0
+        };
+        println!("    {name:<16} {ms:>10.3} {pct:>7.1}%");
+    }
+    let exposed = summary.exposed_comm_ms();
+    let pct = if iter_ms > 0.0 {
+        exposed / iter_ms * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "    {:<16} {exposed:>10.3} {pct:>7.1}%   (iteration {iter_ms:.3} ms)",
+        "exposed total"
+    );
+    let mib = comm_bytes_total(sink) as f64 / (1u64 << 20) as f64;
+    println!("    wire traffic     {mib:>10.1} MiB total");
+}
+
+fn main() {
+    println!("exposed communication per iteration (Fig. 14), by wire precision:");
+    let cases = [
+        ("fp32 wire", QuantMode::Fp32, QuantMode::Fp32),
+        ("fp16 fwd / bf16 bwd", QuantMode::Fp16, QuantMode::Bf16),
+    ];
+    let mut exposed = Vec::new();
+    for (label, fwd, bwd) in cases {
+        let (summary, sink) = run(fwd, bwd);
+        report(label, &summary, &sink);
+        exposed.push((label, summary.exposed_comm_ms()));
+    }
+    if let [(_, fp32), (_, quant)] = exposed.as_slice() {
+        if *fp32 > 0.0 {
+            println!(
+                "  quantized wire exposes {:.1}% of the fp32 communication time",
+                quant / fp32 * 100.0
+            );
+        }
+    }
+}

@@ -749,7 +749,7 @@ fn timeline_block() {
         let start = (s.start * scale) as usize;
         let len = (((s.end - s.start) * scale) as usize).max(1);
         println!(
-            "  {name:<12} |{}{}{}| {:>7.2} ms",
+            "  {name:<16} |{}{}{}| {:>7.2} ms",
             " ".repeat(start),
             tag.repeat(len),
             " ".repeat(60usize.saturating_sub(start + len)),

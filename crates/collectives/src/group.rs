@@ -3,6 +3,7 @@
 use std::any::Any;
 use std::sync::{Arc, Barrier};
 
+use neo_telemetry::{metric, TelemetrySink};
 use parking_lot::Mutex;
 
 use crate::quant::{QuantError, QuantMode};
@@ -108,6 +109,7 @@ impl ProcessGroup {
                 rank,
                 shared: Arc::clone(&shared),
                 stats: CommStats::default(),
+                telemetry: TelemetrySink::disabled(),
             })
             .collect()
     }
@@ -122,6 +124,7 @@ pub struct Communicator {
     rank: usize,
     shared: Arc<Shared>,
     stats: CommStats,
+    telemetry: TelemetrySink,
 }
 
 impl std::fmt::Debug for Communicator {
@@ -152,6 +155,23 @@ impl Communicator {
         self.stats
     }
 
+    /// Attach a telemetry sink: every collective then also feeds
+    /// `comm.<op>.bytes` / `comm.<op>.calls` counters and a
+    /// `comm.<op>.ns` latency histogram (which includes rendezvous wait,
+    /// i.e. the *exposed* cost of the collective on this rank).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
+    /// Account payload bytes to [`CommStats`] and, when armed, to the
+    /// per-op telemetry counter.
+    fn note_bytes(&mut self, op: &'static str, bytes: u64) {
+        self.stats.bytes_sent += bytes;
+        if self.telemetry.enabled() {
+            self.telemetry.counter_add(&metric::comm_bytes(op), bytes);
+        }
+    }
+
     /// Blocks until every rank reaches the barrier.
     pub fn barrier(&mut self) {
         self.stats.ops += 1;
@@ -170,7 +190,7 @@ impl Communicator {
     ///
     /// Panics if ranks disagree on the operation or buffer length.
     pub fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), CollectiveError> {
-        self.stats.bytes_sent += (buf.len() * 4) as u64;
+        self.note_bytes("all_reduce", (buf.len() * 4) as u64);
         let deposits = self.exchange("all_reduce", buf.to_vec(), |slots| {
             let mut acc = vec![0.0f32; buf.len()];
             for slot in slots {
@@ -207,7 +227,7 @@ impl Communicator {
     /// Returns [`CollectiveError`] if a rank deposited a payload of the
     /// wrong type or a slot was empty at read time.
     pub fn all_reduce_max(&mut self, buf: &mut [f32]) -> Result<(), CollectiveError> {
-        self.stats.bytes_sent += (buf.len() * 4) as u64;
+        self.note_bytes("all_reduce_max", (buf.len() * 4) as u64);
         let out = self.exchange("all_reduce_max", buf.to_vec(), |slots| {
             let mut acc = vec![f32::NEG_INFINITY; buf.len()];
             for slot in slots {
@@ -242,7 +262,7 @@ impl Communicator {
         );
         let chunk = input.len() / world;
         let my = self.rank;
-        self.stats.bytes_sent += (input.len() * 4) as u64;
+        self.note_bytes("reduce_scatter", (input.len() * 4) as u64);
         self.exchange("reduce_scatter", input.to_vec(), |slots| {
             let mut acc = vec![0.0f32; chunk];
             for slot in slots {
@@ -268,7 +288,7 @@ impl Communicator {
     /// Returns [`CollectiveError`] if a rank deposited a payload of the
     /// wrong type or a slot was empty at read time.
     pub fn all_gather(&mut self, input: &[f32]) -> Result<Vec<f32>, CollectiveError> {
-        self.stats.bytes_sent += (input.len() * 4) as u64;
+        self.note_bytes("all_gather", (input.len() * 4) as u64);
         self.exchange("all_gather", input.to_vec(), |slots| {
             let mut out = Vec::new();
             for slot in slots {
@@ -291,7 +311,7 @@ impl Communicator {
     pub fn broadcast(&mut self, buf: &mut [f32], root: usize) -> Result<(), CollectiveError> {
         assert!(root < self.world(), "broadcast root {root} out of range");
         if self.rank == root {
-            self.stats.bytes_sent += (buf.len() * 4) as u64;
+            self.note_bytes("broadcast", (buf.len() * 4) as u64);
         }
         let out = self.exchange("broadcast", buf.to_vec(), |slots| {
             let src = payload_ref::<Vec<f32>>(&slots[root], "broadcast")?;
@@ -324,7 +344,7 @@ impl Communicator {
             "all_to_all_v needs world send lists"
         );
         let total: usize = sends.iter().map(Vec::len).sum();
-        self.stats.bytes_sent += (total * std::mem::size_of::<T>()) as u64;
+        self.note_bytes("all_to_all_v", (total * std::mem::size_of::<T>()) as u64);
         let my = self.rank;
         self.exchange("all_to_all_v", sends, |slots| {
             let mut out = Vec::with_capacity(slots.len());
@@ -380,6 +400,8 @@ impl Communicator {
         read: impl FnOnce(&[Option<Deposit>]) -> Result<R, CollectiveError>,
     ) -> Result<R, CollectiveError> {
         self.stats.ops += 1;
+        // None when disabled: the hot path makes no clock syscall.
+        let t0 = self.telemetry.now_ns();
         {
             let mut slots = self.shared.slots.lock();
             debug_assert!(
@@ -417,6 +439,11 @@ impl Communicator {
             }
         }
         self.shared.barrier.wait();
+        if let (Some(t0), Some(t1)) = (t0, self.telemetry.now_ns()) {
+            self.telemetry.counter_add(&metric::comm_calls(op), 1);
+            self.telemetry
+                .histogram_observe(&metric::comm_latency_ns(op), t1.saturating_sub(t0));
+        }
         result
     }
 }

@@ -5,6 +5,7 @@
 //! (rule `props_cover`) enforces that this stays true as the API grows.
 
 use neo_collectives::{ProcessGroup, QuantMode};
+use neo_telemetry::{metric, TelemetrySink};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::thread;
@@ -179,6 +180,48 @@ proptest! {
         for stats in out {
             prop_assert_eq!(stats.ops, 3, "2 barriers + 1 all_reduce");
             prop_assert_eq!(stats.bytes_sent, (n * 4) as u64);
+        }
+    }
+
+    /// With a shared sink attached via `set_telemetry`, the per-op byte
+    /// counters agree exactly with the summed `CommStats` of all ranks,
+    /// and each op's call counter equals `world` (every rank calls once).
+    #[test]
+    fn set_telemetry_counters_match_comm_stats(
+        world in 1usize..5,
+        n in 1usize..5,
+    ) {
+        let sink = TelemetrySink::armed();
+        let worker_sink = sink.clone();
+        let out = run_group(world, move |rank, comm| {
+            comm.set_telemetry(worker_sink.clone());
+            let mut v = vec![rank as f32; n];
+            comm.all_reduce(&mut v).expect("all_reduce");
+            let _ = comm.all_gather(&v).expect("all_gather");
+            comm.stats()
+        });
+        let total_bytes: u64 = out.iter().map(|s| s.bytes_sent).sum();
+        let snap = sink.snapshot().expect("armed sink has a snapshot");
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let telemetry_bytes =
+            counter(&metric::comm_bytes("all_reduce")) + counter(&metric::comm_bytes("all_gather"));
+        prop_assert_eq!(telemetry_bytes, total_bytes);
+        prop_assert_eq!(counter(&metric::comm_calls("all_reduce")), world as u64);
+        prop_assert_eq!(counter(&metric::comm_calls("all_gather")), world as u64);
+        // Latency histograms recorded one observation per rank per op.
+        for op in ["all_reduce", "all_gather"] {
+            let hist = snap
+                .histograms
+                .iter()
+                .find(|(k, _)| k == &metric::comm_latency_ns(op))
+                .map(|(_, h)| h.total());
+            prop_assert_eq!(hist, Some(world as u64), "latency histogram for {}", op);
         }
     }
 }

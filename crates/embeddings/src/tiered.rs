@@ -57,6 +57,14 @@ impl TieredStore {
         self.cache.stats()
     }
 
+    /// Export the current cache counters into `sink` as
+    /// `<prefix>.cache_hit` / `cache_miss` / `cache_evict` /
+    /// `cache_writeback`. Call once per stats snapshot (counters are
+    /// monotonic in the registry).
+    pub fn export_telemetry(&self, sink: &neo_telemetry::TelemetrySink, prefix: &str) {
+        self.cache_stats().export_to(sink, prefix);
+    }
+
     /// Resets the cache counters.
     pub fn reset_cache_stats(&mut self) {
         self.cache.reset_stats();
@@ -142,6 +150,20 @@ mod tests {
         assert_eq!(t.cache_stats().misses, 1);
         t.read_row(5, &mut buf);
         assert_eq!(t.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn telemetry_export_mirrors_cache_stats() {
+        let mut t = tiered(100, 2, 64);
+        let mut buf = [0.0; 2];
+        t.read_row(5, &mut buf); // miss
+        t.read_row(5, &mut buf); // hit
+        let sink = neo_telemetry::TelemetrySink::armed();
+        t.export_telemetry(&sink, "emb.t0");
+        let counters = sink.snapshot().map(|s| s.counters).unwrap_or_default();
+        let get = |name: &str| counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+        assert_eq!(get("emb.t0.cache_hit"), Some(1));
+        assert_eq!(get("emb.t0.cache_miss"), Some(1));
     }
 
     #[test]

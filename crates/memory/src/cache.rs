@@ -41,7 +41,8 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit rate in `[0, 1]`; `0` when no accesses happened.
+    /// Hit rate in `[0, 1]`; `0` when no accesses happened (the untouched
+    /// cache must not report NaN from `0/0`).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -50,6 +51,22 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Bridge these counters into a telemetry sink as absolute counters
+    /// `<prefix>.cache_hit` / `cache_miss` / `cache_evict` /
+    /// `cache_writeback`.
+    ///
+    /// Counters in the registry are monotonic, so call this once per stats
+    /// snapshot (e.g. at the end of a run), not per access.
+    pub fn export_to(&self, sink: &neo_telemetry::TelemetrySink, prefix: &str) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.counter_add(&format!("{prefix}.cache_hit"), self.hits);
+        sink.counter_add(&format!("{prefix}.cache_miss"), self.misses);
+        sink.counter_add(&format!("{prefix}.cache_evict"), self.evictions);
+        sink.counter_add(&format!("{prefix}.cache_writeback"), self.writebacks);
     }
 }
 
@@ -433,6 +450,38 @@ mod tests {
         c.get(1);
         c.get(2);
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_rate_of_empty_stats_is_zero_not_nan() {
+        let empty = CacheStats::default();
+        let rate = empty.hit_rate();
+        assert!(!rate.is_nan(), "0/0 must not leak NaN out of hit_rate");
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn stats_bridge_into_telemetry_registry() {
+        let stats = CacheStats {
+            hits: 7,
+            misses: 3,
+            evictions: 2,
+            writebacks: 1,
+        };
+        let sink = neo_telemetry::TelemetrySink::armed();
+        stats.export_to(&sink, "emb.cache");
+        let counters = sink.snapshot().map(|s| s.counters).unwrap_or_default();
+        assert_eq!(
+            counters,
+            vec![
+                ("emb.cache.cache_evict".to_string(), 2),
+                ("emb.cache.cache_hit".to_string(), 7),
+                ("emb.cache.cache_miss".to_string(), 3),
+                ("emb.cache.cache_writeback".to_string(), 1),
+            ]
+        );
+        // Disabled sinks swallow the export without recording.
+        stats.export_to(&neo_telemetry::TelemetrySink::disabled(), "x");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! the network resource concurrently with this batch's compute.
 
 use crate::iteration::IterationBreakdown;
+use neo_telemetry::phase;
 use serde::{Deserialize, Serialize};
 
 /// The execution resource an operator occupies exclusively.
@@ -71,6 +72,10 @@ impl Timeline {
 
 /// Builds the Fig. 9 DAG from an Eq. 1 component breakdown.
 ///
+/// Operator names come from [`neo_telemetry::phase`] so that a simulated
+/// timeline and a measured span timeline (from an armed
+/// [`neo_telemetry::TelemetrySink`]) can be joined by name.
+///
 /// With pipelining, the input AlltoAll and HtoD copy belong to the *next*
 /// batch and run concurrently (they only gate the next iteration's
 /// embedding lookup, not this one's); without it they gate the lookup.
@@ -79,92 +84,92 @@ pub fn fig9_graph(bd: &IterationBreakdown, pipelined: bool) -> Vec<Op> {
     let lookup_deps: Vec<&'static str> = if pipelined {
         vec![]
     } else {
-        vec!["input_a2a", "htod"]
+        vec![phase::INPUT_A2A, phase::HTOD]
     };
     vec![
         Op {
-            name: "input_a2a",
+            name: phase::INPUT_A2A,
             duration: bd.input_a2a,
             resource: Resource::Network,
             deps: input_deps,
         },
         Op {
-            name: "htod",
+            name: phase::HTOD,
             duration: bd.htod,
             resource: Resource::Memory,
             deps: vec![],
         },
         Op {
-            name: "bot_fwd",
+            name: phase::FWD_BOTTOM_MLP,
             duration: bd.bot_mlp_fwd,
             resource: Resource::Compute,
             deps: vec![],
         },
         Op {
-            name: "emb_lookup",
+            name: phase::EMB_LOOKUP,
             duration: bd.emb_lookup,
             resource: Resource::Memory,
             deps: lookup_deps,
         },
         Op {
-            name: "a2a_fwd",
+            name: phase::ALLTOALL_FWD,
             duration: bd.a2a_fwd,
             resource: Resource::Network,
-            deps: vec!["emb_lookup"],
+            deps: vec![phase::EMB_LOOKUP],
         },
         Op {
-            name: "interaction",
+            name: phase::INTERACTION,
             duration: bd.interaction / 2.0,
             resource: Resource::Compute,
-            deps: vec!["bot_fwd", "a2a_fwd"],
+            deps: vec![phase::FWD_BOTTOM_MLP, phase::ALLTOALL_FWD],
         },
         Op {
-            name: "top_fwd",
+            name: phase::TOP_MLP,
             duration: bd.top_mlp_fwd,
             resource: Resource::Compute,
-            deps: vec!["interaction"],
+            deps: vec![phase::INTERACTION],
         },
         Op {
-            name: "top_bwd",
+            name: phase::TOP_MLP_BWD,
             duration: bd.top_mlp_bwd,
             resource: Resource::Compute,
-            deps: vec!["top_fwd"],
+            deps: vec![phase::TOP_MLP],
         },
         Op {
-            name: "inter_bwd",
+            name: phase::INTERACTION_BWD,
             duration: bd.interaction / 2.0,
             resource: Resource::Compute,
-            deps: vec!["top_bwd"],
+            deps: vec![phase::TOP_MLP_BWD],
         },
         Op {
-            name: "a2a_bwd",
+            name: phase::ALLTOALL_BWD,
             duration: bd.a2a_bwd,
             resource: Resource::Network,
-            deps: vec!["inter_bwd"],
+            deps: vec![phase::INTERACTION_BWD],
         },
         Op {
-            name: "emb_update",
+            name: phase::SPARSE_OPTIM,
             duration: bd.emb_update,
             resource: Resource::Memory,
-            deps: vec!["a2a_bwd"],
+            deps: vec![phase::ALLTOALL_BWD],
         },
         Op {
-            name: "bot_bwd",
+            name: phase::BWD_BOTTOM_MLP,
             duration: bd.bot_mlp_bwd,
             resource: Resource::Compute,
-            deps: vec!["inter_bwd"],
+            deps: vec![phase::INTERACTION_BWD],
         },
         Op {
-            name: "top_ar",
+            name: phase::ALLREDUCE_TOP,
             duration: bd.allreduce / 2.0,
             resource: Resource::Network,
-            deps: vec!["top_bwd"],
+            deps: vec![phase::TOP_MLP_BWD],
         },
         Op {
-            name: "bot_ar",
+            name: phase::ALLREDUCE_BOT,
             duration: bd.allreduce / 2.0,
             resource: Resource::Network,
-            deps: vec!["bot_bwd"],
+            deps: vec![phase::BWD_BOTTOM_MLP],
         },
     ]
 }
@@ -252,12 +257,29 @@ mod tests {
         let ops = fig9_graph(&bd, true);
         let t = simulate(&ops);
         let get = |n: &str| t.op(n).unwrap();
-        assert!(get("a2a_fwd").start >= get("emb_lookup").end - 1e-12);
-        assert!(get("interaction").start >= get("bot_fwd").end - 1e-12);
-        assert!(get("interaction").start >= get("a2a_fwd").end - 1e-12);
-        assert!(get("top_bwd").start >= get("top_fwd").end - 1e-12);
-        assert!(get("emb_update").start >= get("a2a_bwd").end - 1e-12);
-        assert!(get("bot_ar").start >= get("bot_bwd").end - 1e-12);
+        assert!(get(phase::ALLTOALL_FWD).start >= get(phase::EMB_LOOKUP).end - 1e-12);
+        assert!(get(phase::INTERACTION).start >= get(phase::FWD_BOTTOM_MLP).end - 1e-12);
+        assert!(get(phase::INTERACTION).start >= get(phase::ALLTOALL_FWD).end - 1e-12);
+        assert!(get(phase::TOP_MLP_BWD).start >= get(phase::TOP_MLP).end - 1e-12);
+        assert!(get(phase::SPARSE_OPTIM).start >= get(phase::ALLTOALL_BWD).end - 1e-12);
+        assert!(get(phase::ALLREDUCE_BOT).start >= get(phase::BWD_BOTTOM_MLP).end - 1e-12);
+    }
+
+    #[test]
+    fn fig9_names_come_from_the_shared_span_taxonomy() {
+        let bd = breakdown(false);
+        for ops in [fig9_graph(&bd, true), fig9_graph(&bd, false)] {
+            for op in &ops {
+                assert!(
+                    phase::is_known(op.name),
+                    "op {:?} missing from neo_telemetry::phase::ALL",
+                    op.name
+                );
+                for d in &op.deps {
+                    assert!(phase::is_known(d), "dep {d:?} not in the taxonomy");
+                }
+            }
+        }
     }
 
     #[test]

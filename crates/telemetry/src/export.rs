@@ -1,0 +1,252 @@
+//! Export formats: hand-rolled JSON summary and Chrome trace-event JSON.
+//!
+//! The workspace's `serde` shim is a no-op marker crate, so serialization is
+//! written out by hand. Ordering is deterministic: names ascend (inherited
+//! from the `BTreeMap` store) and spans stay in record order.
+
+use crate::{Histogram, SpanRecord};
+
+/// Point-in-time copy of everything a sink has recorded.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters, name-ascending.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge series, name-ascending; each point is `(iteration, value)`.
+    pub gauges: Vec<(String, Vec<(u64, f64)>)>,
+    /// Histograms, name-ascending.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Recorded spans in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Distinct span names, first-seen order.
+    pub fn span_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for s in &self.spans {
+            if !names.contains(&s.name) {
+                names.push(s.name);
+            }
+        }
+        names
+    }
+
+    /// Serialize the summary document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"name": 1},
+    ///   "gauges": {"name": [[iter, value]]},
+    ///   "histograms": {"name": {"total": n, "sum": s, "mean": m,
+    ///                            "buckets": [[bucket_lo, count]]}},
+    ///   "spans": [{"rank": 0, "iter": 0, "name": "...",
+    ///              "start_ns": 0, "end_ns": 1}]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, series)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(": [");
+            for (j, (iter, value)) in series.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&iter.to_string());
+                out.push(',');
+                push_json_f64(&mut out, *value);
+                out.push(']');
+            }
+            out.push(']');
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"total\": {}, \"sum\": {}, \"mean\": ",
+                h.total(),
+                h.sum()
+            ));
+            push_json_f64(&mut out, h.mean());
+            out.push_str(", \"buckets\": [");
+            for (j, (lo, count)) in h.nonzero_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{lo},{count}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  },\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"rank\": ");
+            out.push_str(&s.rank.to_string());
+            out.push_str(", \"iter\": ");
+            out.push_str(&s.iter.to_string());
+            out.push_str(", \"name\": ");
+            push_json_string(&mut out, s.name);
+            out.push_str(&format!(
+                ", \"start_ns\": {}, \"end_ns\": {}}}",
+                s.start_ns, s.end_ns
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Serialize spans as Chrome trace-event JSON ("X" complete events,
+    /// microsecond timestamps, `pid` 0, `tid` = rank). Loadable in
+    /// `chrome://tracing` and <https://ui.perfetto.dev>.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"name\": ");
+            push_json_string(&mut out, s.name);
+            out.push_str(", \"cat\": \"neo\", \"ph\": \"X\", \"ts\": ");
+            push_json_f64(&mut out, s.start_ns as f64 / 1e3);
+            out.push_str(", \"dur\": ");
+            push_json_f64(&mut out, s.duration_ns() as f64 / 1e3);
+            out.push_str(&format!(
+                ", \"pid\": 0, \"tid\": {}, \"args\": {{\"iter\": {}}}}}",
+                s.rank, s.iter
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes + escapes) to `out`.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite `f64` as a JSON number (non-finite values become `null`,
+/// which JSON has no number spelling for).
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `Display` omits the decimal point for integral floats; keep the
+        // value unambiguously a float so typed consumers round-trip it.
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+    use crate::{phase, TelemetrySink};
+
+    fn sample_sink() -> TelemetrySink {
+        let sink = TelemetrySink::armed();
+        sink.counter_add("comm.all_reduce.bytes", 4096);
+        sink.gauge_push("train.loss", 0, 0.693);
+        sink.gauge_push("train.loss", 1, 0.651);
+        sink.histogram_observe("comm.all_reduce.ns", 1500);
+        let rec = sink.rank(1);
+        rec.begin_iteration(0);
+        drop(rec.span(phase::ITERATION));
+        drop(rec.span(phase::EMB_LOOKUP));
+        rec.end_iteration();
+        sink
+    }
+
+    #[test]
+    fn summary_json_round_trips_through_parser() {
+        let text = sample_sink().export_json().unwrap_or_default();
+        let doc = json::parse(&text).unwrap_or(Json::Null);
+        let counters = doc
+            .get("counters")
+            .and_then(|c| c.get("comm.all_reduce.bytes"));
+        assert_eq!(counters.and_then(Json::as_f64), Some(4096.0));
+        let loss = doc.get("gauges").and_then(|g| g.get("train.loss"));
+        assert_eq!(loss.and_then(Json::as_array).map(Vec::len), Some(2));
+        let spans = doc.get("spans").and_then(Json::as_array);
+        assert_eq!(spans.map(Vec::len), Some(2));
+        let hist = doc
+            .get("histograms")
+            .and_then(|h| h.get("comm.all_reduce.ns"));
+        let total = hist.and_then(|h| h.get("total")).and_then(Json::as_f64);
+        assert_eq!(total, Some(1.0));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_trace_event_json() {
+        let text = sample_sink().export_chrome_trace().unwrap_or_default();
+        let doc = json::parse(&text).unwrap_or(Json::Null);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(events.len(), 2);
+        for ev in &events {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(ev.get("ts").and_then(Json::as_f64).is_some());
+            assert!(ev.get("dur").and_then(Json::as_f64).is_some());
+            assert_eq!(ev.get("tid").and_then(Json::as_f64), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_forms() {
+        let mut out = String::new();
+        push_json_f64(&mut out, 2.0);
+        out.push(' ');
+        push_json_f64(&mut out, 0.5);
+        out.push(' ');
+        push_json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "2.0 0.5 null");
+    }
+}

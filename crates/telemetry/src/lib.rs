@@ -1,0 +1,404 @@
+//! Metrics registry and per-iteration span timeline for the Neo training stack.
+//!
+//! This crate is deliberately **zero-external-dependency** (std only) so every
+//! other crate in the workspace can depend on it without cycles or build-cost
+//! creep. It provides:
+//!
+//! - a thread-safe metrics registry: monotonically increasing **counters**,
+//!   per-iteration **gauge series**, and **histograms** with fixed log2
+//!   buckets ([`Histogram`]);
+//! - a **span recorder** capturing named, nested phases per rank per
+//!   iteration via owned RAII guards ([`RankRecorder::span`] /
+//!   [`SpanGuard`]);
+//! - exporters for a hand-rolled **JSON summary** and the **Chrome
+//!   trace-event format** (loadable in `chrome://tracing` / Perfetto);
+//! - the shared **phase-name taxonomy** ([`phase`]) consumed by both the
+//!   live trainer instrumentation and the `perfmodel` simulator, so
+//!   simulated and measured timelines are diffable;
+//! - a minimal JSON parser ([`json`]) used by tooling to validate exports.
+//!
+//! The whole API is driven through a cloneable [`TelemetrySink`] handle.
+//! A disabled sink (the default) is a true no-op: no timing syscalls, no
+//! allocation, no locking on any hot path.
+
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metric;
+mod metrics;
+pub mod phase;
+mod summary;
+
+pub use export::Snapshot;
+pub use metrics::{Histogram, NUM_BUCKETS};
+pub use summary::TelemetrySummary;
+
+use metrics::Store;
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// One recorded phase interval: rank + iteration + name + wall-clock bounds.
+///
+/// Timestamps are nanoseconds since the owning sink was armed, so records
+/// from different ranks share a clock and can be merged into one timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Rank that recorded the span.
+    pub rank: u32,
+    /// Training iteration the span belongs to.
+    pub iter: u64,
+    /// Phase name, normally one of the [`phase`] constants.
+    pub name: &'static str,
+    /// Start, nanoseconds since the sink was armed.
+    pub start_ns: u64,
+    /// End, nanoseconds since the sink was armed.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Duration of the span in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    store: Mutex<Store>,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn store(&self) -> std::sync::MutexGuard<'_, Store> {
+        // A panic while holding the lock only loses telemetry, never
+        // correctness; recover instead of propagating the poison.
+        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Cloneable handle to a telemetry collector, or to nothing at all.
+///
+/// [`TelemetrySink::disabled`] (also the `Default`) carries no storage: every
+/// recording method returns immediately without reading the clock, locking,
+/// or allocating. [`TelemetrySink::armed`] allocates shared storage; clones
+/// record into the same registry, which is how one sink is threaded through
+/// every rank of a training job.
+#[derive(Clone, Default)]
+pub struct TelemetrySink {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.inner.is_some() {
+            "armed"
+        } else {
+            "disabled"
+        };
+        write!(f, "TelemetrySink({state})")
+    }
+}
+
+impl TelemetrySink {
+    /// A sink that records nothing. All operations are no-ops.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live sink with fresh, empty storage. The clock starts now.
+    pub fn armed() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                store: Mutex::new(Store::default()),
+            })),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.store().counter_add(name, delta);
+        }
+    }
+
+    /// Append one `(iteration, value)` point to the named gauge series.
+    pub fn gauge_push(&self, name: &str, iter: u64, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.store().gauge_push(name, iter, value);
+        }
+    }
+
+    /// Record one observation into the named log2-bucket histogram.
+    pub fn histogram_observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.store().histogram_observe(name, value);
+        }
+    }
+
+    /// Nanoseconds since this sink was armed; `None` when disabled.
+    pub fn now_ns(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.now_ns())
+    }
+
+    /// Create the per-rank span recorder for `rank`.
+    pub fn rank(&self, rank: u32) -> RankRecorder {
+        RankRecorder {
+            sink: self.clone(),
+            rank,
+            iter: std::cell::Cell::new(0),
+            active: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Consistent copy of everything recorded so far; `None` when disabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.inner.as_ref().map(|i| i.store().snapshot())
+    }
+
+    /// JSON summary document (counters, gauges, histograms, spans).
+    ///
+    /// Returns `None` when the sink is disabled.
+    pub fn export_json(&self) -> Option<String> {
+        self.snapshot().map(|s| s.to_json())
+    }
+
+    /// Chrome trace-event JSON (load in `chrome://tracing` or Perfetto).
+    ///
+    /// Returns `None` when the sink is disabled.
+    pub fn export_chrome_trace(&self) -> Option<String> {
+        self.snapshot().map(|s| s.to_chrome_trace())
+    }
+
+    /// Aggregate per-phase summary; `None` when the sink is disabled.
+    pub fn summary(&self) -> Option<TelemetrySummary> {
+        self.snapshot().map(|s| TelemetrySummary::from_snapshot(&s))
+    }
+
+    fn record_span(&self, rec: SpanRecord) {
+        if let Some(inner) = &self.inner {
+            inner.store().push_span(rec);
+        }
+    }
+}
+
+/// Per-rank span recorder. Spans are only captured between
+/// [`RankRecorder::begin_iteration`] and [`RankRecorder::end_iteration`],
+/// so evaluation / probe passes reusing the same code paths stay silent.
+#[derive(Debug)]
+pub struct RankRecorder {
+    sink: TelemetrySink,
+    rank: u32,
+    iter: std::cell::Cell<u64>,
+    active: std::cell::Cell<bool>,
+}
+
+impl RankRecorder {
+    /// Recorder that never records (for tests and defaults).
+    pub fn disabled() -> Self {
+        TelemetrySink::disabled().rank(0)
+    }
+
+    /// Rank this recorder stamps onto its spans.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The sink this recorder feeds.
+    pub fn sink(&self) -> &TelemetrySink {
+        &self.sink
+    }
+
+    /// Mark the start of training iteration `iter`; spans opened after this
+    /// call are recorded and stamped with `iter`.
+    pub fn begin_iteration(&self, iter: u64) {
+        self.iter.set(iter);
+        self.active.set(true);
+    }
+
+    /// Mark the end of the current iteration; subsequent spans are ignored
+    /// until the next [`RankRecorder::begin_iteration`].
+    pub fn end_iteration(&self) {
+        self.active.set(false);
+    }
+
+    /// Open a named span. The returned guard records the interval when it is
+    /// dropped (or via [`SpanGuard::end`]). When the sink is disabled or no
+    /// iteration is active this reads no clock and allocates nothing.
+    ///
+    /// The guard is fully owned (it holds a clone of the sink handle, not a
+    /// borrow of `self`), so it can stay live across `&mut self` calls on
+    /// the structure that owns the recorder.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if !self.active.get() {
+            return SpanGuard { live: None };
+        }
+        let Some(start_ns) = self.sink.now_ns() else {
+            return SpanGuard { live: None };
+        };
+        SpanGuard {
+            live: Some(SpanLive {
+                sink: self.sink.clone(),
+                rank: self.rank,
+                iter: self.iter.get(),
+                name,
+                start_ns,
+            }),
+        }
+    }
+}
+
+struct SpanLive {
+    sink: TelemetrySink,
+    rank: u32,
+    iter: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// RAII guard for one phase interval; records on drop.
+///
+/// Inactive guards (disabled sink, or no iteration in progress) are inert.
+#[must_use = "dropping immediately records a zero-length span; bind it with `let`"]
+pub struct SpanGuard {
+    live: Option<SpanLive>,
+}
+
+impl SpanGuard {
+    /// Close the span now, returning its duration in nanoseconds
+    /// (`None` when the guard is inert).
+    pub fn end(mut self) -> Option<u64> {
+        self.finish()
+    }
+
+    /// Whether this guard will record anything.
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+
+    fn finish(&mut self) -> Option<u64> {
+        let live = self.live.take()?;
+        let end_ns = live.sink.now_ns()?;
+        let rec = SpanRecord {
+            rank: live.rank,
+            iter: live.iter,
+            name: live.name,
+            start_ns: live.start_ns,
+            end_ns,
+        };
+        let dur = rec.duration_ns();
+        live.sink.record_span(rec);
+        Some(dur)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+impl fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.live.is_some() {
+            "recording"
+        } else {
+            "inert"
+        };
+        write!(f, "SpanGuard({state})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_a_no_op() {
+        let sink = TelemetrySink::disabled();
+        assert!(!sink.enabled());
+        sink.counter_add("c", 1);
+        sink.gauge_push("g", 0, 1.0);
+        sink.histogram_observe("h", 7);
+        let rec = sink.rank(0);
+        rec.begin_iteration(0);
+        let sp = rec.span(phase::ITERATION);
+        assert!(!sp.is_recording());
+        assert_eq!(sp.end(), None);
+        assert!(sink.snapshot().is_none());
+        assert!(sink.export_json().is_none());
+        assert!(sink.export_chrome_trace().is_none());
+        assert!(sink.summary().is_none());
+    }
+
+    #[test]
+    fn spans_outside_iterations_are_ignored() {
+        let sink = TelemetrySink::armed();
+        let rec = sink.rank(0);
+        // No begin_iteration yet.
+        assert!(!rec.span(phase::EMB_LOOKUP).is_recording());
+        rec.begin_iteration(3);
+        let sp = rec.span(phase::EMB_LOOKUP);
+        assert!(sp.is_recording());
+        drop(sp);
+        rec.end_iteration();
+        assert!(!rec.span(phase::TOP_MLP).is_recording());
+        let snap = sink.snapshot().filter(|s| s.spans.len() == 1);
+        let snap = snap.as_ref().map(|s| &s.spans[0]);
+        assert_eq!(
+            snap.map(|s| (s.name, s.iter, s.rank)),
+            Some((phase::EMB_LOOKUP, 3, 0))
+        );
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let sink = TelemetrySink::armed();
+        let other = sink.clone();
+        other.counter_add("shared", 2);
+        sink.counter_add("shared", 3);
+        let snap = sink.snapshot();
+        let counters = snap.map(|s| s.counters).unwrap_or_default();
+        assert_eq!(counters, vec![("shared".to_string(), 5)]);
+    }
+
+    #[test]
+    fn span_end_returns_duration_and_records() {
+        let sink = TelemetrySink::armed();
+        let rec = sink.rank(2);
+        rec.begin_iteration(7);
+        let sp = rec.span(phase::ALLTOALL_FWD);
+        let dur = sp.end();
+        assert!(dur.is_some());
+        let snap = sink.snapshot();
+        let spans = snap.map(|s| s.spans).unwrap_or_default();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].rank, 2);
+        assert_eq!(spans[0].iter, 7);
+        assert!(spans[0].end_ns >= spans[0].start_ns);
+    }
+
+    #[test]
+    fn sink_debug_states() {
+        assert_eq!(
+            format!("{:?}", TelemetrySink::disabled()),
+            "TelemetrySink(disabled)"
+        );
+        assert_eq!(
+            format!("{:?}", TelemetrySink::armed()),
+            "TelemetrySink(armed)"
+        );
+    }
+}

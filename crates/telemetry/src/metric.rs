@@ -1,0 +1,36 @@
+//! Canonical metric names (counters, gauges, histograms).
+//!
+//! Dotted lowercase names: `<subsystem>.<what>[.<unit>]`. Collectives
+//! metrics are generated per operation as `comm.<op>.bytes`,
+//! `comm.<op>.calls`, and `comm.<op>.ns`; cache bridges emit
+//! `<prefix>.cache_hit` / `cache_miss` / `cache_evict` / `cache_writeback`.
+
+/// Gauge: globally reduced training loss per iteration (rank 0 only).
+pub const TRAIN_LOSS: &str = "train.loss";
+/// Gauge: learning rate per iteration (rank 0 only).
+pub const TRAIN_LR: &str = "train.lr";
+/// Gauge: global samples/sec derived from the iteration span (rank 0 only).
+pub const TRAIN_THROUGHPUT: &str = "train.throughput_samples_per_sec";
+/// Counter: embedding rows gathered during forward lookups.
+pub const EMB_LOOKUP_ROWS: &str = "emb.lookup.rows";
+/// Counter: embedding rows updated by the sparse optimizer.
+pub const EMB_OPTIM_ROWS: &str = "emb.optim.rows";
+/// Histogram: nanoseconds spent building one input batch.
+pub const DATAIO_BATCH_BUILD_NS: &str = "dataio.batch_build.ns";
+/// Gauge: prefetch queue depth observed at each consumer receive.
+pub const DATAIO_QUEUE_DEPTH: &str = "dataio.queue_depth";
+
+/// Counter name for bytes moved by a collective op: `comm.<op>.bytes`.
+pub fn comm_bytes(op: &str) -> String {
+    format!("comm.{op}.bytes")
+}
+
+/// Counter name for invocations of a collective op: `comm.<op>.calls`.
+pub fn comm_calls(op: &str) -> String {
+    format!("comm.{op}.calls")
+}
+
+/// Histogram name for latency of a collective op: `comm.<op>.ns`.
+pub fn comm_latency_ns(op: &str) -> String {
+    format!("comm.{op}.ns")
+}

@@ -1,0 +1,189 @@
+//! Metric storage: counters, gauge series, log2-bucket histograms.
+
+use crate::export::Snapshot;
+use crate::SpanRecord;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets. Bucket 0 holds exact zeros; bucket `i >= 1`
+/// holds values `v` with `floor(log2(v)) == i - 1`, i.e. `[2^(i-1), 2^i)`,
+/// with the last bucket absorbing everything larger.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Fixed log2-bucket histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    total: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; NUM_BUCKETS],
+            total: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for `value` (see [`NUM_BUCKETS`] for the scheme).
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            let log2 = 63 - value.leading_zeros() as usize;
+            (log2 + 1).min(NUM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Non-empty buckets as `(bucket_lo, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lo(i), c))
+            .collect()
+    }
+}
+
+/// Everything a sink has recorded. `BTreeMap` keys give the exporters a
+/// deterministic order for free.
+#[derive(Debug, Default)]
+pub(crate) struct Store {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Vec<(u64, f64)>>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<SpanRecord>,
+}
+
+impl Store {
+    pub(crate) fn counter_add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c = c.saturating_add(delta);
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    pub(crate) fn gauge_push(&mut self, name: &str, iter: u64, value: f64) {
+        if let Some(series) = self.gauges.get_mut(name) {
+            series.push((iter, value));
+        } else {
+            self.gauges.insert(name.to_string(), vec![(iter, value)]);
+        }
+    }
+
+    pub(crate) fn histogram_observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    pub(crate) fn push_span(&mut self, rec: SpanRecord) {
+        self.spans.push(rec);
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            spans: self.spans.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        for i in 1..NUM_BUCKETS - 1 {
+            let lo = Histogram::bucket_lo(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(lo * 2 - 1), i);
+        }
+    }
+
+    #[test]
+    fn histogram_mean_and_sum() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 5, 10] {
+            h.observe(v);
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.sum(), 16);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut s = Store::default();
+        s.counter_add("c", u64::MAX - 1);
+        s.counter_add("c", 5);
+        assert_eq!(s.snapshot().counters, vec![("c".to_string(), u64::MAX)]);
+    }
+}

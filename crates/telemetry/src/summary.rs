@@ -1,0 +1,151 @@
+//! Aggregate per-phase summary derived from a [`Snapshot`].
+
+use crate::export::Snapshot;
+use crate::phase;
+use std::fmt;
+
+/// Per-phase averages over a recorded run, suitable for one-line display.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// Number of ranks that recorded spans.
+    pub world: u32,
+    /// Number of iterations covered (distinct `iter` values seen).
+    pub iterations: u64,
+    /// `(phase, avg ms per iteration per rank)`, taxonomy order first.
+    pub phases: Vec<(String, f64)>,
+    /// Final counter values, name-ascending.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TelemetrySummary {
+    /// Aggregate `snap` into per-phase averages.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let mut world = 0u32;
+        let mut iters: Vec<u64> = Vec::new();
+        // (name, total_ns) accumulated across all ranks and iterations.
+        let mut totals: Vec<(&'static str, u128)> = Vec::new();
+        for s in &snap.spans {
+            world = world.max(s.rank + 1);
+            if !iters.contains(&s.iter) {
+                iters.push(s.iter);
+            }
+            if let Some(entry) = totals.iter_mut().find(|(n, _)| *n == s.name) {
+                entry.1 += s.duration_ns() as u128;
+            } else {
+                totals.push((s.name, s.duration_ns() as u128));
+            }
+        }
+        let iterations = iters.len() as u64;
+        let denom = (iterations.max(1) as f64) * (world.max(1) as f64);
+        // Taxonomy order first, then any extra names in first-seen order.
+        totals.sort_by_key(|(n, _)| {
+            phase::ALL
+                .iter()
+                .position(|p| p == n)
+                .unwrap_or(phase::ALL.len())
+        });
+        let phases = totals
+            .into_iter()
+            .map(|(n, total_ns)| (n.to_string(), total_ns as f64 / denom / 1e6))
+            .collect();
+        Self {
+            world,
+            iterations,
+            phases,
+            counters: snap.counters.clone(),
+        }
+    }
+
+    /// Average ms/iteration/rank for `name`, if it was recorded.
+    pub fn phase_ms(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ms)| *ms)
+    }
+
+    /// Summed avg ms/iteration/rank across the communication phases
+    /// ([`phase::COMM`]) — the "exposed comm" of the paper's Fig. 14.
+    pub fn exposed_comm_ms(&self) -> f64 {
+        self.phases
+            .iter()
+            .filter(|(n, _)| phase::COMM.contains(&n.as_str()))
+            .map(|(_, ms)| ms)
+            .sum()
+    }
+}
+
+impl fmt::Display for TelemetrySummary {
+    /// One line: `telemetry: 120 it x 4 ranks | iteration 2.10ms | ...`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "telemetry: {} it x {} ranks",
+            self.iterations, self.world
+        )?;
+        for (name, ms) in &self.phases {
+            write!(f, " | {name} {ms:.3}ms")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn span(rank: u32, iter: u64, name: &'static str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            rank,
+            iter,
+            name,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn averages_across_ranks_and_iterations() {
+        let snap = Snapshot {
+            spans: vec![
+                span(0, 0, phase::ITERATION, 0, 4_000_000),
+                span(1, 0, phase::ITERATION, 0, 2_000_000),
+                span(0, 1, phase::ITERATION, 5_000_000, 7_000_000),
+                span(1, 1, phase::ITERATION, 5_000_000, 11_000_000),
+                span(0, 0, phase::ALLTOALL_FWD, 0, 1_000_000),
+            ],
+            ..Snapshot::default()
+        };
+        let s = TelemetrySummary::from_snapshot(&snap);
+        assert_eq!(s.world, 2);
+        assert_eq!(s.iterations, 2);
+        // iteration: (4+2+2+6)ms / (2 iters * 2 ranks) = 3.5ms
+        assert!((s.phase_ms(phase::ITERATION).unwrap_or(0.0) - 3.5).abs() < 1e-9);
+        // alltoall_fwd: 1ms / 4 = 0.25ms, and it is a comm phase.
+        assert!((s.exposed_comm_ms() - 0.25).abs() < 1e-9);
+        // Taxonomy ordering: iteration precedes alltoall_fwd.
+        assert_eq!(s.phases[0].0, phase::ITERATION);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let snap = Snapshot {
+            spans: vec![span(0, 0, phase::ITERATION, 0, 2_000_000)],
+            ..Snapshot::default()
+        };
+        let line = TelemetrySummary::from_snapshot(&snap).to_string();
+        assert!(line.starts_with("telemetry: 1 it x 1 ranks"));
+        assert!(line.contains("iteration 2.000ms"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn empty_snapshot_summary() {
+        let s = TelemetrySummary::from_snapshot(&Snapshot::default());
+        assert_eq!(s.world, 0);
+        assert_eq!(s.iterations, 0);
+        assert!(s.phases.is_empty());
+        assert_eq!(s.exposed_comm_ms(), 0.0);
+    }
+}

@@ -39,6 +39,7 @@ use neo_embeddings::bag::{fused_backward_grads, pooled_forward};
 use neo_embeddings::store::{DenseStore, HalfStore, RowStore};
 use neo_embeddings::{RowWiseAdagrad, SparseAdagrad, SparseGrad, SparseOptimizer, SparseSgd};
 use neo_sharding::{Scheme, ShardingPlan};
+use neo_telemetry::{metric, phase, RankRecorder, TelemetrySink, TelemetrySummary};
 use neo_tensor::mlp::{Activation, Mlp, MlpConfig};
 use neo_tensor::Tensor2;
 use rand::SeedableRng;
@@ -166,6 +167,12 @@ pub struct SyncConfig {
     pub gather_final_model: bool,
     /// Learning-rate schedule applied on top of [`SyncConfig::lr`].
     pub lr_schedule: LrSchedule,
+    /// Telemetry sink threaded through every rank's worker and
+    /// communicator. The default ([`TelemetrySink::disabled`]) records
+    /// nothing and adds no timing syscalls to the hot path; arm it with
+    /// [`TelemetrySink::armed`] to capture per-iteration phase spans,
+    /// comm counters, and loss/lr/throughput gauges.
+    pub telemetry: TelemetrySink,
 }
 
 impl SyncConfig {
@@ -186,6 +193,7 @@ impl SyncConfig {
             fp16_embeddings: false,
             gather_final_model: false,
             lr_schedule: LrSchedule::default(),
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -206,6 +214,25 @@ pub struct TrainOutput {
     /// The reassembled trained model (rank 0's gather), when
     /// [`SyncConfig::gather_final_model`] is set.
     pub final_model: Option<neo_dlrm_model::DlrmModel>,
+    /// Aggregate per-phase timing summary, when [`SyncConfig::telemetry`]
+    /// was armed for the run.
+    pub telemetry_summary: Option<TelemetrySummary>,
+}
+
+impl fmt::Display for TrainOutput {
+    /// One line: iteration count, final loss, and (when telemetry was
+    /// armed) the per-iteration phase breakdown.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let last = self.losses.last().copied().unwrap_or(f32::NAN);
+        write!(f, "{} iters, final loss {:.4}", self.losses.len(), last)?;
+        if let Some((_, ne)) = self.ne_curve.last() {
+            write!(f, ", final NE {ne:.4}")?;
+        }
+        if let Some(summary) = &self.telemetry_summary {
+            write!(f, " | {summary}")?;
+        }
+        Ok(())
+    }
 }
 
 /// One wire chunk in the pooled/grad AlltoAll manifest.
@@ -300,6 +327,9 @@ struct Worker {
     cached_features: Option<Vec<Tensor2>>,
     bottom_opt: Box<dyn neo_tensor::optim::DenseOptimizer>,
     top_opt: Box<dyn neo_tensor::optim::DenseOptimizer>,
+    /// Per-rank span recorder. Only records between `begin_iteration` /
+    /// `end_iteration`, so evaluation and probe forwards stay silent.
+    rec: RankRecorder,
 }
 
 fn make_dense_opt(
@@ -332,9 +362,11 @@ fn make_opt(cfg: &SyncConfig, rows: u64, width: usize) -> Box<dyn SparseOptimize
 }
 
 impl Worker {
-    fn new(cfg: Arc<SyncConfig>, comm: Communicator) -> Self {
+    fn new(cfg: Arc<SyncConfig>, mut comm: Communicator) -> Self {
+        comm.set_telemetry(cfg.telemetry.clone());
         let rank = comm.rank();
         let world = comm.world();
+        let rec = cfg.telemetry.rank(rank as u32);
         let model = &cfg.model;
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         let bottom = Mlp::new(
@@ -469,6 +501,7 @@ impl Worker {
             cached_features: None,
             bottom_opt,
             top_opt,
+            rec,
         }
     }
 
@@ -489,13 +522,16 @@ impl Worker {
         let d = model.emb_dim();
 
         // 1. bottom MLP on local dense features
+        let sp = self.rec.span(phase::FWD_BOTTOM_MLP);
         let z0 = if train {
             self.bottom.forward(&sub.dense)
         } else {
             self.bottom.forward_inference(&sub.dense)
         };
+        drop(sp);
 
         // 2. index redistribution
+        let sp = self.rec.span(phase::INPUT_A2A);
         #[derive(Clone)]
         struct IndexMsg {
             table: usize,
@@ -541,8 +577,10 @@ impl Worker {
             }
         }
         let recv = self.comm.all_to_all_v(sends)?;
+        drop(sp);
 
         // 3. pooled lookups for owned shards over the global batch
+        let sp = self.rec.span(phase::EMB_LOOKUP);
         // table-wise / column-wise shards
         for sh in &mut self.shards {
             sh.lengths.clear();
@@ -581,8 +619,16 @@ impl Worker {
                 .map_err(|e| err(e.to_string()))?;
             owned_pooled.push(pooled);
         }
+        if sp.is_recording() {
+            let rows: usize = self.shards.iter().map(|sh| sh.indices.len()).sum();
+            self.rec
+                .sink()
+                .counter_add(metric::EMB_LOOKUP_ROWS, rows as u64);
+        }
+        drop(sp);
 
         // 4a. pooled AlltoAll for table-/column-wise shards (manifest order)
+        let sp = self.rec.span(phase::ALLTOALL_FWD);
         let mut payloads: Vec<Vec<f32>> = vec![Vec::new(); world];
         for (sh, pooled) in self.shards.iter().zip(&owned_pooled) {
             debug_assert_eq!(pooled.rows(), world * b_loc, "shard {:?}", sh.desc);
@@ -614,39 +660,60 @@ impl Worker {
                 return Err(err("pooled payload length mismatch"));
             }
         }
+        drop(sp);
 
         // 4b. ReduceScatter for row-wise tables (table-id order, all ranks)
         let row_tables = self.row_tables.clone();
         for &t in &row_tables {
+            let sp = self.rec.span(phase::EMB_LOOKUP);
             let mut partial = vec![0.0f32; world * b_loc * d];
             if let Some(rs) = self.row_shards.iter_mut().find(|r| r.table == t) {
                 let pooled = pooled_forward(rs.store.as_mut(), &rs.lengths, &rs.indices)
                     .map_err(|e| err(e.to_string()))?;
                 partial.copy_from_slice(pooled.as_slice());
+                if sp.is_recording() {
+                    self.rec
+                        .sink()
+                        .counter_add(metric::EMB_LOOKUP_ROWS, rs.indices.len() as u64);
+                }
             }
+            drop(sp);
+            let sp = self.rec.span(phase::REDUCE_SCATTER);
             let mine = self.comm.reduce_scatter(&partial)?;
+            drop(sp);
             pooled_features[t] =
                 Tensor2::from_vec(b_loc, d, mine).map_err(|e| err(e.to_string()))?;
         }
 
         // 4c. local lookups for data-parallel replicas
+        let sp = self.rec.span(phase::EMB_LOOKUP);
         for dpt in &mut self.dp {
             let (lens, idx) = sub.table_inputs(dpt.table);
+            if sp.is_recording() {
+                self.rec
+                    .sink()
+                    .counter_add(metric::EMB_LOOKUP_ROWS, idx.len() as u64);
+            }
             pooled_features[dpt.table] =
                 pooled_forward(dpt.store.as_mut(), lens, idx).map_err(|e| err(e.to_string()))?;
         }
+        drop(sp);
 
         // 5. interaction + top MLP
+        let sp = self.rec.span(phase::INTERACTION);
         let mut features = vec![z0];
         features.append(&mut pooled_features);
         let refs: Vec<&Tensor2> = features.iter().collect();
         let inter = dot_interaction(&refs).map_err(|e| err(e.to_string()))?;
         let top_in = Tensor2::hcat(&[&features[0], &inter]).map_err(|e| err(e.to_string()))?;
+        drop(sp);
+        let sp = self.rec.span(phase::TOP_MLP);
         let logits = if train {
             self.top.forward(&top_in)
         } else {
             self.top.forward_inference(&top_in)
         };
+        drop(sp);
         if train {
             self.cached_features = Some(features);
         }
@@ -668,12 +735,16 @@ impl Worker {
             .cached_features
             .take()
             .ok_or_else(|| err("backward without forward"))?;
+        let bwd_span = self.rec.span(phase::BACKWARD);
 
         // 7. dense backward
+        let sp = self.rec.span(phase::TOP_MLP_BWD);
         let g_top_in = self
             .top
             .backward(grad_logits)
             .map_err(|e| err(e.to_string()))?;
+        drop(sp);
+        let sp = self.rec.span(phase::INTERACTION_BWD);
         let splits = g_top_in
             .hsplit(&[d, num_pairs(model.tables.len() + 1)])
             .map_err(|e| err(e.to_string()))?;
@@ -681,11 +752,15 @@ impl Worker {
         let mut g_features =
             dot_interaction_backward(&refs, &splits[1]).map_err(|e| err(e.to_string()))?;
         g_features[0] += &splits[0];
+        drop(sp);
+        let sp = self.rec.span(phase::BWD_BOTTOM_MLP);
         self.bottom
             .backward(&g_features[0])
             .map_err(|e| err(e.to_string()))?;
+        drop(sp);
 
         // 8a. grad AlltoAll back to table-/column-wise owners
+        let sp = self.rec.span(phase::ALLTOALL_BWD);
         let mut payloads: Vec<Vec<f32>> = vec![Vec::new(); world];
         for (owner, payload) in payloads.iter_mut().enumerate() {
             for c in owner_manifest(&self.cfg.plan, &model, owner) {
@@ -696,8 +771,11 @@ impl Worker {
             }
         }
         let grad_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_bwd)?;
+        drop(sp);
 
         // owners apply exact sparse updates on the reassembled global grads
+        let sp = self.rec.span(phase::SPARSE_OPTIM);
+        let mut optim_rows = 0u64;
         let my_manifest = owner_manifest(&self.cfg.plan, &model, self.rank);
         // per-source offset cursors
         let mut cursors = vec![0usize; world];
@@ -722,20 +800,27 @@ impl Worker {
             // accumulators, never materializing the expanded gradient
             let sg = fused_backward_grads(&sh.lengths, &sh.indices, &grads)
                 .map_err(|e| err(e.to_string()))?;
+            optim_rows += sg.indices.len() as u64;
             sh.opt.apply_merged(sh.store.as_mut(), &sg);
         }
+        drop(sp);
 
         // 8b. AllGather for row-wise tables (mirror of the ReduceScatter)
         let row_tables = self.row_tables.clone();
         for &t in &row_tables {
             let flat = g_features[t + 1].as_slice().to_vec();
+            let sp = self.rec.span(phase::ALLGATHER);
             let global_grads = self.comm.all_gather(&flat)?;
+            drop(sp);
             if let Some(rs) = self.row_shards.iter_mut().find(|r| r.table == t) {
+                let sp = self.rec.span(phase::SPARSE_OPTIM);
                 let grads = Tensor2::from_vec(world * b_loc, d, global_grads)
                     .map_err(|e| err(e.to_string()))?;
                 let sg = fused_backward_grads(&rs.lengths, &rs.indices, &grads)
                     .map_err(|e| err(e.to_string()))?;
+                optim_rows += sg.indices.len() as u64;
                 rs.opt.apply_merged(rs.store.as_mut(), &sg);
+                drop(sp);
             }
         }
 
@@ -755,7 +840,10 @@ impl Worker {
                 .enumerate()
                 .map(|(k, &i)| (i, local.grads.row(k).to_vec()))
                 .collect();
+            let sp = self.rec.span(phase::ALLTOALL_BWD);
             let gathered = self.comm.all_to_all_v(vec![pairs; world])?;
+            drop(sp);
+            let sp = self.rec.span(phase::SPARSE_OPTIM);
             let mut indices = Vec::new();
             let mut rows: Vec<f32> = Vec::new();
             for src in &gathered {
@@ -774,7 +862,14 @@ impl Worker {
                 .iter_mut()
                 .find(|x| x.table == t)
                 .ok_or_else(|| err("missing dp replica"))?;
+            optim_rows += combined.indices.len() as u64;
             dpt.opt.step(dpt.store.as_mut(), &combined);
+            drop(sp);
+        }
+        if self.rec.sink().enabled() {
+            self.rec
+                .sink()
+                .counter_add(metric::EMB_OPTIM_ROWS, optim_rows);
         }
 
         // 9. MLP AllReduce + SGD
@@ -782,7 +877,10 @@ impl Worker {
         self.bottom.grads_flat(&mut self.scratch_grads);
         self.top.grads_flat(&mut self.scratch_grads);
         let mut buf = std::mem::take(&mut self.scratch_grads);
+        let sp = self.rec.span(phase::ALLREDUCE);
         self.comm.all_reduce(&mut buf)?;
+        drop(sp);
+        let sp = self.rec.span(phase::DENSE_OPTIM);
         let nb = self.bottom.num_params();
         self.bottom
             .set_grads_flat(&buf[..nb])
@@ -793,6 +891,8 @@ impl Worker {
         self.scratch_grads = buf;
         self.bottom.apply_optimizer(self.bottom_opt.as_mut());
         self.top.apply_optimizer(self.top_opt.as_mut());
+        drop(sp);
+        drop(bwd_span);
         Ok(())
     }
 }
@@ -815,7 +915,10 @@ impl Worker {
     }
 
     fn train_step(&mut self, iter: u64, global: &CombinedBatch) -> Result<f32, SyncError> {
-        self.set_lr(self.cfg.lr_schedule.lr_at(self.cfg.lr, iter));
+        let lr = self.cfg.lr_schedule.lr_at(self.cfg.lr, iter);
+        self.set_lr(lr);
+        self.rec.begin_iteration(iter);
+        let iter_span = self.rec.span(phase::ITERATION);
         let (logits, sub) = self.forward(global, true)?;
         let (loss, mut grad) =
             bce_with_logits(&logits, &sub.labels).map_err(|e| err(e.to_string()))?;
@@ -825,6 +928,17 @@ impl Worker {
         // global mean loss (sub-batches are equal-sized)
         let mut l = vec![loss];
         self.comm.all_reduce_mean(&mut l)?;
+        if let Some(ns) = iter_span.end() {
+            // rank 0 owns the global gauges (loss is already all-reduced)
+            if self.rank == 0 {
+                let sink = self.rec.sink();
+                sink.gauge_push(metric::TRAIN_LOSS, iter, f64::from(l[0]));
+                sink.gauge_push(metric::TRAIN_LR, iter, f64::from(lr));
+                let throughput = self.cfg.global_batch as f64 * 1e9 / ns.max(1) as f64;
+                sink.gauge_push(metric::TRAIN_THROUGHPUT, iter, throughput);
+            }
+        }
+        self.rec.end_iteration();
         Ok(l[0])
     }
 
@@ -1151,6 +1265,7 @@ impl SyncTrainer {
             probe_logits,
             comm,
             final_model,
+            telemetry_summary: cfg.telemetry.summary(),
         })
     }
 }
@@ -1212,6 +1327,101 @@ mod tests {
     fn batches(n: u64, b: usize) -> Vec<CombinedBatch> {
         let ds = dataset();
         (0..n).map(|k| ds.batch(b, k)).collect()
+    }
+
+    #[test]
+    fn telemetry_disabled_yields_no_summary() {
+        let cfg = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 16);
+        let out = SyncTrainer::new(cfg)
+            .train(&batches(2, 16), &[], 0, None)
+            .unwrap();
+        assert!(out.telemetry_summary.is_none());
+        // Display still produces a sane one-liner without telemetry.
+        let line = out.to_string();
+        assert!(line.starts_with("2 iters, final loss"), "{line}");
+    }
+
+    #[test]
+    fn telemetry_records_expected_phases_and_gauges() {
+        let mut cfg = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 16);
+        let sink = neo_telemetry::TelemetrySink::armed();
+        cfg.telemetry = sink.clone();
+        let iters = 3u64;
+        let out = SyncTrainer::new(cfg)
+            .train(&batches(iters, 16), &[], 0, None)
+            .unwrap();
+
+        let snap = sink.snapshot().expect("armed sink snapshots");
+        let names = snap.span_names();
+        assert!(
+            names.len() >= 8,
+            "expected >= 8 distinct phases, got {names:?}"
+        );
+        for n in &names {
+            assert!(phase::is_known(n), "span name {n} outside the taxonomy");
+        }
+        // The mixed plan exercises every trainer phase.
+        for want in [
+            phase::ITERATION,
+            phase::FWD_BOTTOM_MLP,
+            phase::INPUT_A2A,
+            phase::EMB_LOOKUP,
+            phase::ALLTOALL_FWD,
+            phase::REDUCE_SCATTER,
+            phase::INTERACTION,
+            phase::TOP_MLP,
+            phase::BACKWARD,
+            phase::ALLTOALL_BWD,
+            phase::ALLGATHER,
+            phase::SPARSE_OPTIM,
+            phase::ALLREDUCE,
+            phase::DENSE_OPTIM,
+        ] {
+            assert!(names.contains(&want), "missing phase {want} in {names:?}");
+        }
+        // Every rank records every iteration exactly once.
+        let iteration_spans = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == phase::ITERATION)
+            .count();
+        assert_eq!(iteration_spans, 2 * iters as usize);
+        // Rank-0 gauges: one point per iteration, loss values matching.
+        let loss_series = snap
+            .gauges
+            .iter()
+            .find(|(k, _)| k == metric::TRAIN_LOSS)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default();
+        assert_eq!(loss_series.len(), iters as usize);
+        for (k, (it, v)) in loss_series.iter().enumerate() {
+            assert_eq!(*it, k as u64);
+            assert!((v - f64::from(out.losses[k])).abs() < 1e-6);
+        }
+        // Comm counters flowed through the communicator bridge.
+        assert!(
+            snap.counters.iter().any(|(k, _)| k.starts_with("comm.")),
+            "no comm counters in {:?}",
+            snap.counters
+        );
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(k, v)| k == metric::EMB_LOOKUP_ROWS && *v > 0),
+            "no embedding lookup rows recorded"
+        );
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(k, v)| k == metric::EMB_OPTIM_ROWS && *v > 0),
+            "no embedding optim rows recorded"
+        );
+        // Summary surfaces on TrainOutput and in its Display.
+        let summary = out.telemetry_summary.as_ref().expect("summary present");
+        assert_eq!(summary.world, 2);
+        assert_eq!(summary.iterations, iters);
+        assert!(summary.phase_ms(phase::ITERATION).unwrap_or(0.0) > 0.0);
+        assert!(out.to_string().contains("telemetry:"), "{out}");
     }
 
     /// Single-device reference training with the same math.

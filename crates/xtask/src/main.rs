@@ -1,4 +1,4 @@
-//! `neo-xtask` — workspace invariant linter.
+//! `neo-xtask` — workspace invariant linter and telemetry-artifact checker.
 //!
 //! `cargo run -p neo-xtask -- lint` scans every library source file in the
 //! workspace (crates/*/src plus the root facade src/) and enforces the
@@ -15,12 +15,22 @@
 //!    in every crate root.
 //! 4. **props_cover** — every `pub fn` in `crates/collectives/src/group.rs`
 //!    is named by a property test in `crates/collectives/tests/props.rs`.
+//! 5. **span_balance** — telemetry span guards are bound rather than
+//!    dropped on creation, and `begin_iteration`/`end_iteration` calls pair
+//!    up within each file.
 //!
-//! `shims/` is excluded: those crates are offline stand-ins for third-party
-//! dependencies and follow upstream APIs, not this repo's conventions.
+//! `cargo run -p neo-xtask -- json-check [--min-phases N] <files...>`
+//! validates telemetry exports produced by `--telemetry`: each file must
+//! parse as JSON; a metrics summary (object with a `spans` key) must carry
+//! at least N distinct span phase names, and a Chrome trace (object with a
+//! `traceEvents` key) must give every event a name, phase and timestamp.
 //!
-//! Exit status: 0 when clean, 1 with `file:line` diagnostics on violations,
-//! 2 on usage or I/O errors.
+//! `shims/` is excluded from linting: those crates are offline stand-ins
+//! for third-party dependencies and follow upstream APIs, not this repo's
+//! conventions.
+//!
+//! Exit status: 0 when clean, 1 with diagnostics on violations, 2 on usage
+//! or I/O errors.
 
 #![forbid(unsafe_code)]
 #![deny(warnings)]
@@ -49,9 +59,20 @@ fn main() -> ExitCode {
     }
 }
 
-/// Parses args, runs the lint, prints diagnostics; returns their count.
+const USAGE: &str =
+    "usage: neo-xtask lint [--root <dir>] | neo-xtask json-check [--min-phases N] <files...>";
+
+/// Dispatches to a subcommand; returns the number of problems found.
 fn run(args: &[String]) -> Result<usize, String> {
-    let mut cmd = None;
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("json-check") => run_json_check(&args[1..]),
+        _ => Err(USAGE.into()),
+    }
+}
+
+/// Runs the lint, prints diagnostics; returns their count.
+fn run_lint(args: &[String]) -> Result<usize, String> {
     let mut root = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -60,16 +81,8 @@ fn run(args: &[String]) -> Result<usize, String> {
                 let v = it.next().ok_or("--root requires a path argument")?;
                 root = Some(PathBuf::from(v));
             }
-            "lint" if cmd.is_none() => cmd = Some("lint"),
-            other => {
-                return Err(format!(
-                    "unknown argument `{other}` (usage: neo-xtask lint [--root <dir>])"
-                ))
-            }
+            other => return Err(format!("unknown argument `{other}` ({USAGE})")),
         }
-    }
-    if cmd != Some("lint") {
-        return Err("usage: neo-xtask lint [--root <dir>]".into());
     }
     let root = match root {
         Some(r) => r,
@@ -86,14 +99,87 @@ fn run(args: &[String]) -> Result<usize, String> {
         println!("{d}");
     }
     if diags.is_empty() {
-        println!("neo-xtask lint: ok (panic, hash_iter, crate_header, props_cover)");
+        println!("neo-xtask lint: ok (panic, hash_iter, crate_header, props_cover, span_balance)");
     } else {
         println!("neo-xtask lint: {} violation(s)", diags.len());
     }
     Ok(diags.len())
 }
 
-/// Runs all four rules over the workspace at `root`.
+/// Validates telemetry export files; returns the number of bad files.
+fn run_json_check(args: &[String]) -> Result<usize, String> {
+    let mut min_phases = 0usize;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--min-phases" => {
+                let v = it.next().ok_or("--min-phases requires a number")?;
+                min_phases = v
+                    .parse()
+                    .map_err(|_| format!("invalid --min-phases value `{v}`"))?;
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("json-check needs at least one file ({USAGE})"));
+    }
+    let mut problems = 0usize;
+    for path in &files {
+        let shown = path.display();
+        let text = fs::read_to_string(path).map_err(|e| format!("reading {shown}: {e}"))?;
+        let doc = match neo_telemetry::json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                println!("{shown}: invalid JSON: {e}");
+                problems += 1;
+                continue;
+            }
+        };
+        if let Some(spans) = doc.get("spans").and_then(|s| s.as_array()) {
+            let mut names: Vec<&str> = spans
+                .iter()
+                .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+                .collect();
+            let total = spans.len();
+            names.sort_unstable();
+            names.dedup();
+            if names.len() < min_phases {
+                println!(
+                    "{shown}: only {} distinct span phase(s), need at least {min_phases}",
+                    names.len()
+                );
+                problems += 1;
+            } else {
+                println!(
+                    "{shown}: ok ({} distinct phases across {total} spans)",
+                    names.len()
+                );
+            }
+        } else if let Some(events) = doc.get("traceEvents").and_then(|e| e.as_array()) {
+            let malformed = events
+                .iter()
+                .filter(|e| {
+                    e.get("name").and_then(|n| n.as_str()).is_none()
+                        || e.get("ph").and_then(|p| p.as_str()).is_none()
+                        || e.get("ts").and_then(|t| t.as_f64()).is_none()
+                })
+                .count();
+            if malformed > 0 {
+                println!("{shown}: {malformed} trace event(s) missing name/ph/ts fields");
+                problems += 1;
+            } else {
+                println!("{shown}: ok ({} trace events)", events.len());
+            }
+        } else {
+            println!("{shown}: ok (parsed, no span payload)");
+        }
+    }
+    Ok(problems)
+}
+
+/// Runs all five rules over the workspace at `root`.
 fn lint_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let mut diags = Vec::new();
 
@@ -115,6 +201,7 @@ fn lint_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
         for path in &files {
             let file = load(root, path)?;
             diags.extend(rules::check_panics(&file));
+            diags.extend(rules::check_span_balance(&file));
             if hash_critical {
                 diags.extend(rules::check_hash_iteration(&file));
             }
@@ -226,6 +313,43 @@ mod tests {
                      pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
         fs::write(src.join("lib.rs"), clean).unwrap();
         assert!(lint_root(&base).unwrap().is_empty());
+
+        fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn json_check_validates_exports_and_counts_phases() {
+        let base = std::env::temp_dir().join(format!("neo-xtask-json-{}", std::process::id()));
+        fs::create_dir_all(&base).unwrap();
+        let good = base.join("summary.json");
+        fs::write(
+            &good,
+            r#"{"counters": {}, "gauges": {}, "histograms": {}, "spans": [
+                {"rank": 0, "iter": 0, "name": "iteration", "start_ns": 0, "end_ns": 5},
+                {"rank": 0, "iter": 0, "name": "emb_lookup", "start_ns": 1, "end_ns": 2}
+            ]}"#,
+        )
+        .unwrap();
+        let trace = base.join("trace.json");
+        fs::write(
+            &trace,
+            r#"{"displayTimeUnit": "ms", "traceEvents": [
+                {"name": "iteration", "cat": "neo", "ph": "X", "ts": 0.0, "dur": 5.0,
+                 "pid": 0, "tid": 0, "args": {"iter": 0}}
+            ]}"#,
+        )
+        .unwrap();
+        let bad = base.join("bad.json");
+        fs::write(&bad, "{not json").unwrap();
+
+        let arg = |p: &Path| p.to_string_lossy().into_owned();
+        let ok =
+            run_json_check(&["--min-phases".into(), "2".into(), arg(&good), arg(&trace)]).unwrap();
+        assert_eq!(ok, 0);
+        let too_few = run_json_check(&["--min-phases".into(), "8".into(), arg(&good)]).unwrap();
+        assert_eq!(too_few, 1);
+        let unparsable = run_json_check(&[arg(&bad)]).unwrap();
+        assert_eq!(unparsable, 1);
 
         fs::remove_dir_all(&base).unwrap();
     }

@@ -1,4 +1,4 @@
-//! The four workspace invariants, as pure functions over [`SourceFile`]s.
+//! The five workspace invariants, as pure functions over [`SourceFile`]s.
 //!
 //! Rule names (used in `// lint: allow(<rule>) — <reason>` annotations):
 //!
@@ -8,6 +8,8 @@
 //! | `hash_iter`   | no HashMap/HashSet iteration in determinism-critical crates |
 //! | `crate_header`| `#![forbid(unsafe_code)]` + `#![deny(warnings)]` in roots   |
 //! | `props_cover` | every `pub fn` of collectives group.rs named in props.rs    |
+//! | `span_balance`| telemetry span guards are bound, and begin/end_iteration    |
+//! |               | calls are balanced per file                                 |
 
 use crate::scan::{Diagnostic, SourceFile};
 
@@ -220,6 +222,97 @@ fn iterates_ident(code: &str, name: &str) -> bool {
     false
 }
 
+/// Rule `span_balance`: telemetry span instrumentation must be shaped so
+/// the recorded timeline stays well-formed.
+///
+/// Two checks, both per file and both waivable with
+/// `// lint: allow(span_balance) — <reason>`:
+///
+/// 1. A `.span(...)` guard must be *bound* (`let sp = rec.span(X);`). A
+///    bare `rec.span(X);` statement or a `let _ = rec.span(X);` binding
+///    drops the guard on the same line, recording a zero-length span —
+///    almost always a mistake that silently hollows out the timeline.
+/// 2. Library code must call `.begin_iteration(` and `.end_iteration(`
+///    the same number of times; an unpaired begin leaves every later span
+///    attributed to a stale iteration index.
+pub fn check_span_balance(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+    let mut first_begin_line = 0usize;
+    for (ln, code) in file.code.iter().enumerate() {
+        if file.in_test[ln] || file.allows(ln, "span_balance") {
+            continue;
+        }
+        if token_match(code, ".begin_iteration(").is_some() {
+            if begins == 0 {
+                first_begin_line = ln + 1;
+            }
+            begins += 1;
+        }
+        if token_match(code, ".end_iteration(").is_some() {
+            ends += 1;
+        }
+        let Some(at) = token_match(code, ".span(") else {
+            continue;
+        };
+        // `fn span(` definitions and continuation lines (`.span(` with no
+        // receiver on this line) can't be judged here.
+        if token_match(code, "fn span(").is_some() {
+            continue;
+        }
+        let before = code[..at].trim();
+        if before.is_empty() {
+            continue;
+        }
+        // find the `)` matching the `(` of `.span(`; if the call is followed
+        // by `;` it is a statement whose result vanishes unless bound
+        let open = at + ".span(".len() - 1;
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, c) in code[open..].char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        close = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let ends_as_statement = close.is_some_and(|c| code[c + 1..].trim_start().starts_with(';'));
+        let discarded_binding = before.contains("let _ =") || before.contains("let _=");
+        let bare_statement = ends_as_statement && !before.contains('=');
+        if discarded_binding || bare_statement {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: ln + 1,
+                rule: "span_balance",
+                message: "span guard dropped on the line that creates it (records a \
+                          zero-length span); bind it with `let sp = ...` and drop it \
+                          where the phase ends, or add \
+                          `// lint: allow(span_balance) — <reason>`"
+                    .to_owned(),
+            });
+        }
+    }
+    if begins != ends {
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: first_begin_line.max(1),
+            rule: "span_balance",
+            message: format!(
+                "unbalanced iteration markers: {begins} begin_iteration call(s) vs \
+                 {ends} end_iteration call(s) in this file"
+            ),
+        });
+    }
+    out
+}
+
 /// Rule `crate_header`: crate roots must carry both
 /// `#![forbid(unsafe_code)]` and a deny-warnings header.
 pub fn check_crate_header(file: &SourceFile) -> Vec<Diagnostic> {
@@ -374,6 +467,44 @@ mod tests {
         assert_eq!(check_crate_header(&missing).len(), 1);
         let neither = file("fn a() {}\n");
         assert_eq!(check_crate_header(&neither).len(), 2);
+    }
+
+    #[test]
+    fn span_balance_flags_discarded_guards() {
+        let f = file(
+            "fn a(rec: &RankRecorder) { rec.span(phase::TOP_MLP); }\n\
+             fn b(rec: &RankRecorder) { let _ = rec.span(phase::TOP_MLP); }\n\
+             fn c(rec: &RankRecorder) { let sp = rec.span(phase::TOP_MLP); drop(sp); }\n\
+             // lint: allow(span_balance) — intentional zero-length marker\n\
+             fn d(rec: &RankRecorder) { rec.span(phase::TOP_MLP); }\n",
+        );
+        let diags = check_span_balance(&f);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 2);
+    }
+
+    #[test]
+    fn span_balance_skips_definitions_and_expression_uses() {
+        let f = file(
+            "pub fn span(&self, name: &'static str) -> SpanGuard { self.make(name) }\n\
+             fn use_it(rec: &RankRecorder) -> SpanGuard { rec.span(phase::TOP_MLP) }\n",
+        );
+        assert!(check_span_balance(&f).is_empty());
+    }
+
+    #[test]
+    fn span_balance_requires_paired_iteration_markers() {
+        let unbalanced = file("fn s(r: &RankRecorder) { r.begin_iteration(3); }\n");
+        let diags = check_span_balance(&unbalanced);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("unbalanced"));
+
+        let balanced = file(
+            "fn s(r: &RankRecorder) { r.begin_iteration(3); }\n\
+             fn e(r: &RankRecorder) { r.end_iteration(); }\n",
+        );
+        assert!(check_span_balance(&balanced).is_empty());
     }
 
     #[test]

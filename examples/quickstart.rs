@@ -1,17 +1,23 @@
 //! Quickstart: train a small DLRM synchronously across 4 simulated GPUs.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --telemetry out.json]
 //! ```
 //!
 //! Demonstrates the full Neo pipeline at laptop scale: synthetic CTR data
 //! in the combined format, a planner-generated hybrid sharding plan, the
 //! hybrid-parallel trainer with quantized AlltoAll, and normalized-entropy
 //! evaluation.
+//!
+//! With `--telemetry <out.json>` the run arms the metrics registry and
+//! writes two artifacts: the metrics/span summary to `<out.json>`, and a
+//! Chrome trace (load it at `chrome://tracing` or <https://ui.perfetto.dev>)
+//! to `<out.json>` with the extension replaced by `.trace.json`.
 
 use neo_dlrm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry_path = parse_telemetry_arg()?;
     // 1. model: 8 embedding tables of 20000 rows, dim 16
     let model = DlrmConfig::tiny(8, 20_000, 16);
     println!("model: {} parameters", model.num_params());
@@ -37,6 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.quant_fwd = QuantMode::Fp16;
     cfg.quant_bwd = QuantMode::Bf16;
     cfg.lr = 0.4;
+    if telemetry_path.is_some() {
+        cfg.telemetry = TelemetrySink::armed();
+    }
+    let sink = cfg.telemetry.clone();
     let trainer = SyncTrainer::new(cfg);
 
     // 4. synthetic CTR stream + eval set
@@ -56,5 +66,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let wire_mb: u64 = out.comm.iter().map(|s| s.bytes_sent).sum::<u64>() / (1 << 20);
     println!("total collective traffic: {wire_mb} MiB across 4 workers");
+
+    // 6. optionally dump the telemetry artifacts
+    if let Some(path) = telemetry_path {
+        if let Some(summary) = &out.telemetry_summary {
+            println!("{summary}");
+        }
+        let json = sink.export_json().ok_or("telemetry sink was not armed")?;
+        std::fs::write(&path, json)?;
+        let trace = sink
+            .export_chrome_trace()
+            .ok_or("telemetry sink was not armed")?;
+        let trace_path = trace_file_for(&path);
+        std::fs::write(&trace_path, trace)?;
+        println!("telemetry written to {path} and {trace_path}");
+    }
     Ok(())
+}
+
+/// Pulls `--telemetry <path>` out of the CLI args, if present.
+fn parse_telemetry_arg() -> Result<Option<String>, String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--telemetry" {
+            return match args.next() {
+                Some(p) => Ok(Some(p)),
+                None => Err("--telemetry requires an output path".into()),
+            };
+        }
+    }
+    Ok(None)
+}
+
+/// `out.json` -> `out.trace.json` (appends when there is no extension).
+fn trace_file_for(path: &str) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.trace.json"),
+        None => format!("{path}.trace.json"),
+    }
 }

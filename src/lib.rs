@@ -16,6 +16,7 @@
 //! | [`dlrm`] | `neo-dlrm-model` | the DLRM model, NE metric, model zoo |
 //! | [`trainer`] | `neo-trainer` | §3 sync hybrid-parallel trainer + PS baseline |
 //! | [`perfmodel`] | `neo-perfmodel` | §5.1 Eq. 1 roofline, Appendix A |
+//! | [`telemetry`] | `neo-telemetry` | §5.2 per-iteration breakdowns, Fig. 14 |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use neo_memory as memory;
 pub use neo_netsim as netsim;
 pub use neo_perfmodel as perfmodel;
 pub use neo_sharding as sharding;
+pub use neo_telemetry as telemetry;
 pub use neo_tensor as tensor;
 pub use neo_trainer as trainer;
 
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use neo_netsim::{ClusterTopology, CollectiveCost, CollectiveKind};
     pub use neo_perfmodel::{DeviceProfile, IterationModel, ModelScenario};
     pub use neo_sharding::{CostModel, Planner, PlannerConfig, Scheme, ShardingPlan, TableSpec};
+    pub use neo_telemetry::{phase, TelemetrySink, TelemetrySummary};
     pub use neo_tensor::{Tensor2, F16};
     pub use neo_trainer::{PsConfig, PsTrainer, SyncConfig, SyncTrainer};
 }

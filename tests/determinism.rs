@@ -53,6 +53,29 @@ fn distributed_training_bitwise_reproducible() {
 }
 
 #[test]
+fn armed_telemetry_does_not_perturb_training() {
+    // observability must be free: arming the metrics registry adds clock
+    // reads and span records but must never touch the numerics — the
+    // probe logits stay bitwise identical to an unarmed run.
+    let ds = dataset();
+    let batches: Vec<_> = (0..8).map(|k| ds.batch(32, k)).collect();
+    let probe = ds.batch(32, 555);
+    let run = |armed: bool| {
+        let mut cfg = planned(4, 32);
+        cfg.seed = 42;
+        if armed {
+            cfg.telemetry = neo_dlrm::telemetry::TelemetrySink::armed();
+        }
+        let out = SyncTrainer::new(cfg)
+            .train(&batches, &[], 0, Some(&probe))
+            .unwrap();
+        assert_eq!(out.telemetry_summary.is_some(), armed);
+        out.probe_logits.unwrap()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
 fn different_seeds_differ() {
     assert_ne!(run_distributed(4, 42), run_distributed(4, 43));
 }
