@@ -5,39 +5,50 @@
 #   1. formatting        (cargo fmt --check)
 #   2. clippy            (warnings are errors)
 #   3. neo-xtask lint    (panic / hash_iter / crate_header / props_cover /
-#                         span_balance)
+#                         span_balance / metric_names)
 #   4. tier-1 tests      (root-package build + tests, the ROADMAP gate)
 #   5. workspace tests   (all crates)
 #   6. sanitizer tests   (numeric sanitizer armed via --features sanitize)
-#   7. telemetry check   (quickstart --telemetry artifacts parse and carry
-#                         the span taxonomy)
+#   7. telemetry check   (quickstart --telemetry artifacts parse, carry the
+#                         span taxonomy, and label process/rank threads)
+#   8. bench gate        (pinned benchmark suite vs the committed baseline;
+#                         fails on >10% throughput regression)
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> [1/7] cargo fmt --check"
+echo "==> [1/8] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/7] cargo clippy --workspace -- -D warnings"
+echo "==> [2/8] cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [3/7] cargo run -p neo-xtask -- lint"
+echo "==> [3/8] cargo run -p neo-xtask -- lint"
 cargo run -q -p neo-xtask -- lint
 
-echo "==> [4/7] tier-1: cargo build --release && cargo test -q"
+echo "==> [4/8] tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "==> [5/7] cargo test -q --workspace"
+echo "==> [5/8] cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> [6/7] cargo test -q -p neo-tensor -p neo-embeddings --features sanitize"
+echo "==> [6/8] cargo test -q -p neo-tensor -p neo-embeddings --features sanitize"
 cargo test -q -p neo-tensor -p neo-embeddings --features sanitize
 
-echo "==> [7/7] telemetry: quickstart --telemetry + neo-xtask json-check"
+echo "==> [7/8] telemetry: quickstart --telemetry + neo-xtask json-check"
 TELEMETRY_OUT="$(mktemp -d)/neo_telemetry.json"
 cargo run -q --release --example quickstart -- --telemetry "$TELEMETRY_OUT" >/dev/null
 cargo run -q -p neo-xtask -- json-check --min-phases 8 \
     "$TELEMETRY_OUT" "${TELEMETRY_OUT%.json}.trace.json"
 rm -rf "$(dirname "$TELEMETRY_OUT")"
+
+echo "==> [8/8] bench: pinned suite vs committed baseline (tolerance 10%)"
+# one retry: a transient co-tenant load spike must persist across two
+# best-of-3 measurements (~a minute apart) to fail the gate
+bench_gate() {
+    cargo run -q --release -p neo-xtask -- bench --label ci --best-of 3 \
+        --check results/bench_baseline.json --tolerance 10
+}
+bench_gate || { echo "bench gate failed once; retrying"; bench_gate; }
 
 echo "ci.sh: all gates passed"

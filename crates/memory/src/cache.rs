@@ -63,10 +63,13 @@ impl CacheStats {
         if !sink.enabled() {
             return;
         }
-        sink.counter_add(&format!("{prefix}.cache_hit"), self.hits);
-        sink.counter_add(&format!("{prefix}.cache_miss"), self.misses);
-        sink.counter_add(&format!("{prefix}.cache_evict"), self.evictions);
-        sink.counter_add(&format!("{prefix}.cache_writeback"), self.writebacks);
+        sink.counter_add(&neo_telemetry::metric::cache_hit(prefix), self.hits);
+        sink.counter_add(&neo_telemetry::metric::cache_miss(prefix), self.misses);
+        sink.counter_add(&neo_telemetry::metric::cache_evict(prefix), self.evictions);
+        sink.counter_add(
+            &neo_telemetry::metric::cache_writeback(prefix),
+            self.writebacks,
+        );
     }
 }
 

@@ -174,6 +174,171 @@ pub fn fig9_graph(bd: &IterationBreakdown, pipelined: bool) -> Vec<Op> {
     ]
 }
 
+/// Dependency structure of the phases the live trainer actually emits,
+/// as `(name, resource, deps)` — the Fig. 9 graph extended with the
+/// row-wise sharding collectives (reduce-scatter / all-gather), the
+/// combined dense AllReduce span, and the dense optimizer.
+///
+/// [`measured_graph`] instantiates this template with measured durations;
+/// the names are exactly the ones `trainer::sync` records, so a measured
+/// span summary joins by name with no translation table.
+pub const MEASURED_TEMPLATE: &[(&str, Resource, &[&str])] = &[
+    (phase::INPUT_A2A, Resource::Network, &[]),
+    (phase::HTOD, Resource::Memory, &[]),
+    (phase::FWD_BOTTOM_MLP, Resource::Compute, &[]),
+    (
+        phase::EMB_LOOKUP,
+        Resource::Memory,
+        &[phase::INPUT_A2A, phase::HTOD],
+    ),
+    (phase::ALLTOALL_FWD, Resource::Network, &[phase::EMB_LOOKUP]),
+    (
+        phase::REDUCE_SCATTER,
+        Resource::Network,
+        &[phase::EMB_LOOKUP],
+    ),
+    (
+        phase::INTERACTION,
+        Resource::Compute,
+        &[
+            phase::FWD_BOTTOM_MLP,
+            phase::ALLTOALL_FWD,
+            phase::REDUCE_SCATTER,
+        ],
+    ),
+    (phase::TOP_MLP, Resource::Compute, &[phase::INTERACTION]),
+    (phase::TOP_MLP_BWD, Resource::Compute, &[phase::TOP_MLP]),
+    (
+        phase::INTERACTION_BWD,
+        Resource::Compute,
+        &[phase::TOP_MLP_BWD],
+    ),
+    (
+        phase::ALLTOALL_BWD,
+        Resource::Network,
+        &[phase::INTERACTION_BWD],
+    ),
+    (phase::ALLGATHER, Resource::Network, &[phase::ALLTOALL_BWD]),
+    (
+        phase::SPARSE_OPTIM,
+        Resource::Memory,
+        &[phase::ALLTOALL_BWD, phase::ALLGATHER],
+    ),
+    (
+        phase::BWD_BOTTOM_MLP,
+        Resource::Compute,
+        &[phase::INTERACTION_BWD],
+    ),
+    (
+        phase::ALLREDUCE,
+        Resource::Network,
+        &[phase::TOP_MLP_BWD, phase::BWD_BOTTOM_MLP],
+    ),
+    (phase::DENSE_OPTIM, Resource::Compute, &[phase::ALLREDUCE]),
+];
+
+/// Joins measured per-phase durations (seconds, e.g. mean span time from a
+/// [`neo_telemetry`] summary) onto [`MEASURED_TEMPLATE`], producing an op
+/// graph that [`simulate`] can schedule. Phases missing from `phase_secs`
+/// get zero duration, so a partial measurement still yields a valid DAG;
+/// names not in the template (aggregates like `iteration`) are ignored.
+pub fn measured_graph(phase_secs: &[(String, f64)]) -> Vec<Op> {
+    let dur = |name: &str| -> f64 {
+        phase_secs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, d)| d.max(0.0))
+            .unwrap_or(0.0)
+    };
+    MEASURED_TEMPLATE
+        .iter()
+        .map(|&(name, resource, deps)| Op {
+            name,
+            duration: dur(name),
+            resource,
+            deps: deps.to_vec(),
+        })
+        .collect()
+}
+
+/// Exposed vs. total communication time in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommExposure {
+    /// Total time network ops occupy the NIC.
+    pub comm_total: f64,
+    /// Network time not overlapped by any compute or memory op.
+    pub exposed: f64,
+}
+
+impl CommExposure {
+    /// Exposed communication as a fraction of `makespan` (0 when idle).
+    pub fn fraction_of(&self, makespan: f64) -> f64 {
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            (self.exposed / makespan).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Measures exposed communication in a schedule: the portion of every
+/// network op's interval not covered by any concurrently running compute
+/// or memory op. In a fully serialized schedule nothing overlaps, so
+/// `exposed == comm_total`.
+pub fn comm_exposure(t: &Timeline, ops: &[Op]) -> CommExposure {
+    let interval = |name: &str| t.op(name).map(|s| (s.start, s.end));
+    let mut cover: Vec<(f64, f64)> = ops
+        .iter()
+        .filter(|o| o.resource != Resource::Network)
+        .filter_map(|o| interval(o.name))
+        .filter(|&(s, e)| e > s)
+        .collect();
+    cover.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // merge into disjoint covered intervals
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (s, e) in cover {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let mut comm_total = 0.0;
+    let mut exposed = 0.0;
+    for op in ops.iter().filter(|o| o.resource == Resource::Network) {
+        let Some((s, e)) = interval(op.name) else {
+            continue;
+        };
+        comm_total += e - s;
+        let overlap: f64 = merged
+            .iter()
+            .map(|&(cs, ce)| (e.min(ce) - s.max(cs)).max(0.0))
+            .sum();
+        exposed += (e - s - overlap).max(0.0);
+    }
+    CommExposure {
+        comm_total,
+        exposed,
+    }
+}
+
+/// Exposed-comm fraction of a *fully serialized* schedule: with strictly
+/// one op at a time, every communication second is exposed, so the
+/// fraction is simply `sum(network durations) / sum(all durations)`.
+/// This is the prediction to compare against a measured per-rank timeline
+/// whose execution is serial (as `trainer::sync` is today).
+pub fn serial_comm_fraction(ops: &[Op]) -> f64 {
+    let total: f64 = ops.iter().map(|o| o.duration).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let comm: f64 = ops
+        .iter()
+        .filter(|o| o.resource == Resource::Network)
+        .map(|o| o.duration)
+        .sum();
+    (comm / total).clamp(0.0, 1.0)
+}
+
 /// List-schedules the DAG: among ready ops, earliest-possible-start first
 /// (ties broken by declaration order), each resource strictly serial.
 ///
@@ -360,6 +525,74 @@ mod tests {
             .sum();
         let serial: f64 = ops.iter().map(|o| o.duration).sum();
         assert!((total - serial).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_graph_joins_by_name_and_tolerates_gaps() {
+        let secs = vec![
+            (phase::EMB_LOOKUP.to_string(), 3e-3),
+            (phase::ALLTOALL_FWD.to_string(), 2e-3),
+            ("iteration".to_string(), 99.0), // aggregate: ignored
+            ("not_a_phase".to_string(), 1.0),
+        ];
+        let ops = measured_graph(&secs);
+        assert_eq!(ops.len(), MEASURED_TEMPLATE.len());
+        let get = |n: &str| ops.iter().find(|o| o.name == n).unwrap().clone();
+        assert!((get(phase::EMB_LOOKUP).duration - 3e-3).abs() < 1e-15);
+        assert!((get(phase::ALLTOALL_FWD).duration - 2e-3).abs() < 1e-15);
+        assert_eq!(get(phase::TOP_MLP).duration, 0.0);
+        assert!(!ops.iter().any(|o| o.name == "iteration"));
+        // the template schedules cleanly
+        let t = simulate(&ops);
+        assert!(t.makespan >= 5e-3 - 1e-12);
+        for op in &ops {
+            assert!(phase::is_known(op.name));
+        }
+    }
+
+    #[test]
+    fn serialized_schedule_exposes_all_comm() {
+        // Hand-build a strictly serial timeline over the measured template.
+        let secs: Vec<(String, f64)> = phase::ALL.iter().map(|p| (p.to_string(), 1e-3)).collect();
+        let ops = measured_graph(&secs);
+        let mut cursor = 0.0;
+        let sched: Vec<(&'static str, Scheduled)> = ops
+            .iter()
+            .map(|o| {
+                let s = cursor;
+                cursor += o.duration;
+                (
+                    o.name,
+                    Scheduled {
+                        start: s,
+                        end: cursor,
+                    },
+                )
+            })
+            .collect();
+        let t = Timeline {
+            ops: sched,
+            makespan: cursor,
+        };
+        let exp = comm_exposure(&t, &ops);
+        assert!(
+            (exp.exposed - exp.comm_total).abs() < 1e-12,
+            "serial schedule must expose all comm: {exp:?}"
+        );
+        let frac = exp.fraction_of(t.makespan);
+        assert!((frac - serial_comm_fraction(&ops)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_schedule_exposes_less_comm() {
+        let bd = breakdown(true);
+        let ops = fig9_graph(&bd, true);
+        let t = simulate(&ops);
+        let exp = comm_exposure(&t, &ops);
+        assert!(exp.comm_total > 0.0);
+        assert!(exp.exposed <= exp.comm_total + 1e-12);
+        assert!(exp.fraction_of(t.makespan) <= 1.0);
+        assert_eq!(exp.fraction_of(0.0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! The schema-versioned `BENCH_<label>.json` document and the regression
+//! check behind `neo-xtask bench --check`.
+//!
+//! Schema (version 1; see also DESIGN.md):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "label": "baseline",
+//!   "entries": [
+//!     {
+//!       "name": "quickstart_w4",
+//!       "world": 4,
+//!       "global_batch": 256,
+//!       "iters": 24,
+//!       "throughput_samples_per_sec": 123456.7,
+//!       "phase_ms": {"iteration": 1.9, "emb_lookup": 0.4},
+//!       "exposed_comm_fraction": 0.31,
+//!       "cache_hit_rate": 0.97
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Required keys per entry: `name`, `world`, `global_batch`, `iters`,
+//! `throughput_samples_per_sec`, `phase_ms`, `exposed_comm_fraction`;
+//! `cache_hit_rate` is `null` for entries with no cache in the loop.
+//! Throughput is the **median** per-iteration samples/sec (robust against
+//! warm-up and scheduler noise). The regression check fails an entry when
+//! its current throughput drops more than `tolerance_pct` below the
+//! committed baseline, or when a baseline entry disappears.
+
+use neo_telemetry::json::{self, Json};
+
+/// Version stamped into every report; bump on breaking schema changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark case in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Case name, unique within a report (the check's join key).
+    pub name: String,
+    /// Simulated ranks.
+    pub world: u32,
+    /// Global batch size.
+    pub global_batch: usize,
+    /// Training iterations measured.
+    pub iters: u64,
+    /// Median per-iteration samples/sec.
+    pub throughput_samples_per_sec: f64,
+    /// `(phase, mean ms per iteration per rank)`, taxonomy order.
+    pub phase_ms: Vec<(String, f64)>,
+    /// Measured exposed-communication fraction of the iteration.
+    pub exposed_comm_fraction: f64,
+    /// Cache hit rate in `[0, 1]`, when the case exercises a cache.
+    pub cache_hit_rate: Option<f64>,
+}
+
+/// A full `BENCH_<label>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`] when produced here).
+    pub schema_version: u64,
+    /// Report label (file name suffix).
+    pub label: String,
+    /// Benchmark cases.
+    pub entries: Vec<BenchEntry>,
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("0.0");
+    }
+}
+
+impl BenchReport {
+    /// New empty report with the current schema version.
+    pub fn new(label: &str) -> Self {
+        Self {
+            schema_version: BENCH_SCHEMA_VERSION,
+            label: label.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Serializes the report (stable key order, 2-space indent).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n  \"schema_version\": ");
+        out.push_str(&self.schema_version.to_string());
+        out.push_str(",\n  \"label\": ");
+        push_str(&mut out, &self.label);
+        out.push_str(",\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"name\": ");
+            push_str(&mut out, &e.name);
+            out.push_str(&format!(
+                ",\n      \"world\": {},\n      \"global_batch\": {},\n      \"iters\": {}",
+                e.world, e.global_batch, e.iters
+            ));
+            out.push_str(",\n      \"throughput_samples_per_sec\": ");
+            push_f64(&mut out, e.throughput_samples_per_sec);
+            out.push_str(",\n      \"phase_ms\": {");
+            for (j, (name, ms)) in e.phase_ms.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        ");
+                push_str(&mut out, name);
+                out.push_str(": ");
+                push_f64(&mut out, *ms);
+            }
+            out.push_str("\n      },\n      \"exposed_comm_fraction\": ");
+            push_f64(&mut out, e.exposed_comm_fraction);
+            out.push_str(",\n      \"cache_hit_rate\": ");
+            match e.cache_hit_rate {
+                Some(r) => push_f64(&mut out, r),
+                None => out.push_str("null"),
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses and validates a report document; any missing required key
+    /// is an error naming the key.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let schema_version = doc
+            .get("schema_version")
+            .and_then(Json::as_f64)
+            .ok_or("missing schema_version")? as u64;
+        if schema_version == 0 || schema_version > BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build understands \
+                 1..={BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let label = doc
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("missing label")?
+            .to_string();
+        let raw_entries = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("missing entries array")?;
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for (i, e) in raw_entries.iter().enumerate() {
+            let req_f64 = |key: &str| -> Result<f64, String> {
+                e.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("entry {i}: missing {key}"))
+            };
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or(format!("entry {i}: missing name"))?
+                .to_string();
+            let phase_ms = e
+                .get("phase_ms")
+                .and_then(Json::as_object)
+                .ok_or(format!("entry {i}: missing phase_ms object"))?
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|ms| (k.clone(), ms)))
+                .collect();
+            let cache_hit_rate = match e.get("cache_hit_rate") {
+                Some(Json::Null) | None => None,
+                Some(v) => v.as_f64(),
+            };
+            entries.push(BenchEntry {
+                name,
+                world: req_f64("world")? as u32,
+                global_batch: req_f64("global_batch")? as usize,
+                iters: req_f64("iters")? as u64,
+                throughput_samples_per_sec: req_f64("throughput_samples_per_sec")?,
+                phase_ms,
+                exposed_comm_fraction: req_f64("exposed_comm_fraction")?,
+                cache_hit_rate,
+            });
+        }
+        Ok(Self {
+            schema_version,
+            label,
+            entries,
+        })
+    }
+
+    /// Compares `self` (current run) against `baseline`: one message per
+    /// regression — a baseline entry whose current throughput dropped more
+    /// than `tolerance_pct` percent, or which is missing entirely. Empty
+    /// means no regression. New entries absent from the baseline pass.
+    pub fn check_against(&self, baseline: &BenchReport, tolerance_pct: f64) -> Vec<String> {
+        let mut problems = Vec::new();
+        let floor_scale = 1.0 - tolerance_pct / 100.0;
+        for base in &baseline.entries {
+            let Some(cur) = self.entries.iter().find(|e| e.name == base.name) else {
+                problems.push(format!(
+                    "entry `{}` present in baseline but missing from the current run",
+                    base.name
+                ));
+                continue;
+            };
+            let floor = base.throughput_samples_per_sec * floor_scale;
+            if cur.throughput_samples_per_sec < floor {
+                problems.push(format!(
+                    "entry `{}`: throughput regressed {:.0} -> {:.0} samples/sec \
+                     ({:.1}% drop exceeds the {tolerance_pct}% tolerance)",
+                    base.name,
+                    base.throughput_samples_per_sec,
+                    cur.throughput_samples_per_sec,
+                    (1.0 - cur.throughput_samples_per_sec
+                        / base.throughput_samples_per_sec.max(f64::MIN_POSITIVE))
+                        * 100.0,
+                ));
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            label: "test".into(),
+            entries: vec![
+                BenchEntry {
+                    name: "quickstart_w2".into(),
+                    world: 2,
+                    global_batch: 256,
+                    iters: 24,
+                    throughput_samples_per_sec: 100_000.0,
+                    phase_ms: vec![("iteration".into(), 2.5), ("emb_lookup".into(), 0.5)],
+                    exposed_comm_fraction: 0.25,
+                    cache_hit_rate: None,
+                },
+                BenchEntry {
+                    name: "cache".into(),
+                    world: 1,
+                    global_batch: 64,
+                    iters: 8,
+                    throughput_samples_per_sec: 9_000.0,
+                    phase_ms: vec![],
+                    exposed_comm_fraction: 0.0,
+                    cache_hit_rate: Some(0.875),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn to_json_round_trips_through_parse() {
+        let r = sample();
+        let text = r.to_json();
+        let back = BenchReport::parse(&text).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parse_rejects_missing_required_keys_and_bad_versions() {
+        assert!(BenchReport::parse("{oops").is_err());
+        assert!(BenchReport::parse(r#"{"label": "x", "entries": []}"#)
+            .unwrap_err()
+            .contains("schema_version"));
+        assert!(
+            BenchReport::parse(r#"{"schema_version": 99, "label": "x", "entries": []}"#)
+                .unwrap_err()
+                .contains("unsupported")
+        );
+        let no_throughput = r#"{"schema_version": 1, "label": "x", "entries": [
+            {"name": "a", "world": 1, "global_batch": 8, "iters": 1,
+             "phase_ms": {}, "exposed_comm_fraction": 0.0}]}"#;
+        assert!(BenchReport::parse(no_throughput)
+            .unwrap_err()
+            .contains("throughput_samples_per_sec"));
+    }
+
+    #[test]
+    fn check_flags_inflated_baseline_and_passes_within_tolerance() {
+        let current = sample();
+        // identical baseline: clean
+        assert!(current.check_against(&current, 10.0).is_empty());
+        // baseline throughput inflated by 25%: current is >10% below it
+        let mut inflated = sample();
+        for e in &mut inflated.entries {
+            e.throughput_samples_per_sec *= 1.25;
+        }
+        let problems = current.check_against(&inflated, 10.0);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].contains("regressed"), "{problems:?}");
+        // inflated by only 5%: inside the 10% tolerance
+        let mut slight = sample();
+        for e in &mut slight.entries {
+            e.throughput_samples_per_sec *= 1.05;
+        }
+        assert!(current.check_against(&slight, 10.0).is_empty());
+        // baseline entry missing from the current run
+        let mut extra = sample();
+        extra.entries.push(BenchEntry {
+            name: "gone".into(),
+            world: 1,
+            global_batch: 1,
+            iters: 1,
+            throughput_samples_per_sec: 1.0,
+            phase_ms: vec![],
+            exposed_comm_fraction: 0.0,
+            cache_hit_rate: None,
+        });
+        let problems = current.check_against(&extra, 10.0);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("missing"), "{problems:?}");
+    }
+}

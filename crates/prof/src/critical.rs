@@ -1,0 +1,229 @@
+//! Cross-rank critical-path attribution for one iteration.
+//!
+//! The question Fig. 10 answers — *which phase on which rank bounds
+//! wall-clock?* — is answered here by walking the merged leaf-span
+//! timeline backwards from the latest end:
+//!
+//! 1. at time `t`, among leaf spans with `start < t <= end`, charge the
+//!    interval `[start, t]` to the span with the **latest start** (the
+//!    most immediate reason the iteration had not finished earlier), then
+//!    continue from that start;
+//! 2. when no span covers the instant before `t`, charge the gap back to
+//!    the latest earlier span end to [`IDLE`] (all ranks between phases —
+//!    in a rendezvous-based run this is pure scheduling overhead).
+//!
+//! `t` strictly decreases, so the walk terminates, the segments partition
+//! `[earliest start, latest end]` exactly (total == wall-clock), and no
+//! idle segment can overlap any span's own interval — which yields the
+//! invariants the property tests pin down: non-idle critical-path length
+//! is at least the longest single leaf span and at most the wall-clock.
+
+use crate::merge::MergedTimeline;
+
+/// Phase label for segments where no rank had a leaf span open.
+pub const IDLE: &str = "idle";
+
+/// One attributed interval of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Rank charged for the interval (0 for [`IDLE`] segments).
+    pub rank: u32,
+    /// Phase name, or [`IDLE`].
+    pub phase: &'static str,
+    /// Interval start, ns.
+    pub start_ns: u64,
+    /// Interval end, ns (exclusive; `end_ns > start_ns`).
+    pub end_ns: u64,
+}
+
+impl Segment {
+    /// Interval length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The critical path through one iteration.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Iteration index.
+    pub iter: u64,
+    /// Wall-clock covered, ns (latest leaf end − earliest leaf start).
+    pub wall_ns: u64,
+    /// Attributed segments in ascending time order; their durations sum
+    /// to exactly [`CriticalPath::wall_ns`].
+    pub segments: Vec<Segment>,
+}
+
+impl CriticalPath {
+    /// Total attributed to non-[`IDLE`] segments, ns.
+    pub fn busy_ns(&self) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.phase != IDLE)
+            .map(Segment::duration_ns)
+            .sum()
+    }
+
+    /// Total attributed to one phase across all segments, ns.
+    pub fn phase_ns(&self, name: &str) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.phase == name)
+            .map(Segment::duration_ns)
+            .sum()
+    }
+
+    /// `(phase, rank, total ns)` aggregated over segments, largest first;
+    /// [`IDLE`] rows keep rank 0.
+    pub fn by_phase(&self) -> Vec<(&'static str, u32, u64)> {
+        let mut acc: Vec<(&'static str, u32, u64)> = Vec::new();
+        for s in &self.segments {
+            if let Some(e) = acc
+                .iter_mut()
+                .find(|(n, r, _)| *n == s.phase && *r == s.rank)
+            {
+                e.2 += s.duration_ns();
+            } else {
+                acc.push((s.phase, s.rank, s.duration_ns()));
+            }
+        }
+        acc.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)).then(a.1.cmp(&b.1)));
+        acc
+    }
+
+    /// The `(phase, rank, ns)` contributing the most critical-path time,
+    /// ignoring [`IDLE`] — the phase that bounds this iteration.
+    pub fn bounding(&self) -> Option<(&'static str, u32, u64)> {
+        self.by_phase().into_iter().find(|(n, _, _)| *n != IDLE)
+    }
+}
+
+/// Computes the critical path of iteration `iter` from the merged
+/// timeline. Returns `None` when the iteration recorded no leaf spans;
+/// an iteration whose leaf spans are all zero-length yields an empty
+/// segment list with `wall_ns == 0`.
+pub fn critical_path(m: &MergedTimeline, iter: u64) -> Option<CriticalPath> {
+    let leaves = m.iteration_leaves(iter);
+    let (lo, hi) = m.iteration_wall_ns(iter)?;
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut t = hi;
+    while t > lo {
+        // active: covers the instant just before t
+        let active = leaves
+            .iter()
+            .filter(|s| s.start_ns < t && s.end_ns >= t)
+            .max_by_key(|s| (s.start_ns, s.rank));
+        if let Some(s) = active {
+            segments.push(Segment {
+                rank: s.rank,
+                phase: s.name,
+                start_ns: s.start_ns,
+                end_ns: t,
+            });
+            t = s.start_ns;
+        } else {
+            // nobody active: idle back to the latest earlier end
+            let prev = leaves
+                .iter()
+                .map(|s| s.end_ns)
+                .filter(|&e| e < t)
+                .max()
+                .unwrap_or(lo)
+                .max(lo);
+            segments.push(Segment {
+                rank: 0,
+                phase: IDLE,
+                start_ns: prev,
+                end_ns: t,
+            });
+            t = prev;
+        }
+    }
+    segments.reverse();
+    Some(CriticalPath {
+        iter,
+        wall_ns: hi - lo,
+        segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_telemetry::{phase, Snapshot, SpanRecord};
+
+    fn span(rank: u32, iter: u64, name: &'static str, s: u64, e: u64) -> SpanRecord {
+        SpanRecord {
+            rank,
+            iter,
+            name,
+            start_ns: s,
+            end_ns: e,
+        }
+    }
+
+    fn merged(spans: Vec<SpanRecord>) -> MergedTimeline {
+        MergedTimeline::from_snapshot(&Snapshot {
+            spans,
+            ..Snapshot::default()
+        })
+    }
+
+    #[test]
+    fn serial_single_rank_path_is_the_spans_themselves() {
+        let m = merged(vec![
+            span(0, 0, phase::FWD_BOTTOM_MLP, 0, 10),
+            span(0, 0, phase::EMB_LOOKUP, 10, 30),
+            span(0, 0, phase::TOP_MLP, 30, 35),
+        ]);
+        let cp = critical_path(&m, 0).expect("path");
+        assert_eq!(cp.wall_ns, 35);
+        assert_eq!(cp.busy_ns(), 35);
+        assert_eq!(cp.segments.len(), 3);
+        assert_eq!(cp.bounding(), Some((phase::EMB_LOOKUP, 0, 20)));
+        // segments are in ascending time order and partition the wall
+        for w in cp.segments.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns);
+        }
+    }
+
+    #[test]
+    fn straggler_rank_wins_the_path_and_gaps_become_idle() {
+        // rank 0 finishes early; rank 1 straggles in emb_lookup; then a
+        // gap before a final shared phase.
+        let m = merged(vec![
+            span(0, 3, phase::EMB_LOOKUP, 0, 10),
+            span(1, 3, phase::EMB_LOOKUP, 0, 40),
+            span(0, 3, phase::ALLTOALL_FWD, 50, 60),
+        ]);
+        let cp = critical_path(&m, 3).expect("path");
+        assert_eq!(cp.wall_ns, 60);
+        // [0,40] rank 1 lookup, [40,50] idle, [50,60] alltoall
+        assert_eq!(cp.phase_ns(phase::EMB_LOOKUP), 40);
+        assert_eq!(cp.phase_ns(IDLE), 10);
+        assert_eq!(cp.phase_ns(phase::ALLTOALL_FWD), 10);
+        assert_eq!(cp.bounding(), Some((phase::EMB_LOOKUP, 1, 40)));
+        assert_eq!(cp.busy_ns(), 50);
+    }
+
+    #[test]
+    fn overlapping_spans_charge_the_latest_start() {
+        // comm [0,30] overlapped by compute [10,30]: the walk charges
+        // compute for [10,30] (latest start) and comm only for [0,10].
+        let m = merged(vec![
+            span(0, 0, phase::ALLREDUCE, 0, 30),
+            span(0, 0, phase::TOP_MLP_BWD, 10, 30),
+        ]);
+        let cp = critical_path(&m, 0).expect("path");
+        assert_eq!(cp.phase_ns(phase::TOP_MLP_BWD), 20);
+        assert_eq!(cp.phase_ns(phase::ALLREDUCE), 10);
+        assert_eq!(cp.busy_ns(), 30);
+    }
+
+    #[test]
+    fn missing_iteration_yields_none() {
+        let m = merged(vec![span(0, 0, phase::TOP_MLP, 0, 5)]);
+        assert!(critical_path(&m, 9).is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Exposed vs. overlapped communication accounting (Fig. 14).
+//!
+//! The measured side comes straight from the merged span timeline: the
+//! per-rank execution in `trainer::sync` is strictly serial, so every
+//! communication nanosecond it records is *exposed* by construction, and
+//! the measured exposed-comm fraction is simply comm time over iteration
+//! time.
+//!
+//! The predicted side joins the same measured per-phase means onto
+//! [`neo_perfmodel::timeline::MEASURED_TEMPLATE`] by span name (the Fig. 9
+//! operator taxonomy) and computes:
+//!
+//! * [`ExposedComm::predicted_serial_fraction`] — the serialized-schedule
+//!   prediction, comparable to the measured fraction. The two differ only
+//!   by the iteration time not covered by any leaf span (loss math, span
+//!   bookkeeping), so they must agree within [`TOLERANCE`]; the quickstart
+//!   report asserts this and `crates/prof` documents it.
+//! * [`ExposedComm::predicted_overlap_fraction`] — what the Fig. 9
+//!   list-scheduler says the exposed fraction *would be* if compute,
+//!   memory and network overlapped as on the real machine: the headroom a
+//!   future overlapping trainer can claim.
+
+use crate::merge::MergedTimeline;
+use neo_perfmodel::timeline::{comm_exposure, measured_graph, serial_comm_fraction, simulate};
+use neo_telemetry::phase;
+
+/// Documented agreement bound between the measured exposed-comm fraction
+/// and the serialized-schedule prediction on the same run (absolute
+/// difference of the two fractions). The gap is exactly the iteration
+/// time outside any leaf span, which stays far below this on every
+/// pinned config.
+pub const TOLERANCE: f64 = 0.05;
+
+/// Exposed-communication report for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposedComm {
+    /// Mean iteration time per rank, ms (from the `iteration` bracket).
+    pub iter_ms: f64,
+    /// Mean communication time per iteration per rank, ms.
+    pub comm_ms: f64,
+    /// Measured exposed fraction: `comm_ms / iter_ms`.
+    pub measured_fraction: f64,
+    /// `(collective phase, mean ms per iteration per rank)`, largest
+    /// first, zero-cost collectives omitted.
+    pub per_collective: Vec<(String, f64)>,
+    /// Serialized-schedule prediction of the exposed fraction from the
+    /// joined Fig. 9 graph (see module docs); compare against
+    /// [`ExposedComm::measured_fraction`] within [`TOLERANCE`].
+    pub predicted_serial_fraction: f64,
+    /// Exposed fraction the overlapping list-scheduled Fig. 9 graph
+    /// predicts for the same measured durations (overlap headroom).
+    pub predicted_overlap_fraction: f64,
+}
+
+impl ExposedComm {
+    /// Absolute difference between measurement and serial prediction.
+    pub fn prediction_gap(&self) -> f64 {
+        (self.measured_fraction - self.predicted_serial_fraction).abs()
+    }
+
+    /// Whether the measurement agrees with the serial prediction within
+    /// [`TOLERANCE`].
+    pub fn within_tolerance(&self) -> bool {
+        self.prediction_gap() <= TOLERANCE
+    }
+}
+
+/// Computes the exposed-communication report from a merged timeline.
+/// Returns `None` when the timeline has no `iteration` bracket spans (an
+/// unarmed or empty run).
+pub fn exposed_comm(m: &MergedTimeline) -> Option<ExposedComm> {
+    let mut bracket_total_ns = 0u128;
+    let mut bracket_count = 0u64;
+    for iter in &m.iters {
+        for b in m.iteration_brackets(*iter) {
+            bracket_total_ns += b.duration_ns() as u128;
+            bracket_count += 1;
+        }
+    }
+    if bracket_count == 0 {
+        return None;
+    }
+    let iter_ms = bracket_total_ns as f64 / bracket_count as f64 * 1e-6;
+
+    let means = m.mean_phase_secs();
+    let mut per_collective: Vec<(String, f64)> = means
+        .iter()
+        .filter(|(n, _)| phase::COMM.contains(&n.as_str()))
+        .map(|(n, secs)| (n.clone(), secs * 1e3))
+        .filter(|(_, ms)| *ms > 0.0)
+        .collect();
+    per_collective.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let comm_ms: f64 = per_collective.iter().map(|(_, ms)| ms).sum();
+    let measured_fraction = if iter_ms > 0.0 {
+        (comm_ms / iter_ms).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    let ops = measured_graph(&means);
+    let predicted_serial_fraction = serial_comm_fraction(&ops);
+    let t = simulate(&ops);
+    let predicted_overlap_fraction = comm_exposure(&t, &ops).fraction_of(t.makespan);
+
+    Some(ExposedComm {
+        iter_ms,
+        comm_ms,
+        measured_fraction,
+        per_collective,
+        predicted_serial_fraction,
+        predicted_overlap_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neo_telemetry::{Snapshot, SpanRecord};
+
+    fn span(rank: u32, iter: u64, name: &'static str, s: u64, e: u64) -> SpanRecord {
+        SpanRecord {
+            rank,
+            iter,
+            name,
+            start_ns: s,
+            end_ns: e,
+        }
+    }
+
+    #[test]
+    fn serialized_timeline_measures_comm_over_wall() {
+        // One rank, one iteration, fully serial, no gaps: 40 ns of work,
+        // 15 ns of it communication.
+        let spans = vec![
+            span(0, 0, phase::ITERATION, 0, 40),
+            span(0, 0, phase::FWD_BOTTOM_MLP, 0, 10),
+            span(0, 0, phase::ALLTOALL_FWD, 10, 25),
+            span(0, 0, phase::TOP_MLP, 25, 40),
+        ];
+        let m = MergedTimeline::from_snapshot(&Snapshot {
+            spans,
+            ..Snapshot::default()
+        });
+        let e = exposed_comm(&m).expect("report");
+        assert!((e.measured_fraction - 15.0 / 40.0).abs() < 1e-9);
+        assert!((e.predicted_serial_fraction - 15.0 / 40.0).abs() < 1e-9);
+        assert!(e.within_tolerance(), "{e:?}");
+        assert_eq!(e.per_collective.len(), 1);
+        assert_eq!(e.per_collective[0].0, phase::ALLTOALL_FWD);
+        // the overlapping schedule can only hide comm, never add it
+        assert!(e.predicted_overlap_fraction <= e.predicted_serial_fraction + 1e-9);
+    }
+
+    #[test]
+    fn no_iteration_brackets_yields_none() {
+        let m = MergedTimeline::from_snapshot(&Snapshot {
+            spans: vec![span(0, 0, phase::TOP_MLP, 0, 5)],
+            ..Snapshot::default()
+        });
+        assert!(exposed_comm(&m).is_none());
+    }
+}

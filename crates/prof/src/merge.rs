@@ -1,0 +1,156 @@
+//! Cross-rank merge of a recorded span timeline.
+//!
+//! A [`neo_telemetry::Snapshot`] stores spans in per-rank completion
+//! order. [`MergedTimeline`] regroups them by iteration so the analyzers
+//! can look at one iteration across every rank at once, and separates
+//! *leaf* spans (phases that do work) from *aggregate* spans
+//! ([`neo_telemetry::phase::AGGREGATE`]: `iteration`, `backward`) that
+//! only bracket other phases — attributing time to both a parent and its
+//! children would double-count it.
+
+use neo_telemetry::{phase, Snapshot, SpanRecord};
+
+/// Span timeline regrouped by iteration, ranks merged.
+#[derive(Debug, Clone, Default)]
+pub struct MergedTimeline {
+    /// Number of ranks that recorded at least one span.
+    pub world: u32,
+    /// Distinct iteration indices, ascending.
+    pub iters: Vec<u64>,
+    spans: Vec<SpanRecord>,
+}
+
+impl MergedTimeline {
+    /// Folds a snapshot into the merged view.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let mut world = 0u32;
+        let mut iters: Vec<u64> = Vec::new();
+        for s in &snap.spans {
+            world = world.max(s.rank + 1);
+            if !iters.contains(&s.iter) {
+                iters.push(s.iter);
+            }
+        }
+        iters.sort_unstable();
+        Self {
+            world,
+            iters,
+            spans: snap.spans.clone(),
+        }
+    }
+
+    /// All spans, in record order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Leaf spans of one iteration across every rank (aggregate phases
+    /// excluded), in record order.
+    pub fn iteration_leaves(&self, iter: u64) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.iter == iter && !phase::AGGREGATE.contains(&s.name))
+            .collect()
+    }
+
+    /// The `iteration` bracket spans of one iteration (one per rank that
+    /// recorded it).
+    pub fn iteration_brackets(&self, iter: u64) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.iter == iter && s.name == phase::ITERATION)
+            .collect()
+    }
+
+    /// Wall-clock of one iteration across ranks: from the earliest leaf
+    /// start to the latest leaf end. `None` when the iteration recorded no
+    /// leaf spans.
+    pub fn iteration_wall_ns(&self, iter: u64) -> Option<(u64, u64)> {
+        let leaves = self.iteration_leaves(iter);
+        let lo = leaves.iter().map(|s| s.start_ns).min()?;
+        let hi = leaves.iter().map(|s| s.end_ns).max()?;
+        Some((lo, hi.max(lo)))
+    }
+
+    /// Mean duration in seconds of every leaf phase, averaged over ranks
+    /// and iterations — the join key for
+    /// [`neo_perfmodel::timeline::measured_graph`].
+    pub fn mean_phase_secs(&self) -> Vec<(String, f64)> {
+        let denom = (self.iters.len().max(1) * self.world.max(1) as usize) as f64;
+        let mut totals: Vec<(&'static str, u128)> = Vec::new();
+        for s in &self.spans {
+            if phase::AGGREGATE.contains(&s.name) {
+                continue;
+            }
+            if let Some(entry) = totals.iter_mut().find(|(n, _)| *n == s.name) {
+                entry.1 += s.duration_ns() as u128;
+            } else {
+                totals.push((s.name, s.duration_ns() as u128));
+            }
+        }
+        totals
+            .into_iter()
+            .map(|(n, ns)| (n.to_string(), ns as f64 / denom * 1e-9))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn span(rank: u32, iter: u64, name: &'static str, s: u64, e: u64) -> SpanRecord {
+        SpanRecord {
+            rank,
+            iter,
+            name,
+            start_ns: s,
+            end_ns: e,
+        }
+    }
+
+    #[test]
+    fn merge_groups_by_iteration_and_drops_aggregates_from_leaves() {
+        let snap = Snapshot {
+            spans: vec![
+                span(0, 0, phase::ITERATION, 0, 100),
+                span(0, 0, phase::EMB_LOOKUP, 10, 40),
+                span(1, 0, phase::TOP_MLP, 20, 60),
+                span(0, 1, phase::BACKWARD, 100, 150),
+                span(0, 1, phase::ALLREDUCE, 110, 130),
+            ],
+            ..Snapshot::default()
+        };
+        let m = MergedTimeline::from_snapshot(&snap);
+        assert_eq!(m.world, 2);
+        assert_eq!(m.iters, vec![0, 1]);
+        let leaves0 = m.iteration_leaves(0);
+        assert_eq!(leaves0.len(), 2);
+        assert!(leaves0.iter().all(|s| s.name != phase::ITERATION));
+        assert_eq!(m.iteration_brackets(0).len(), 1);
+        assert_eq!(m.iteration_wall_ns(0), Some((10, 60)));
+        assert_eq!(m.iteration_wall_ns(1), Some((110, 130)));
+        assert_eq!(m.iteration_wall_ns(7), None);
+    }
+
+    #[test]
+    fn mean_phase_secs_averages_over_ranks_and_iters() {
+        let snap = Snapshot {
+            spans: vec![
+                span(0, 0, phase::EMB_LOOKUP, 0, 2_000_000_000),
+                span(1, 0, phase::EMB_LOOKUP, 0, 4_000_000_000),
+                span(0, 1, phase::EMB_LOOKUP, 0, 2_000_000_000),
+                span(1, 1, phase::EMB_LOOKUP, 0, 4_000_000_000),
+                span(0, 0, phase::ITERATION, 0, 9_000_000_000),
+            ],
+            ..Snapshot::default()
+        };
+        let m = MergedTimeline::from_snapshot(&snap);
+        let means = m.mean_phase_secs();
+        assert_eq!(means.len(), 1, "aggregate excluded: {means:?}");
+        let (name, secs) = &means[0];
+        assert_eq!(name, phase::EMB_LOOKUP);
+        // 12 s total over 2 ranks x 2 iters
+        assert!((secs - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,243 @@
+//! The pinned benchmark suite behind `neo-xtask bench`.
+//!
+//! Cases (all deterministic configs, wall-clock measured live):
+//!
+//! * `quickstart_w{2,4,8}` — the quickstart model (8 tables, dim 16)
+//!   trained with the hybrid-parallel trainer at 2/4/8 simulated ranks,
+//!   quantized wire as in the quickstart (FP16 fwd / BF16 bwd).
+//! * `exposed_comm_fp32` — the `exposed_comm` bench configuration
+//!   (4 ranks, full-precision wire), whose exposed-comm fraction tracks
+//!   Fig. 14's before-overlap bar.
+//! * `tiered_cache` — the §4.1.3 tiered embedding store scanned with a
+//!   hot working set; contributes the cache-hit-rate column.
+//!
+//! Every case yields a [`BenchEntry`]; the suite returns a
+//! [`BenchReport`] ready to be written as `BENCH_<label>.json`.
+
+use std::time::Instant;
+
+use crate::benchfile::{BenchEntry, BenchReport};
+use crate::exposed::exposed_comm;
+use crate::merge::MergedTimeline;
+use neo_collectives::QuantMode;
+use neo_dataio::{SyntheticConfig, SyntheticDataset};
+use neo_dlrm_model::DlrmConfig;
+use neo_embeddings::store::{DenseStore, RowStore};
+use neo_embeddings::TieredStore;
+use neo_memory::Policy;
+use neo_sharding::{CostModel, Planner, PlannerConfig, TableSpec};
+use neo_telemetry::{metric, TelemetrySink};
+use neo_trainer::{SyncConfig, SyncTrainer};
+
+/// Knobs for the pinned suite (sizes only — the model shapes and wire
+/// precisions are pinned by the case definitions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteConfig {
+    /// Training iterations per case.
+    pub iters: u64,
+    /// Worlds for the quickstart-scaling cases.
+    pub worlds: Vec<usize>,
+    /// Global batch for the quickstart-scaling cases.
+    pub global_batch: usize,
+    /// Embedding rows per table for the quickstart-scaling cases.
+    pub rows: u64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            iters: 24,
+            worlds: vec![2, 4, 8],
+            global_batch: 256,
+            rows: 20_000,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// Shrunk suite for tests: one world, few iterations, small tables.
+    pub fn quick() -> Self {
+        Self {
+            iters: 4,
+            worlds: vec![2],
+            global_batch: 64,
+            rows: 2_000,
+        }
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Trains one pinned case and folds its telemetry into a [`BenchEntry`].
+fn train_case(
+    name: &str,
+    world: usize,
+    rows: u64,
+    global_batch: usize,
+    iters: u64,
+    quant: (QuantMode, QuantMode),
+) -> Result<BenchEntry, String> {
+    let model = DlrmConfig::tiny(8, rows, 16);
+    let specs: Vec<TableSpec> = model
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TableSpec::new(i, t.num_rows, t.dim, t.avg_pooling as f64))
+        .collect();
+    let plan = Planner::new(
+        CostModel::v100_prototype(global_batch),
+        PlannerConfig::default(),
+    )
+    .plan(&specs, world)
+    .map_err(|e| format!("{name}: planning failed: {e}"))?;
+    let ds = SyntheticDataset::new(SyntheticConfig::uniform(8, rows, 4, 4))
+        .map_err(|e| format!("{name}: dataset: {e}"))?;
+    let batches: Vec<_> = (0..iters).map(|k| ds.batch(global_batch, k)).collect();
+
+    let mut cfg = SyncConfig::exact(world, model, plan, global_batch);
+    cfg.quant_fwd = quant.0;
+    cfg.quant_bwd = quant.1;
+    cfg.telemetry = TelemetrySink::armed();
+    let out = SyncTrainer::new(cfg)
+        .train(&batches, &[], 0, None)
+        .map_err(|e| format!("{name}: training failed: {e}"))?;
+
+    let snap = out
+        .telemetry
+        .ok_or_else(|| format!("{name}: armed run produced no snapshot"))?;
+    let mut per_iter: Vec<f64> = snap
+        .gauges
+        .iter()
+        .find(|(k, _)| k == metric::TRAIN_THROUGHPUT)
+        .map(|(_, series)| series.iter().map(|&(_, v)| v).collect())
+        .unwrap_or_default();
+    let throughput = median(&mut per_iter);
+    let summary = out
+        .telemetry_summary
+        .ok_or_else(|| format!("{name}: armed run produced no summary"))?;
+    let merged = MergedTimeline::from_snapshot(&snap);
+    let exposed_comm_fraction = exposed_comm(&merged)
+        .map(|e| e.measured_fraction)
+        .unwrap_or(0.0);
+    Ok(BenchEntry {
+        name: name.to_string(),
+        world: world as u32,
+        global_batch,
+        iters,
+        throughput_samples_per_sec: throughput,
+        phase_ms: summary.phases.clone(),
+        exposed_comm_fraction,
+        cache_hit_rate: None,
+    })
+}
+
+/// Scans a [`TieredStore`] with a hot working set (half the cache) and a
+/// cold tail, measuring rows/sec per pass and the final hit rate.
+fn cache_case(iters: u64) -> BenchEntry {
+    const ROWS: usize = 8_192;
+    const DIM: usize = 16;
+    const CACHE_ROWS: usize = 1_024;
+    const ACCESSES_PER_PASS: usize = 16_384;
+
+    let backing = Box::new(DenseStore::zeros(ROWS as u64, DIM));
+    let mut store = TieredStore::new(backing, CACHE_ROWS, Policy::Lru);
+    let mut buf = [0.0f32; DIM];
+    let mut rates: Vec<f64> = Vec::new();
+    // deterministic LCG; 7 of 8 accesses land in the hot set
+    let mut state = 0x9e37_79b9_u64;
+    for _pass in 0..iters.max(1) {
+        let t0 = Instant::now();
+        for k in 0..ACCESSES_PER_PASS {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = if k % 8 == 7 {
+                (state >> 33) % ROWS as u64
+            } else {
+                (state >> 33) % (CACHE_ROWS as u64 / 2)
+            };
+            store.read_row(key, &mut buf);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        rates.push(ACCESSES_PER_PASS as f64 / dt.max(1e-9));
+    }
+    let stats = store.cache_stats();
+    BenchEntry {
+        name: "tiered_cache".to_string(),
+        world: 1,
+        global_batch: ACCESSES_PER_PASS,
+        iters: iters.max(1),
+        throughput_samples_per_sec: median(&mut rates),
+        phase_ms: Vec::new(),
+        exposed_comm_fraction: 0.0,
+        cache_hit_rate: Some(stats.hit_rate()),
+    }
+}
+
+/// Runs the pinned suite and returns the labelled report.
+pub fn run_suite(label: &str, cfg: &SuiteConfig) -> Result<BenchReport, String> {
+    let mut report = BenchReport::new(label);
+    for &world in &cfg.worlds {
+        report.entries.push(train_case(
+            &format!("quickstart_w{world}"),
+            world,
+            cfg.rows,
+            cfg.global_batch,
+            cfg.iters,
+            (QuantMode::Fp16, QuantMode::Bf16),
+        )?);
+    }
+    report.entries.push(train_case(
+        "exposed_comm_fp32",
+        4.min(cfg.worlds.iter().copied().max().unwrap_or(4)),
+        4_096.min(cfg.rows),
+        128.min(cfg.global_batch),
+        cfg.iters,
+        (QuantMode::Fp32, QuantMode::Fp32),
+    )?);
+    report.entries.push(cache_case(cfg.iters));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchfile::BENCH_SCHEMA_VERSION;
+    use neo_telemetry::phase;
+
+    #[test]
+    fn quick_suite_produces_a_schema_valid_report() {
+        let report = run_suite("test", &SuiteConfig::quick()).expect("suite");
+        assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
+        // 1 quickstart world + exposed_comm + cache
+        assert_eq!(report.entries.len(), 3, "{report:?}");
+        let round = BenchReport::parse(&report.to_json()).expect("round trip");
+        assert_eq!(round, report);
+        let q = &report.entries[0];
+        assert_eq!(q.name, "quickstart_w2");
+        assert!(q.throughput_samples_per_sec > 0.0);
+        assert!(q.exposed_comm_fraction > 0.0 && q.exposed_comm_fraction < 1.0);
+        assert!(q
+            .phase_ms
+            .iter()
+            .any(|(n, ms)| n == phase::ITERATION && *ms > 0.0));
+        let cache = report
+            .entries
+            .iter()
+            .find(|e| e.name == "tiered_cache")
+            .expect("cache entry");
+        let rate = cache.cache_hit_rate.expect("hit rate");
+        assert!(rate > 0.5 && rate <= 1.0, "hot-set scan should mostly hit");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the critical-path analyzer and the
+//! exposed-comm accounting (ISSUE 3 satellite: random multi-rank
+//! timelines obey the analyzer's structural invariants).
+
+use neo_prof::{critical_path, exposed_comm, MergedTimeline, IDLE};
+use neo_telemetry::{phase, Snapshot, SpanRecord};
+use proptest::prelude::*;
+
+/// Leaf phases the generators draw from (no aggregates).
+const LEAVES: &[&str] = &[
+    phase::FWD_BOTTOM_MLP,
+    phase::INPUT_A2A,
+    phase::EMB_LOOKUP,
+    phase::ALLTOALL_FWD,
+    phase::REDUCE_SCATTER,
+    phase::INTERACTION,
+    phase::TOP_MLP,
+    phase::TOP_MLP_BWD,
+    phase::ALLTOALL_BWD,
+    phase::SPARSE_OPTIM,
+    phase::ALLREDUCE,
+    phase::DENSE_OPTIM,
+];
+
+fn merged(spans: Vec<SpanRecord>) -> MergedTimeline {
+    MergedTimeline::from_snapshot(&Snapshot {
+        spans,
+        ..Snapshot::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On arbitrary multi-rank timelines: segments partition the wall
+    /// exactly (sum == wall-clock), and the non-idle critical-path length
+    /// is >= the longest single leaf span and <= the wall-clock.
+    #[test]
+    fn critical_path_is_bounded(
+        raw in proptest::collection::vec(
+            (0u32..4, 0usize..12, 0u64..1_000, 1u64..200),
+            1..40,
+        ),
+    ) {
+        let spans: Vec<SpanRecord> = raw
+            .iter()
+            .map(|&(rank, which, start, len)| SpanRecord {
+                rank,
+                iter: 0,
+                name: LEAVES[which % LEAVES.len()],
+                start_ns: start,
+                end_ns: start + len,
+            })
+            .collect();
+        let longest = spans.iter().map(|s| s.duration_ns()).max().unwrap_or(0);
+        let m = merged(spans);
+        let cp = critical_path(&m, 0).expect("non-empty timeline has a path");
+        let total: u64 = cp.segments.iter().map(|s| s.duration_ns()).sum();
+        prop_assert_eq!(total, cp.wall_ns, "segments partition the wall");
+        let busy = cp.busy_ns();
+        prop_assert!(busy <= cp.wall_ns);
+        prop_assert!(
+            busy >= longest,
+            "critical path {} shorter than longest span {}",
+            busy,
+            longest
+        );
+        // segments are contiguous and time-ordered
+        for w in cp.segments.windows(2) {
+            prop_assert_eq!(w[0].end_ns, w[1].start_ns);
+        }
+        // idle never overlaps any span's own interval
+        for seg in cp.segments.iter().filter(|s| s.phase == IDLE) {
+            for sp in m.spans() {
+                let overlap = seg.end_ns.min(sp.end_ns) > seg.start_ns.max(sp.start_ns);
+                prop_assert!(!overlap, "idle {seg:?} overlaps span {sp:?}");
+            }
+        }
+    }
+
+    /// A fully serialized timeline (spans back-to-back, one at a time)
+    /// exposes ALL communication: the critical path charges every comm
+    /// phase its full duration, there is no idle, and the measured
+    /// exposed-comm fraction equals comm time over wall time.
+    #[test]
+    fn serialized_timeline_exposes_all_comm(
+        lens in proptest::collection::vec((0usize..12, 1u64..500), 1..30),
+    ) {
+        let mut cursor = 0u64;
+        let mut spans = Vec::with_capacity(lens.len() + 1);
+        for &(which, len) in &lens {
+            spans.push(SpanRecord {
+                rank: 0,
+                iter: 0,
+                name: LEAVES[which % LEAVES.len()],
+                start_ns: cursor,
+                end_ns: cursor + len,
+            });
+            cursor += len;
+        }
+        let comm_total: u64 = spans
+            .iter()
+            .filter(|s| phase::COMM.contains(&s.name))
+            .map(|s| s.duration_ns())
+            .sum();
+        // bracket the run so exposed_comm has an iteration wall
+        spans.push(SpanRecord {
+            rank: 0,
+            iter: 0,
+            name: phase::ITERATION,
+            start_ns: 0,
+            end_ns: cursor,
+        });
+        let m = merged(spans);
+
+        let cp = critical_path(&m, 0).expect("path");
+        prop_assert_eq!(cp.phase_ns(IDLE), 0, "serial timeline has no gaps");
+        let comm_on_path: u64 = phase::COMM.iter().map(|c| cp.phase_ns(c)).sum();
+        prop_assert_eq!(comm_on_path, comm_total, "all comm time is exposed");
+
+        let e = exposed_comm(&m).expect("bracketed run reports");
+        let expected = comm_total as f64 / cursor as f64;
+        prop_assert!(
+            (e.measured_fraction - expected).abs() < 1e-9,
+            "measured {} != comm/wall {}",
+            e.measured_fraction,
+            expected
+        );
+    }
+}

@@ -38,6 +38,7 @@ impl Snapshot {
     ///   "counters": {"name": 1},
     ///   "gauges": {"name": [[iter, value]]},
     ///   "histograms": {"name": {"total": n, "sum": s, "mean": m,
+    ///                            "p50": q, "p95": q, "p99": q,
     ///                            "buckets": [[bucket_lo, count]]}},
     ///   "spans": [{"rank": 0, "iter": 0, "name": "...",
     ///              "start_ns": 0, "end_ns": 1}]
@@ -87,6 +88,10 @@ impl Snapshot {
                 h.sum()
             ));
             push_json_f64(&mut out, h.mean());
+            for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                out.push_str(&format!(", \"{label}\": "));
+                push_json_f64(&mut out, h.quantile(q));
+            }
             out.push_str(", \"buckets\": [");
             for (j, (lo, count)) in h.nonzero_buckets().iter().enumerate() {
                 if j > 0 {
@@ -119,13 +124,28 @@ impl Snapshot {
     /// Serialize spans as Chrome trace-event JSON ("X" complete events,
     /// microsecond timestamps, `pid` 0, `tid` = rank). Loadable in
     /// `chrome://tracing` and <https://ui.perfetto.dev>.
+    ///
+    /// The stream opens with `process_name` / `thread_name` metadata ("M")
+    /// events so Perfetto labels the training job and each rank instead of
+    /// showing bare pid/tid numbers.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
-        for (i, s) in self.spans.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
+        out.push_str(
+            "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \
+             \"args\": {\"name\": \"neo-dlrm training\"}}",
+        );
+        let mut ranks: Vec<u32> = self.spans.iter().map(|s| s.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        for r in &ranks {
+            out.push_str(&format!(
+                ",\n  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \
+                 \"tid\": {r}, \"args\": {{\"name\": \"rank {r}\"}}}}"
+            ));
+        }
+        for s in &self.spans {
+            out.push(',');
             out.push_str("\n  {\"name\": ");
             push_json_string(&mut out, s.name);
             out.push_str(", \"cat\": \"neo\", \"ph\": \"X\", \"ts\": ");
@@ -223,12 +243,72 @@ mod tests {
             .and_then(Json::as_array)
             .cloned()
             .unwrap_or_default();
-        assert_eq!(events.len(), 2);
-        for ev in &events {
-            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        // 2 spans + process_name + one thread_name (single rank)
+        assert_eq!(events.len(), 4);
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        for ev in &spans {
             assert!(ev.get("ts").and_then(Json::as_f64).is_some());
             assert!(ev.get("dur").and_then(Json::as_f64).is_some());
             assert_eq!(ev.get("tid").and_then(Json::as_f64), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_labels_process_and_ranks() {
+        let text = sample_sink().export_chrome_trace().unwrap_or_default();
+        let doc = json::parse(&text).unwrap_or(Json::Null);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .cloned()
+            .unwrap_or_default();
+        let meta: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2, "process_name + thread_name for rank 1");
+        let proc_label = meta
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .and_then(|e| e.get("args"))
+            .and_then(|a| a.get("name"))
+            .and_then(Json::as_str);
+        assert_eq!(proc_label, Some("neo-dlrm training"));
+        let thread = meta
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .copied();
+        assert_eq!(
+            thread.and_then(|e| e.get("tid")).and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            thread
+                .and_then(|e| e.get("args"))
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("rank 1")
+        );
+    }
+
+    #[test]
+    fn summary_json_carries_percentiles() {
+        let sink = TelemetrySink::armed();
+        for v in [4u64, 5, 6, 7] {
+            sink.histogram_observe("h.ns", v);
+        }
+        let text = sink.export_json().unwrap_or_default();
+        let doc = json::parse(&text).unwrap_or(Json::Null);
+        let hist = doc.get("histograms").and_then(|h| h.get("h.ns"));
+        let p50 = hist.and_then(|h| h.get("p50")).and_then(Json::as_f64);
+        assert_eq!(p50, Some(5.5));
+        for key in ["p95", "p99"] {
+            let v = hist.and_then(|h| h.get(key)).and_then(Json::as_f64);
+            assert!(v.is_some_and(|v| (4.0..=7.0).contains(&v)), "{key}: {v:?}");
         }
     }
 

@@ -34,3 +34,24 @@ pub fn comm_calls(op: &str) -> String {
 pub fn comm_latency_ns(op: &str) -> String {
     format!("comm.{op}.ns")
 }
+
+/// Counter name for cache hits under `prefix`: `<prefix>.cache_hit`.
+pub fn cache_hit(prefix: &str) -> String {
+    format!("{prefix}.cache_hit")
+}
+
+/// Counter name for cache misses under `prefix`: `<prefix>.cache_miss`.
+pub fn cache_miss(prefix: &str) -> String {
+    format!("{prefix}.cache_miss")
+}
+
+/// Counter name for cache evictions under `prefix`: `<prefix>.cache_evict`.
+pub fn cache_evict(prefix: &str) -> String {
+    format!("{prefix}.cache_evict")
+}
+
+/// Counter name for dirty writebacks under `prefix`:
+/// `<prefix>.cache_writeback`.
+pub fn cache_writeback(prefix: &str) -> String {
+    format!("{prefix}.cache_writeback")
+}

@@ -47,6 +47,49 @@ impl Histogram {
         }
     }
 
+    /// Inclusive upper bound of bucket `i` (the last bucket absorbs
+    /// everything up to `u64::MAX`).
+    pub fn bucket_hi(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= NUM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`, clamped) via within-bucket
+    /// linear interpolation.
+    ///
+    /// The k-th smallest observation (`k = ceil(q * total)`, at least 1) is
+    /// located by cumulative bucket counts; the estimate interpolates
+    /// between the bucket's edges by the observation's position within the
+    /// bucket. The estimate therefore always lies inside the edges of the
+    /// bucket holding the true empirical quantile (log2 buckets bound the
+    /// relative error by 2x). Returns 0.0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let k = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= k {
+                let lo = Self::bucket_lo(i) as f64;
+                let hi = Self::bucket_hi(i) as f64;
+                let within = (k - seen) as f64 / c as f64;
+                return lo + (hi - lo) * within;
+            }
+            seen += c;
+        }
+        Self::bucket_hi(NUM_BUCKETS - 1) as f64
+    }
+
     /// Record one observation.
     pub fn observe(&mut self, value: u64) {
         self.counts[Self::bucket_index(value)] += 1;
@@ -177,6 +220,35 @@ mod tests {
         assert_eq!(h.sum(), 16);
         assert!((h.mean() - 4.0).abs() < 1e-12);
         assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_hi_complements_bucket_lo() {
+        assert_eq!(Histogram::bucket_hi(0), 0);
+        assert_eq!(Histogram::bucket_hi(NUM_BUCKETS - 1), u64::MAX);
+        for i in 1..NUM_BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_hi(i) + 1, Histogram::bucket_lo(i + 1));
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        // 4 observations all in bucket [4, 7]
+        for v in [4u64, 5, 6, 7] {
+            h.observe(v);
+        }
+        // p50 -> 2nd of 4 in the bucket: 4 + 3 * 2/4 = 5.5
+        assert!((h.quantile(0.5) - 5.5).abs() < 1e-9);
+        // p100 -> bucket upper edge
+        assert!((h.quantile(1.0) - 7.0).abs() < 1e-9);
+        // p0 clamps to the first observation's position
+        assert!(h.quantile(0.0) > 4.0 - 1e-9);
+        // zeros live in the zero-width bucket 0
+        let mut z = Histogram::default();
+        z.observe(0);
+        assert_eq!(z.quantile(0.99), 0.0);
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub const COMM: &[&str] = &[
     ALLREDUCE_BOT,
 ];
 
+/// Aggregate phases that contain other phases rather than doing work
+/// themselves; critical-path attribution skips them so time is never
+/// double-counted against both a parent and its leaf spans.
+pub const AGGREGATE: &[&str] = &[ITERATION, BACKWARD];
+
 /// True when `name` belongs to the shared taxonomy.
 pub fn is_known(name: &str) -> bool {
     ALL.contains(&name)

@@ -89,7 +89,39 @@ proptest! {
             .get("traceEvents")
             .and_then(json::Json::as_array)
             .map(Vec::len);
-        prop_assert_eq!(events, Some(spans.len()));
+        // One process_name metadata event, one thread_name per distinct
+        // rank, then one "X" event per span.
+        let mut ranks: Vec<u32> = spans.iter().map(|&(r, _, _)| r).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        prop_assert_eq!(events, Some(1 + ranks.len() + spans.len()));
+    }
+
+    /// The interpolated quantile estimate is bounded by the edges of the
+    /// bucket that holds the true k-th smallest observation
+    /// (`k = ceil(q * total)`, at least 1).
+    #[test]
+    fn quantile_bounded_by_true_bucket_edges(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::default();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let k = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let true_kth = sorted[k - 1];
+        let bucket = Histogram::bucket_index(true_kth);
+        let lo = Histogram::bucket_lo(bucket) as f64;
+        let hi = Histogram::bucket_hi(bucket) as f64;
+        let est = h.quantile(q);
+        prop_assert!(
+            est >= lo && est <= hi,
+            "q={} est={} outside bucket [{}, {}] of true value {}",
+            q, est, lo, hi, true_kth
+        );
     }
 }
 

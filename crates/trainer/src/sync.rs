@@ -39,7 +39,7 @@ use neo_embeddings::bag::{fused_backward_grads, pooled_forward};
 use neo_embeddings::store::{DenseStore, HalfStore, RowStore};
 use neo_embeddings::{RowWiseAdagrad, SparseAdagrad, SparseGrad, SparseOptimizer, SparseSgd};
 use neo_sharding::{Scheme, ShardingPlan};
-use neo_telemetry::{metric, phase, RankRecorder, TelemetrySink, TelemetrySummary};
+use neo_telemetry::{metric, phase, RankRecorder, Snapshot, TelemetrySink, TelemetrySummary};
 use neo_tensor::mlp::{Activation, Mlp, MlpConfig};
 use neo_tensor::Tensor2;
 use rand::SeedableRng;
@@ -217,6 +217,9 @@ pub struct TrainOutput {
     /// Aggregate per-phase timing summary, when [`SyncConfig::telemetry`]
     /// was armed for the run.
     pub telemetry_summary: Option<TelemetrySummary>,
+    /// Full metric/span snapshot for offline analysis (`neo-prof`), when
+    /// [`SyncConfig::telemetry`] was armed for the run.
+    pub telemetry: Option<Snapshot>,
 }
 
 impl fmt::Display for TrainOutput {
@@ -927,7 +930,9 @@ impl Worker {
         self.backward_update(&sub, &grad)?;
         // global mean loss (sub-batches are equal-sized)
         let mut l = vec![loss];
+        let sp = self.rec.span(phase::ALLREDUCE);
         self.comm.all_reduce_mean(&mut l)?;
+        drop(sp);
         if let Some(ns) = iter_span.end() {
             // rank 0 owns the global gauges (loss is already all-reduced)
             if self.rank == 0 {
@@ -1266,6 +1271,7 @@ impl SyncTrainer {
             comm,
             final_model,
             telemetry_summary: cfg.telemetry.summary(),
+            telemetry: cfg.telemetry.snapshot(),
         })
     }
 }
@@ -1422,6 +1428,9 @@ mod tests {
         assert_eq!(summary.iterations, iters);
         assert!(summary.phase_ms(phase::ITERATION).unwrap_or(0.0) > 0.0);
         assert!(out.to_string().contains("telemetry:"), "{out}");
+        // The full snapshot rides on TrainOutput for offline analysis.
+        let carried = out.telemetry.as_ref().expect("snapshot present");
+        assert_eq!(carried.spans.len(), snap.spans.len());
     }
 
     /// Single-device reference training with the same math.

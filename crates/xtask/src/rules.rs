@@ -1,4 +1,4 @@
-//! The five workspace invariants, as pure functions over [`SourceFile`]s.
+//! The six workspace invariants, as pure functions over [`SourceFile`]s.
 //!
 //! Rule names (used in `// lint: allow(<rule>) — <reason>` annotations):
 //!
@@ -10,6 +10,8 @@
 //! | `props_cover` | every `pub fn` of collectives group.rs named in props.rs    |
 //! | `span_balance`| telemetry span guards are bound, and begin/end_iteration    |
 //! |               | calls are balanced per file                                 |
+//! | `metric_names`| metric registrations use `neo_telemetry::metric` constants/ |
+//! |               | helpers, not inline string literals                         |
 
 use crate::scan::{Diagnostic, SourceFile};
 
@@ -313,6 +315,65 @@ pub fn check_span_balance(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+/// Metric-registration calls governed by rule `metric_names`.
+const METRIC_CALLS: &[&str] = &[".counter_add(", ".gauge_push(", ".histogram_observe("];
+
+/// Rule `metric_names`: metric registrations must name their metric via
+/// the constants/helpers in `crates/telemetry/src/metric.rs`, not inline
+/// string literals. An inline literal drifts silently from the canonical
+/// taxonomy; a constant can't. The check is line-based: a registration
+/// call whose argument region (up to the matching `)` or end of line)
+/// still contains a `"` after string *contents* are blanked carries a
+/// literal. Waive with `// lint: allow(metric_names) — <reason>`.
+pub fn check_metric_names(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (ln, code) in file.code.iter().enumerate() {
+        if file.in_test[ln] || file.allows(ln, "metric_names") {
+            continue;
+        }
+        for call in METRIC_CALLS {
+            let Some(at) = token_match(code, call) else {
+                continue;
+            };
+            // definitions (`fn counter_add(`) are not registrations
+            if token_match(code, &format!("fn {}", &call[1..])).is_some() {
+                continue;
+            }
+            let open = at + call.len() - 1;
+            let mut depth = 0usize;
+            let mut end = code.len();
+            for (i, c) in code[open..].char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end = open + i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if code[open..end].contains('"') {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: ln + 1,
+                    rule: "metric_names",
+                    message: format!(
+                        "metric registered with an inline string literal; use a \
+                         constant or helper from `neo_telemetry::metric` (`{}`), \
+                         or add `// lint: allow(metric_names) — <reason>`",
+                        call.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                });
+                break; // one diagnostic per line is enough
+            }
+        }
+    }
+    out
+}
+
 /// Rule `crate_header`: crate roots must carry both
 /// `#![forbid(unsafe_code)]` and a deny-warnings header.
 pub fn check_crate_header(file: &SourceFile) -> Vec<Diagnostic> {
@@ -505,6 +566,25 @@ mod tests {
              fn e(r: &RankRecorder) { r.end_iteration(); }\n",
         );
         assert!(check_span_balance(&balanced).is_empty());
+    }
+
+    #[test]
+    fn metric_names_flags_inline_literals_and_respects_waivers() {
+        let f = file(
+            "fn a(s: &Sink) { s.counter_add(\"my.counter\", 1); }\n\
+             fn b(s: &Sink) { s.counter_add(metric::EMB_LOOKUP_ROWS, 1); }\n\
+             fn c(s: &Sink) { s.gauge_push(&metric::comm_bytes(op), 0, 1.0); }\n\
+             fn d(s: &Sink) { s.histogram_observe(&format!(\"{p}.ns\"), 7); }\n\
+             // lint: allow(metric_names) — bridging an external name verbatim\n\
+             fn e(s: &Sink) { s.counter_add(\"ext.name\", 1); }\n\
+             pub fn counter_add(&self, name: &str, delta: u64) { self.add(name, delta) }\n\
+             #[cfg(test)]\nmod t { fn t(s: &Sink) { s.counter_add(\"test.only\", 1); } }\n",
+        );
+        let diags = check_metric_names(&f);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 4);
+        assert!(diags[0].message.contains("counter_add"));
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! With `--telemetry <out.json>` the run arms the metrics registry and
 //! writes two artifacts: the metrics/span summary to `<out.json>`, and a
 //! Chrome trace (load it at `chrome://tracing` or <https://ui.perfetto.dev>)
-//! to `<out.json>` with the extension replaced by `.trace.json`.
+//! to `<out.json>` with the extension replaced by `.trace.json`. It also
+//! prints the `neo-prof` cross-rank report: the phase bounding each
+//! iteration's critical path, per-phase rank skew, and the exposed-comm
+//! fraction measured against the perfmodel prediction.
 
 use neo_dlrm::prelude::*;
 
@@ -71,6 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = telemetry_path {
         if let Some(summary) = &out.telemetry_summary {
             println!("{summary}");
+        }
+        // cross-rank critical path + exposed-comm analysis (neo-prof)
+        if let Some(report) = out.telemetry.as_ref().and_then(analyze) {
+            println!("{report}");
         }
         let json = sink.export_json().ok_or("telemetry sink was not armed")?;
         std::fs::write(&path, json)?;

@@ -17,6 +17,7 @@
 //! | [`trainer`] | `neo-trainer` | §3 sync hybrid-parallel trainer + PS baseline |
 //! | [`perfmodel`] | `neo-perfmodel` | §5.1 Eq. 1 roofline, Appendix A |
 //! | [`telemetry`] | `neo-telemetry` | §5.2 per-iteration breakdowns, Fig. 14 |
+//! | [`prof`] | `neo-prof` | cross-rank critical path, exposed comm, bench suite |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use neo_embeddings as embeddings;
 pub use neo_memory as memory;
 pub use neo_netsim as netsim;
 pub use neo_perfmodel as perfmodel;
+pub use neo_prof as prof;
 pub use neo_sharding as sharding;
 pub use neo_telemetry as telemetry;
 pub use neo_tensor as tensor;
@@ -72,6 +74,7 @@ pub mod prelude {
     pub use neo_memory::{MemoryHierarchy, Policy, SetAssocCache, UvmPageCache};
     pub use neo_netsim::{ClusterTopology, CollectiveCost, CollectiveKind};
     pub use neo_perfmodel::{DeviceProfile, IterationModel, ModelScenario};
+    pub use neo_prof::{analyze, BenchReport, ProfReport, SuiteConfig};
     pub use neo_sharding::{CostModel, Planner, PlannerConfig, Scheme, ShardingPlan, TableSpec};
     pub use neo_telemetry::{phase, TelemetrySink, TelemetrySummary};
     pub use neo_tensor::{Tensor2, F16};
