@@ -6,6 +6,8 @@ use std::sync::{Arc, Barrier};
 use neo_telemetry::{metric, TelemetrySink};
 use parking_lot::Mutex;
 
+use crate::delay::CommDelay;
+use crate::nonblocking::Lane;
 use crate::quant::{QuantError, QuantMode};
 
 /// Error from a collective operation.
@@ -28,6 +30,12 @@ pub enum CollectiveError {
     },
     /// A quantized collective was asked for an impossible wire conversion.
     Quant(QuantError),
+    /// A nonblocking collective's comm lane shut down before delivering
+    /// the result (its thread panicked or the group was torn down).
+    LaneClosed {
+        /// The collective being executed.
+        op: &'static str,
+    },
 }
 
 impl std::fmt::Display for CollectiveError {
@@ -43,6 +51,9 @@ impl std::fmt::Display for CollectiveError {
                 write!(f, "payload type mismatch in collective {op}")
             }
             CollectiveError::Quant(e) => write!(f, "quantized collective: {e}"),
+            CollectiveError::LaneClosed { op } => {
+                write!(f, "comm lane closed before {op} completed")
+            }
         }
     }
 }
@@ -77,10 +88,20 @@ struct Deposit {
     payload: Box<dyn Any + Send>,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     world: usize,
     barrier: Barrier,
     slots: Mutex<Vec<Option<Deposit>>>,
+}
+
+impl Shared {
+    fn new(world: usize) -> Arc<Self> {
+        Arc::new(Shared {
+            world,
+            barrier: Barrier::new(world),
+            slots: Mutex::new((0..world).map(|_| None).collect()),
+        })
+    }
 }
 
 /// Factory for the per-rank [`Communicator`] handles of a group.
@@ -99,17 +120,19 @@ impl ProcessGroup {
     #[allow(clippy::new_ret_no_self)] // deliberately a factory: one handle per rank
     pub fn new(world: usize) -> Vec<Communicator> {
         assert!(world > 0, "process group needs at least one rank");
-        let shared = Arc::new(Shared {
-            world,
-            barrier: Barrier::new(world),
-            slots: Mutex::new((0..world).map(|_| None).collect()),
-        });
+        let shared = Shared::new(world);
+        // Nonblocking collectives rendezvous through a second, independent
+        // shared state so an in-flight posted op can never cross-match a
+        // blocking op issued concurrently on the main thread.
+        let lane_shared = Shared::new(world);
         (0..world)
             .map(|rank| Communicator {
                 rank,
                 shared: Arc::clone(&shared),
                 stats: CommStats::default(),
                 telemetry: TelemetrySink::disabled(),
+                delay: None,
+                lane: Some(Lane::spawn(rank, Arc::clone(&lane_shared))),
             })
             .collect()
     }
@@ -121,10 +144,27 @@ impl ProcessGroup {
 /// same operation (enforced at runtime — a mismatch panics with the two
 /// operation names). Calls block until every rank has arrived.
 pub struct Communicator {
-    rank: usize,
+    pub(crate) rank: usize,
     shared: Arc<Shared>,
-    stats: CommStats,
-    telemetry: TelemetrySink,
+    pub(crate) stats: CommStats,
+    pub(crate) telemetry: TelemetrySink,
+    delay: Option<CommDelay>,
+    pub(crate) lane: Option<Lane>,
+}
+
+impl Communicator {
+    /// A communicator over `shared` with no comm lane of its own — the
+    /// endpoint a [`Lane`] thread drives on behalf of its owning rank.
+    pub(crate) fn lane_endpoint(rank: usize, shared: Arc<Shared>) -> Self {
+        Communicator {
+            rank,
+            shared,
+            stats: CommStats::default(),
+            telemetry: TelemetrySink::disabled(),
+            delay: None,
+            lane: None,
+        }
+    }
 }
 
 impl std::fmt::Debug for Communicator {
@@ -159,16 +199,39 @@ impl Communicator {
     /// `comm.<op>.bytes` / `comm.<op>.calls` counters and a
     /// `comm.<op>.ns` latency histogram (which includes rendezvous wait,
     /// i.e. the *exposed* cost of the collective on this rank).
+    /// Nonblocking collectives additionally record their exchange span on
+    /// the rank's comm lane (lane 1) and a `comm.<op>.wait_ns` histogram
+    /// at [`crate::CommHandle::wait`].
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
-        self.telemetry = sink;
+        self.telemetry = sink.clone();
+        if let Some(lane) = &self.lane {
+            lane.set_telemetry(sink);
+        }
+    }
+
+    /// Attach (or with `None` detach) an opt-in latency injector: every
+    /// collective then sleeps the modeled wire time of its payload before
+    /// the rendezvous, on whichever thread runs the exchange — the caller
+    /// for blocking collectives, the comm lane for posted ones. Off by
+    /// default; when off this costs nothing (no clock reads, no sleeps)
+    /// and injected delay never changes exchanged values.
+    pub fn set_comm_delay(&mut self, delay: Option<CommDelay>) {
+        self.delay = delay;
+        if let Some(lane) = &self.lane {
+            lane.set_comm_delay(delay);
+        }
     }
 
     /// Account payload bytes to [`CommStats`] and, when armed, to the
-    /// per-op telemetry counter.
+    /// per-op telemetry counter; then inject the modeled wire latency for
+    /// the payload if a [`CommDelay`] is attached.
     fn note_bytes(&mut self, op: &'static str, bytes: u64) {
         self.stats.bytes_sent += bytes;
         if self.telemetry.enabled() {
             self.telemetry.counter_add(&metric::comm_bytes(op), bytes);
+        }
+        if let Some(d) = &self.delay {
+            d.inject(bytes);
         }
     }
 

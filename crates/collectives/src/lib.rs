@@ -17,6 +17,18 @@
 //! The [`quant`] module adds the FP16/BF16 quantized transfers of §5.3.2,
 //! with per-rank byte accounting so tests can verify the volume savings.
 //!
+//! Two facilities support the overlapped (Fig. 9) training schedule:
+//!
+//! * **Nonblocking collectives** — `Communicator::post_all_to_all_v` /
+//!   `post_all_to_all_v_quant` / `post_all_reduce` ship the exchange to a
+//!   dedicated per-rank comm-lane thread and return a [`CommHandle`] to
+//!   `wait` on, so comm overlaps compute (and blocking main-lane
+//!   collectives) on the wall clock.
+//! * **Latency injection** — an opt-in [`CommDelay`] derived from a
+//!   `neo_netsim::ClusterTopology` link sleeps the modeled wire time per
+//!   op, giving the shared-memory collectives realistic, overlappable
+//!   cost. Off by default and wall-clock only: values never change.
+//!
 //! # Example
 //!
 //! ```
@@ -43,8 +55,12 @@
 #![deny(warnings)]
 #![deny(missing_docs)]
 
+mod delay;
 mod group;
+mod nonblocking;
 pub mod quant;
 
+pub use delay::CommDelay;
 pub use group::{CollectiveError, CommStats, Communicator, ProcessGroup};
+pub use nonblocking::{CommHandle, COMM_LANE};
 pub use quant::{QuantError, QuantMode};

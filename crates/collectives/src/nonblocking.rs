@@ -1,0 +1,390 @@
+//! Nonblocking collectives: a `post` / [`CommHandle::wait`] split.
+//!
+//! The paper's pipelining optimizations (§4.3, Fig. 9) require collectives
+//! that make progress while the issuing thread computes. Here each rank
+//! owns a dedicated **comm lane**: a thread driving a second, independent
+//! rendezvous group, so posted exchanges overlap both the caller's compute
+//! and any blocking collectives issued concurrently on the main lane.
+//!
+//! Contract: all ranks must post the same nonblocking collectives in the
+//! same order (they rendezvous FIFO on the lane), exactly as blocking
+//! collectives must be issued in the same order on the main thread. The
+//! result arrives through a [`CommHandle`], whose `wait` records a
+//! `comm.<op>.wait_ns` histogram — the *exposed* remainder of the op,
+//! as opposed to the in-collective time measured on the lane.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use neo_telemetry::{metric, RankRecorder, TelemetrySink};
+
+use crate::delay::CommDelay;
+use crate::group::{CollectiveError, Communicator, Shared};
+use crate::quant::QuantMode;
+
+/// Telemetry lane index comm-lane spans are recorded on (0 = main thread).
+pub const COMM_LANE: u32 = 1;
+
+/// Jobs queued per lane before `post` blocks; posts are waited within an
+/// iteration so the queue never builds more than a few entries.
+const LANE_QUEUE: usize = 32;
+
+type Job = Box<dyn FnOnce(&mut LaneCtx) + Send>;
+
+/// State owned by one rank's comm-lane thread.
+struct LaneCtx {
+    comm: Communicator,
+    rec: RankRecorder,
+}
+
+/// Handle to one rank's comm-lane thread.
+pub(crate) struct Lane {
+    tx: Sender<Job>,
+}
+
+impl Lane {
+    /// Spawns the lane thread for `rank` over the lane-side rendezvous
+    /// state. The thread exits when the owning [`Communicator`] is
+    /// dropped (the job channel disconnects).
+    pub(crate) fn spawn(rank: usize, shared: Arc<Shared>) -> Self {
+        let (tx, rx) = bounded::<Job>(LANE_QUEUE);
+        std::thread::spawn(move || {
+            let mut ctx = LaneCtx {
+                comm: Communicator::lane_endpoint(rank, shared),
+                rec: RankRecorder::disabled(),
+            };
+            while let Ok(job) = rx.recv() {
+                job(&mut ctx);
+            }
+        });
+        Self { tx }
+    }
+
+    fn send(&self, job: Job) {
+        // A failed send means the lane thread is gone; the poster's
+        // CommHandle will surface LaneClosed at wait time.
+        let _ = self.tx.send(job);
+    }
+
+    /// Point the lane's telemetry at `sink`; lane spans land on
+    /// `(rank, COMM_LANE)`.
+    pub(crate) fn set_telemetry(&self, sink: TelemetrySink) {
+        self.send(Box::new(move |ctx| {
+            ctx.rec = sink.rank_lane(ctx.comm.rank as u32, COMM_LANE);
+            ctx.comm.set_telemetry(sink);
+        }));
+    }
+
+    /// Forward the latency injector to the lane endpoint, so posted ops
+    /// pay the modeled wire time on the lane thread (overlappable) rather
+    /// than on the caller.
+    pub(crate) fn set_comm_delay(&self, delay: Option<CommDelay>) {
+        self.send(Box::new(move |ctx| ctx.comm.set_comm_delay(delay)));
+    }
+}
+
+/// Pending result of a posted collective. Obtain via the `post_*` methods
+/// on [`Communicator`]; redeem with [`CommHandle::wait`].
+#[must_use = "a posted collective must be waited on; dropping the handle discards its result"]
+pub struct CommHandle<R> {
+    rx: Receiver<Result<R, CollectiveError>>,
+    op: &'static str,
+    telemetry: TelemetrySink,
+}
+
+impl<R> std::fmt::Debug for CommHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommHandle").field("op", &self.op).finish()
+    }
+}
+
+impl<R> CommHandle<R> {
+    /// Blocks until the posted collective completes and returns its
+    /// result. When telemetry is armed, the time spent blocked here is
+    /// recorded as `comm.<op>.wait_ns` — zero when compute fully hid the
+    /// exchange, the op's exposed remainder otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the posted collective's error, or
+    /// [`CollectiveError::LaneClosed`] if the lane died first.
+    pub fn wait(self) -> Result<R, CollectiveError> {
+        let t0 = self.telemetry.now_ns();
+        let res = match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(CollectiveError::LaneClosed { op: self.op }),
+        };
+        if let (Some(t0), Some(t1)) = (t0, self.telemetry.now_ns()) {
+            self.telemetry
+                .histogram_observe(&metric::comm_wait_ns(self.op), t1.saturating_sub(t0));
+        }
+        res
+    }
+}
+
+impl Communicator {
+    /// Ship `run` to the comm lane, returning the handle its result will
+    /// arrive through. The lane brackets the exchange in a span named
+    /// `span_name` attributed to `iter` on telemetry lane [`COMM_LANE`].
+    fn post<R: Send + 'static>(
+        &mut self,
+        op: &'static str,
+        span_name: &'static str,
+        iter: u64,
+        run: impl FnOnce(&mut Communicator) -> Result<R, CollectiveError> + Send + 'static,
+    ) -> CommHandle<R> {
+        let (tx, rx) = bounded(1);
+        let handle = CommHandle {
+            rx,
+            op,
+            telemetry: self.telemetry.clone(),
+        };
+        if let Some(lane) = &self.lane {
+            lane.send(Box::new(move |ctx| {
+                ctx.rec.begin_iteration(iter);
+                let sp = ctx.rec.span(span_name);
+                let res = run(&mut ctx.comm);
+                drop(sp);
+                ctx.rec.end_iteration();
+                let _ = tx.send(res);
+            }));
+        }
+        handle
+    }
+
+    /// Nonblocking [`Communicator::all_to_all_v`]: posts the exchange to
+    /// the comm lane and returns immediately. `span_name` / `iter` label
+    /// the lane-side telemetry span (use the relevant [`phase`] constant).
+    ///
+    /// All ranks must post the same lane collectives in the same order.
+    ///
+    /// [`phase`]: neo_telemetry::phase
+    ///
+    /// # Panics
+    ///
+    /// The posted exchange panics on the lane thread if
+    /// `sends.len() != world`.
+    pub fn post_all_to_all_v<T: Clone + Send + 'static>(
+        &mut self,
+        sends: Vec<Vec<T>>,
+        span_name: &'static str,
+        iter: u64,
+    ) -> CommHandle<Vec<Vec<T>>> {
+        let total: usize = sends.iter().map(Vec::len).sum();
+        // Caller-side accounting mirrors the blocking path so CommStats
+        // are identical whichever path a schedule takes; telemetry
+        // counters and the injected delay are the lane's (single) copy.
+        self.stats.ops += 1;
+        self.stats.bytes_sent += (total * std::mem::size_of::<T>()) as u64;
+        self.post("all_to_all_v", span_name, iter, move |c| {
+            c.all_to_all_v(sends)
+        })
+    }
+
+    /// Nonblocking [`Communicator::all_to_all_v_quant`]: quantization,
+    /// exchange, and dequantization all run on the comm lane.
+    ///
+    /// All ranks must post the same lane collectives in the same order.
+    pub fn post_all_to_all_v_quant(
+        &mut self,
+        sends: Vec<Vec<f32>>,
+        mode: QuantMode,
+        span_name: &'static str,
+        iter: u64,
+    ) -> CommHandle<Vec<Vec<f32>>> {
+        let total: usize = sends.iter().map(Vec::len).sum();
+        let wire = match mode {
+            QuantMode::Fp32 => std::mem::size_of::<f32>(),
+            QuantMode::Fp16 | QuantMode::Bf16 => std::mem::size_of::<u16>(),
+        };
+        self.stats.ops += 1;
+        self.stats.bytes_sent += (total * wire) as u64;
+        self.post("all_to_all_v", span_name, iter, move |c| {
+            c.all_to_all_v_quant(sends, mode)
+        })
+    }
+
+    /// Nonblocking [`Communicator::all_reduce`] over an owned buffer;
+    /// the reduced buffer comes back through the handle. Accumulation
+    /// stays in rank order, so posting two disjoint halves separately is
+    /// bitwise-identical to one blocking AllReduce of their concatenation.
+    ///
+    /// All ranks must post the same lane collectives in the same order.
+    pub fn post_all_reduce(
+        &mut self,
+        buf: Vec<f32>,
+        span_name: &'static str,
+        iter: u64,
+    ) -> CommHandle<Vec<f32>> {
+        self.stats.ops += 1;
+        self.stats.bytes_sent += (buf.len() * 4) as u64;
+        self.post("all_reduce", span_name, iter, move |c| {
+            let mut buf = buf;
+            c.all_reduce(&mut buf)?;
+            Ok(buf)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::ProcessGroup;
+    use neo_telemetry::phase;
+    use std::thread;
+
+    fn run<R: Send + 'static>(
+        world: usize,
+        f: impl Fn(usize, &mut Communicator) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let f = Arc::new(f);
+        let handles: Vec<_> = ProcessGroup::new(world)
+            .into_iter()
+            .map(|mut c| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || f(c.rank(), &mut c))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    }
+
+    #[test]
+    fn posted_alltoall_matches_blocking() {
+        let out = run(3, |rank, c| {
+            let sends: Vec<Vec<u64>> = (0..3).map(|j| vec![(rank * 10 + j) as u64]).collect();
+            let handle = c.post_all_to_all_v(sends.clone(), phase::INPUT_A2A, 0);
+            let posted = handle.wait().unwrap();
+            let blocking = c.all_to_all_v(sends).unwrap();
+            (posted, blocking)
+        });
+        for (posted, blocking) in out {
+            assert_eq!(posted, blocking);
+        }
+    }
+
+    #[test]
+    fn split_allreduce_equals_whole() {
+        let out = run(4, |rank, c| {
+            let full: Vec<f32> = (0..32)
+                .map(|i| ((rank * 32 + i) as f32 * 0.3).cos())
+                .collect();
+            let mut whole = full.clone();
+            c.all_reduce(&mut whole).unwrap();
+            let bot = c.post_all_reduce(full[..20].to_vec(), phase::ALLREDUCE_BOT, 0);
+            let top = c.post_all_reduce(full[20..].to_vec(), phase::ALLREDUCE_TOP, 0);
+            let mut halves = bot.wait().unwrap();
+            halves.extend(top.wait().unwrap());
+            (whole, halves)
+        });
+        for (whole, halves) in out {
+            assert_eq!(whole, halves, "split halves must be bitwise identical");
+        }
+    }
+
+    #[test]
+    fn posted_ops_overlap_blocking_main_lane_ops() {
+        // Post on the lane, then run a *different* blocking collective on
+        // the main lane before waiting: with a single rendezvous state
+        // this would cross-match ops and panic; with the second lane it
+        // must complete cleanly.
+        let out = run(2, |rank, c| {
+            let h = c.post_all_to_all_v(vec![vec![rank as u32]; 2], phase::INPUT_A2A, 0);
+            let mut v = vec![rank as f32 + 1.0];
+            c.all_reduce(&mut v).unwrap();
+            let recv = h.wait().unwrap();
+            (v[0], recv)
+        });
+        for (sum, recv) in out {
+            assert_eq!(sum, 3.0);
+            assert_eq!(recv, vec![vec![0], vec![1]]);
+        }
+    }
+
+    #[test]
+    fn quantized_post_matches_blocking_quant() {
+        let out = run(2, |rank, c| {
+            let payload: Vec<f32> = (0..64).map(|i| (i as f32 + rank as f32) * 0.17).collect();
+            let sends = vec![payload.clone(), payload];
+            let h =
+                c.post_all_to_all_v_quant(sends.clone(), QuantMode::Bf16, phase::ALLTOALL_FWD, 1);
+            let posted = h.wait().unwrap();
+            let blocking = c.all_to_all_v_quant(sends, QuantMode::Bf16).unwrap();
+            (posted, blocking, c.stats())
+        });
+        let bytes0 = out[0].2.bytes_sent;
+        for (posted, blocking, stats) in out {
+            assert_eq!(posted, blocking, "lane quantization must match main-lane");
+            assert_eq!(stats.bytes_sent, bytes0);
+            assert_eq!(stats.ops, 2);
+        }
+    }
+
+    #[test]
+    fn wait_records_wait_histogram_and_lane_span() {
+        let sink = TelemetrySink::armed();
+        let per_rank_sink = sink.clone();
+        let out = run(2, move |_rank, c| {
+            c.set_telemetry(per_rank_sink.clone());
+            let h = c.post_all_to_all_v(vec![vec![1u8]; 2], phase::INPUT_A2A, 4);
+            h.wait().unwrap()
+        });
+        assert_eq!(out.len(), 2);
+        let snap = sink.snapshot().expect("armed");
+        let wait = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "comm.all_to_all_v.wait_ns")
+            .map(|(_, h)| h.total());
+        assert_eq!(wait, Some(2), "one wait observation per rank");
+        let lane_spans: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.lane == COMM_LANE && s.name == phase::INPUT_A2A)
+            .collect();
+        assert_eq!(lane_spans.len(), 2, "one lane span per rank");
+        assert!(lane_spans.iter().all(|s| s.iter == 4));
+    }
+
+    #[test]
+    fn delay_injection_is_wall_clock_only() {
+        let baseline = run(2, |rank, c| {
+            let mut v = vec![rank as f32 * 0.25; 16];
+            c.all_reduce(&mut v).unwrap();
+            v
+        });
+        let delayed = run(2, |rank, c| {
+            c.set_comm_delay(Some(CommDelay::new(1e9, 1e-3)));
+            let t0 = std::time::Instant::now();
+            let mut v = vec![rank as f32 * 0.25; 16];
+            c.all_reduce(&mut v).unwrap();
+            assert!(
+                t0.elapsed() >= std::time::Duration::from_millis(1),
+                "delay must be injected on the wall clock"
+            );
+            v
+        });
+        assert_eq!(baseline, delayed, "injected delay must not change values");
+    }
+
+    #[test]
+    fn delayed_posted_op_sleeps_on_the_lane_not_the_caller() {
+        let out = run(2, |rank, c| {
+            c.set_comm_delay(Some(CommDelay::new(1e9, 20e-3)));
+            let t0 = std::time::Instant::now();
+            let h = c.post_all_to_all_v(vec![vec![rank as u32]; 2], phase::INPUT_A2A, 0);
+            let post_cost = t0.elapsed();
+            let recv = h.wait().unwrap();
+            (post_cost, recv)
+        });
+        for (post_cost, recv) in out {
+            assert!(
+                post_cost < std::time::Duration::from_millis(15),
+                "post must return before the injected 20ms delay elapses ({post_cost:?})"
+            );
+            assert_eq!(recv, vec![vec![0], vec![1]]);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! [`ProcessGroup`] surface is exercised here — `neo-xtask lint`
 //! (rule `props_cover`) enforces that this stays true as the API grows.
 
-use neo_collectives::{ProcessGroup, QuantMode};
+use neo_collectives::{CommDelay, ProcessGroup, QuantMode};
 use neo_telemetry::{metric, TelemetrySink};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -222,6 +222,59 @@ proptest! {
                 .find(|(k, _)| k == &metric::comm_latency_ns(op))
                 .map(|(_, h)| h.total());
             prop_assert_eq!(hist, Some(world as u64), "latency histogram for {}", op);
+        }
+    }
+
+    /// Nonblocking collectives agree with their blocking forms for
+    /// arbitrary payloads and world sizes, with or without an attached
+    /// `set_comm_delay` injector: a posted AlltoAll waits into the same
+    /// routing, and a split posted AllReduce (`post_all_reduce` /
+    /// `post_all_to_all_v` / `post_all_to_all_v_quant` + `wait`) is
+    /// bitwise-identical to one blocking AllReduce of the whole buffer.
+    #[test]
+    fn posted_collectives_match_blocking(
+        world in 1usize..5,
+        n in 1usize..6,
+        split_pick in 0usize..8,
+        seed in 0u64..1000,
+        delayed in any::<bool>(),
+    ) {
+        let split = split_pick % (n + 1);
+        let out = run_group(world, move |rank, comm| {
+            if delayed {
+                comm.set_comm_delay(Some(CommDelay::new(64e9, 20e-6)));
+            }
+            let buf: Vec<f32> = (0..n)
+                .map(|i| (((seed + rank as u64 * 29 + i as u64 * 3) % 19) as f32) * 0.125 - 1.0)
+                .collect();
+            let mut whole = buf.clone();
+            comm.all_reduce(&mut whole).expect("all_reduce");
+            let bot = comm.post_all_reduce(buf[..split].to_vec(), "allreduce_bot", 0);
+            let top = comm.post_all_reduce(buf[split..].to_vec(), "allreduce_top", 0);
+            let mut halves = bot.wait().expect("bot wait");
+            halves.extend(top.wait().expect("top wait"));
+
+            let sends: Vec<Vec<f32>> = vec![buf.clone(); world];
+            let blocking_quant = comm
+                .all_to_all_v_quant(sends.clone(), QuantMode::Fp16)
+                .expect("blocking quant a2a");
+            let blocking_plain = comm
+                .all_to_all_v(sends.clone())
+                .expect("blocking plain a2a");
+            let posted_plain = comm
+                .post_all_to_all_v(sends.clone(), "input_a2a", 0)
+                .wait()
+                .expect("posted plain a2a");
+            let posted_quant = comm
+                .post_all_to_all_v_quant(sends, QuantMode::Fp16, "alltoall_fwd", 0)
+                .wait()
+                .expect("posted quant a2a");
+            (whole, halves, blocking_quant, posted_quant, blocking_plain, posted_plain)
+        });
+        for (whole, halves, blocking_quant, posted_quant, blocking_plain, posted_plain) in out {
+            prop_assert_eq!(whole, halves);
+            prop_assert_eq!(blocking_quant, posted_quant);
+            prop_assert_eq!(blocking_plain, posted_plain);
         }
     }
 }

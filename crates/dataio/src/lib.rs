@@ -17,6 +17,9 @@
 //!   sharding.
 //! * [`reader`] — a double-buffered background prefetcher standing in for
 //!   the data-ingestion service, so compute never waits on input;
+//! * [`feed`] — a multi-consumer by-index view over the prefetcher, so
+//!   every simulated-GPU worker thread of the trainer can claim the same
+//!   global batch sequence;
 //! * [`shard`] — checksummed on-disk batch shards, the local stand-in for
 //!   the Tectonic network store the readers stream from.
 
@@ -25,11 +28,13 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod feed;
 pub mod ops;
 pub mod reader;
 pub mod shard;
 pub mod synthetic;
 
 pub use batch::CombinedBatch;
+pub use feed::SharedFeed;
 pub use reader::PrefetchReader;
 pub use synthetic::{SyntheticConfig, SyntheticDataset};

@@ -2,11 +2,13 @@
 //!
 //! Eq. 1 is a closed-form *approximation* of the iteration latency with
 //! overlap. This module cross-checks it by actually scheduling the
-//! operator DAG on three exclusive resources — the compute stream, the
-//! memory (embedding) path and the network — with list scheduling: a node
-//! runs as soon as its dependencies are done and its resource is free.
-//! The paper's pipelining moves the *next* batch's input distribution onto
-//! the network resource concurrently with this batch's compute.
+//! operator DAG on exclusive resources — the compute stream, the memory
+//! (embedding) path, the main-stream network and the posted comm lane —
+//! with list scheduling: a node runs as soon as its dependencies are done
+//! and its resource is free. The paper's pipelining moves the *next*
+//! batch's input distribution onto the network resource concurrently with
+//! this batch's compute, and posts the pooled AlltoAll / AllReduce halves
+//! on the comm lane so they run under the backward pass.
 
 use crate::iteration::IterationBreakdown;
 use neo_telemetry::phase;
@@ -19,8 +21,20 @@ pub enum Resource {
     Compute,
     /// HBM-bound embedding path.
     Memory,
-    /// NIC / NVLink collectives.
+    /// NIC / NVLink collectives issued from the main stream (blocking).
     Network,
+    /// The per-rank comm lane the overlapped (Fig. 9) trainer posts
+    /// nonblocking collectives onto — a second comm stream that runs
+    /// concurrently with both compute and the main-stream collectives,
+    /// exactly as `neo_collectives::post_*` does.
+    CommLane,
+}
+
+impl Resource {
+    /// Whether ops on this resource count as communication time.
+    pub fn is_comm(self) -> bool {
+        matches!(self, Resource::Network | Resource::CommLane)
+    }
 }
 
 /// One operator in the iteration DAG.
@@ -177,21 +191,46 @@ pub fn fig9_graph(bd: &IterationBreakdown, pipelined: bool) -> Vec<Op> {
 /// Dependency structure of the phases the live trainer actually emits,
 /// as `(name, resource, deps)` — the Fig. 9 graph extended with the
 /// row-wise sharding collectives (reduce-scatter / all-gather), the
-/// combined dense AllReduce span, and the dense optimizer.
+/// dense AllReduce spans (the serial trainer's combined `allreduce`
+/// plus the overlapped trainer's posted top/bottom halves), and the
+/// dense optimizer.
+///
+/// Collectives the overlapped trainer posts nonblocking — the input
+/// AlltoAll, the pooled-output AlltoAll and the two AllReduce halves —
+/// sit on [`Resource::CommLane`]; blocking collectives stay on
+/// [`Resource::Network`]. Simulating this template therefore yields the
+/// overlapped (Fig. 9) schedule's predicted shape, while
+/// [`serial_comm_fraction`] (which ignores placement and dependency
+/// structure) predicts the serial one.
+///
+/// The dependency edges encode the *steady-state* overlapped iteration:
+/// the embedding lookup does not wait on the input AlltoAll (this batch's
+/// index exchange was posted during the previous iteration and has long
+/// landed), and the `input_a2a` op here is the *next* batch's exchange,
+/// posted right after the pooled features are assembled so it rides the
+/// comm lane under the interaction, top MLP and backward. The combined
+/// `allreduce` is the post-backward blocking loss mean; the gradient
+/// AllReduce appears as its posted top/bottom halves.
 ///
 /// [`measured_graph`] instantiates this template with measured durations;
 /// the names are exactly the ones `trainer::sync` records, so a measured
-/// span summary joins by name with no translation table.
+/// span summary joins by name with no translation table. Phases a given
+/// run never recorded (e.g. the AllReduce halves in a serial run) join as
+/// zero-duration ops and drop out of every total.
 pub const MEASURED_TEMPLATE: &[(&str, Resource, &[&str])] = &[
-    (phase::INPUT_A2A, Resource::Network, &[]),
     (phase::HTOD, Resource::Memory, &[]),
     (phase::FWD_BOTTOM_MLP, Resource::Compute, &[]),
+    (phase::EMB_LOOKUP, Resource::Memory, &[phase::HTOD]),
     (
-        phase::EMB_LOOKUP,
-        Resource::Memory,
-        &[phase::INPUT_A2A, phase::HTOD],
+        phase::ALLTOALL_FWD,
+        Resource::CommLane,
+        &[phase::EMB_LOOKUP],
     ),
-    (phase::ALLTOALL_FWD, Resource::Network, &[phase::EMB_LOOKUP]),
+    (
+        phase::INPUT_A2A,
+        Resource::CommLane,
+        &[phase::ALLTOALL_FWD, phase::REDUCE_SCATTER],
+    ),
     (
         phase::REDUCE_SCATTER,
         Resource::Network,
@@ -208,6 +247,11 @@ pub const MEASURED_TEMPLATE: &[(&str, Resource, &[&str])] = &[
     ),
     (phase::TOP_MLP, Resource::Compute, &[phase::INTERACTION]),
     (phase::TOP_MLP_BWD, Resource::Compute, &[phase::TOP_MLP]),
+    (
+        phase::ALLREDUCE_TOP,
+        Resource::CommLane,
+        &[phase::TOP_MLP_BWD],
+    ),
     (
         phase::INTERACTION_BWD,
         Resource::Compute,
@@ -230,11 +274,16 @@ pub const MEASURED_TEMPLATE: &[(&str, Resource, &[&str])] = &[
         &[phase::INTERACTION_BWD],
     ),
     (
-        phase::ALLREDUCE,
-        Resource::Network,
-        &[phase::TOP_MLP_BWD, phase::BWD_BOTTOM_MLP],
+        phase::ALLREDUCE_BOT,
+        Resource::CommLane,
+        &[phase::BWD_BOTTOM_MLP],
     ),
-    (phase::DENSE_OPTIM, Resource::Compute, &[phase::ALLREDUCE]),
+    (
+        phase::DENSE_OPTIM,
+        Resource::Compute,
+        &[phase::ALLREDUCE_TOP, phase::ALLREDUCE_BOT],
+    ),
+    (phase::ALLREDUCE, Resource::Network, &[phase::DENSE_OPTIM]),
 ];
 
 /// Joins measured per-phase durations (seconds, e.g. mean span time from a
@@ -264,9 +313,12 @@ pub fn measured_graph(phase_secs: &[(String, f64)]) -> Vec<Op> {
 /// Exposed vs. total communication time in a schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CommExposure {
-    /// Total time network ops occupy the NIC.
+    /// Total busy time of the communication resources (NIC + comm lane).
     pub comm_total: f64,
-    /// Network time not overlapped by any compute or memory op.
+    /// Communication wall-clock not overlapped by any compute or memory
+    /// op. Comm intervals are unioned first, so a main-stream collective
+    /// running under a posted one counts once — mirroring how
+    /// `neo-prof` measures exposure from span timelines.
     pub exposed: f64,
 }
 
@@ -281,35 +333,37 @@ impl CommExposure {
     }
 }
 
-/// Measures exposed communication in a schedule: the portion of every
-/// network op's interval not covered by any concurrently running compute
-/// or memory op. In a fully serialized schedule nothing overlaps, so
-/// `exposed == comm_total`.
-pub fn comm_exposure(t: &Timeline, ops: &[Op]) -> CommExposure {
-    let interval = |name: &str| t.op(name).map(|s| (s.start, s.end));
-    let mut cover: Vec<(f64, f64)> = ops
-        .iter()
-        .filter(|o| o.resource != Resource::Network)
-        .filter_map(|o| interval(o.name))
-        .filter(|&(s, e)| e > s)
-        .collect();
-    cover.sort_by(|a, b| a.0.total_cmp(&b.0));
-    // merge into disjoint covered intervals
+/// Sorts and merges intervals into a disjoint ascending cover.
+fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut merged: Vec<(f64, f64)> = Vec::new();
-    for (s, e) in cover {
+    for (s, e) in iv {
         match merged.last_mut() {
             Some(last) if s <= last.1 => last.1 = last.1.max(e),
             _ => merged.push((s, e)),
         }
     }
-    let mut comm_total = 0.0;
+    merged
+}
+
+/// Measures exposed communication in a schedule: the union of all comm-op
+/// intervals (main-stream network *and* posted comm lane) minus the cover
+/// of concurrently running compute and memory ops. Unioning first means a
+/// NIC collective running under a posted one is not double-counted. In a
+/// fully serialized schedule nothing overlaps, so `exposed == comm_total`.
+pub fn comm_exposure(t: &Timeline, ops: &[Op]) -> CommExposure {
+    let intervals = |comm: bool| -> Vec<(f64, f64)> {
+        ops.iter()
+            .filter(|o| o.resource.is_comm() == comm)
+            .filter_map(|o| t.op(o.name).map(|s| (s.start, s.end)))
+            .filter(|&(s, e)| e > s)
+            .collect()
+    };
+    let cover = merge_intervals(intervals(false));
+    let comm_total: f64 = intervals(true).iter().map(|&(s, e)| e - s).sum();
     let mut exposed = 0.0;
-    for op in ops.iter().filter(|o| o.resource == Resource::Network) {
-        let Some((s, e)) = interval(op.name) else {
-            continue;
-        };
-        comm_total += e - s;
-        let overlap: f64 = merged
+    for &(s, e) in &merge_intervals(intervals(true)) {
+        let overlap: f64 = cover
             .iter()
             .map(|&(cs, ce)| (e.min(ce) - s.max(cs)).max(0.0))
             .sum();
@@ -323,9 +377,11 @@ pub fn comm_exposure(t: &Timeline, ops: &[Op]) -> CommExposure {
 
 /// Exposed-comm fraction of a *fully serialized* schedule: with strictly
 /// one op at a time, every communication second is exposed, so the
-/// fraction is simply `sum(network durations) / sum(all durations)`.
-/// This is the prediction to compare against a measured per-rank timeline
-/// whose execution is serial (as `trainer::sync` is today).
+/// fraction is simply `sum(comm durations) / sum(all durations)` —
+/// resource placement (NIC vs. comm lane) does not matter when nothing
+/// runs concurrently. This is the prediction to compare against a
+/// measured per-rank timeline from the default serial `trainer::sync`
+/// schedule.
 pub fn serial_comm_fraction(ops: &[Op]) -> f64 {
     let total: f64 = ops.iter().map(|o| o.duration).sum();
     if total <= 0.0 {
@@ -333,7 +389,7 @@ pub fn serial_comm_fraction(ops: &[Op]) -> f64 {
     }
     let comm: f64 = ops
         .iter()
-        .filter(|o| o.resource == Resource::Network)
+        .filter(|o| o.resource.is_comm())
         .map(|o| o.duration)
         .sum();
     (comm / total).clamp(0.0, 1.0)
@@ -347,6 +403,35 @@ pub fn serial_comm_fraction(ops: &[Op]) -> f64 {
 /// Panics if the graph references an unknown dependency or contains a
 /// cycle.
 pub fn simulate(ops: &[Op]) -> Timeline {
+    schedule(ops, |r| match r {
+        Resource::Compute => 0,
+        Resource::Memory => 1,
+        Resource::Network => 2,
+        Resource::CommLane => 3,
+    })
+}
+
+/// List-schedules the DAG on the *worker-thread* execution model of the
+/// live trainer: one simulated-GPU worker thread runs compute, memory
+/// traffic and blocking collectives inline — they serialize regardless
+/// of resource — while posted [`Resource::CommLane`] collectives run
+/// concurrently on the per-rank comm-lane thread. This is the schedule
+/// to predict overlapped-run measurements with; [`simulate`] keeps the
+/// idealized per-resource concurrency of the hardware roofline.
+///
+/// # Panics
+///
+/// Panics if the graph references an unknown dependency or contains a
+/// cycle.
+pub fn simulate_worker(ops: &[Op]) -> Timeline {
+    schedule(ops, |r| match r {
+        Resource::CommLane => 1,
+        _ => 0,
+    })
+}
+
+/// Shared list scheduler: ops mapped to the same `unit` serialize.
+fn schedule(ops: &[Op], unit: fn(Resource) -> u8) -> Timeline {
     let idx = |name: &str| -> usize {
         ops.iter()
             .position(|o| o.name == name)
@@ -360,8 +445,7 @@ pub fn simulate(ops: &[Op]) -> Timeline {
 
     let mut finish: Vec<Option<f64>> = vec![None; ops.len()];
     let mut start: Vec<Option<f64>> = vec![None; ops.len()];
-    let mut resource_free: std::collections::HashMap<Resource, f64> =
-        std::collections::HashMap::new();
+    let mut unit_free: std::collections::HashMap<u8, f64> = std::collections::HashMap::new();
     let mut done = 0usize;
     let mut order = Vec::new();
     while done < ops.len() {
@@ -375,7 +459,7 @@ pub fn simulate(ops: &[Op]) -> Timeline {
                 .iter()
                 .try_fold(0.0f64, |acc, &d| finish[d].map(|f| acc.max(f)));
             let Some(ready_at) = ready_at else { continue };
-            let res_free = resource_free.get(&op.resource).copied().unwrap_or(0.0);
+            let res_free = unit_free.get(&unit(op.resource)).copied().unwrap_or(0.0);
             let s = ready_at.max(res_free);
             if best.is_none_or(|(bs, _)| s < bs) {
                 best = Some((s, i));
@@ -386,7 +470,7 @@ pub fn simulate(ops: &[Op]) -> Timeline {
         let e = s + ops[i].duration;
         start[i] = Some(s);
         finish[i] = Some(e);
-        resource_free.insert(ops[i].resource, e);
+        unit_free.insert(unit(ops[i].resource), e);
         order.push((ops[i].name, Scheduled { start: s, end: e }));
         done += 1;
     }
@@ -452,7 +536,12 @@ mod tests {
         let bd = breakdown(true);
         let ops = fig9_graph(&bd, true);
         let t = simulate(&ops);
-        for res in [Resource::Compute, Resource::Memory, Resource::Network] {
+        for res in [
+            Resource::Compute,
+            Resource::Memory,
+            Resource::Network,
+            Resource::CommLane,
+        ] {
             let mut spans: Vec<Scheduled> = ops
                 .iter()
                 .filter(|o| o.resource == res)
@@ -593,6 +682,88 @@ mod tests {
         assert!(exp.exposed <= exp.comm_total + 1e-12);
         assert!(exp.fraction_of(t.makespan) <= 1.0);
         assert_eq!(exp.fraction_of(0.0), 0.0);
+    }
+
+    #[test]
+    fn comm_lane_template_hides_posted_collectives() {
+        // Durations shaped like the overlapped trainer under injected
+        // delay: sizable posted collectives, backward compute long
+        // enough to hide part of them. The simulated overlap prediction
+        // must land strictly below the serial prediction.
+        let secs: Vec<(String, f64)> = [
+            (phase::INPUT_A2A, 2e-3),
+            (phase::HTOD, 0.2e-3),
+            (phase::FWD_BOTTOM_MLP, 0.5e-3),
+            (phase::EMB_LOOKUP, 0.5e-3),
+            (phase::ALLTOALL_FWD, 2e-3),
+            (phase::INTERACTION, 0.5e-3),
+            (phase::TOP_MLP, 1e-3),
+            (phase::TOP_MLP_BWD, 1.5e-3),
+            (phase::ALLREDUCE_TOP, 1e-3),
+            (phase::INTERACTION_BWD, 0.5e-3),
+            (phase::ALLTOALL_BWD, 2e-3),
+            (phase::BWD_BOTTOM_MLP, 1e-3),
+            (phase::ALLREDUCE_BOT, 1e-3),
+            (phase::DENSE_OPTIM, 0.3e-3),
+        ]
+        .iter()
+        .map(|&(n, d)| (n.to_string(), d))
+        .collect();
+        let ops = measured_graph(&secs);
+        let t = simulate(&ops);
+        let overlap = comm_exposure(&t, &ops).fraction_of(t.makespan);
+        let serial = serial_comm_fraction(&ops);
+        assert!(
+            overlap < serial - 1e-6,
+            "posted collectives must hide behind backward compute: \
+             overlap {overlap:.4} vs serial {serial:.4}"
+        );
+    }
+
+    #[test]
+    fn concurrent_comm_resources_count_once_in_exposure() {
+        // A NIC collective fully inside a posted comm-lane collective,
+        // with no compute cover at all: exposure is the union (the
+        // longer interval), not the sum.
+        let ops = vec![
+            Op {
+                name: phase::ALLTOALL_BWD,
+                duration: 4e-3,
+                resource: Resource::Network,
+                deps: vec![],
+            },
+            Op {
+                name: phase::ALLREDUCE_TOP,
+                duration: 10e-3,
+                resource: Resource::CommLane,
+                deps: vec![],
+            },
+        ];
+        let t = Timeline {
+            ops: vec![
+                (
+                    phase::ALLTOALL_BWD,
+                    Scheduled {
+                        start: 2e-3,
+                        end: 6e-3,
+                    },
+                ),
+                (
+                    phase::ALLREDUCE_TOP,
+                    Scheduled {
+                        start: 0.0,
+                        end: 10e-3,
+                    },
+                ),
+            ],
+            makespan: 10e-3,
+        };
+        let exp = comm_exposure(&t, &ops);
+        assert!((exp.comm_total - 14e-3).abs() < 1e-12, "busy time sums");
+        assert!(
+            (exp.exposed - 10e-3).abs() < 1e-12,
+            "union exposes 10 ms, not 14 ms: {exp:?}"
+        );
     }
 
     #[test]

@@ -158,6 +158,7 @@ mod tests {
             rank,
             iter,
             name,
+            lane: 0,
             start_ns: s,
             end_ns: e,
         }

@@ -7,6 +7,15 @@
 //! ([`neo_telemetry::phase::AGGREGATE`]: `iteration`, `backward`) that
 //! only bracket other phases — attributing time to both a parent and its
 //! children would double-count it.
+//!
+//! Spans carry a [`SpanRecord::lane`] besides their rank: the overlapped
+//! (Fig. 9) trainer records posted collectives on a per-rank comm lane
+//! (`lane > 0`) that runs concurrently with the rank's lane-0 compute
+//! thread, so spans of one rank may legally interleave in wall-clock.
+//! The merge keeps lane spans attributed to their owning rank — phase
+//! means, iteration leaves and exposure analysis all see them — and
+//! [`MergedTimeline::has_comm_lanes`] tells analyzers which schedule
+//! produced the snapshot.
 
 use neo_telemetry::{phase, Snapshot, SpanRecord};
 
@@ -42,6 +51,13 @@ impl MergedTimeline {
     /// All spans, in record order.
     pub fn spans(&self) -> &[SpanRecord] {
         &self.spans
+    }
+
+    /// Whether any span ran on a comm lane (`lane > 0`) — true for
+    /// snapshots recorded under the overlapped (Fig. 9) schedule, false
+    /// for serial runs.
+    pub fn has_comm_lanes(&self) -> bool {
+        self.spans.iter().any(|s| s.lane > 0)
     }
 
     /// Leaf spans of one iteration across every rank (aggregate phases
@@ -104,9 +120,31 @@ mod tests {
             rank,
             iter,
             name,
+            lane: 0,
             start_ns: s,
             end_ns: e,
         }
+    }
+
+    #[test]
+    fn comm_lane_spans_are_detected_and_attributed_to_their_rank() {
+        let mut lane = span(1, 0, phase::INPUT_A2A, 5, 25);
+        lane.lane = 1; // neo_collectives::COMM_LANE
+        let snap = Snapshot {
+            spans: vec![span(0, 0, phase::EMB_LOOKUP, 0, 10), lane],
+            ..Snapshot::default()
+        };
+        let m = MergedTimeline::from_snapshot(&snap);
+        assert!(m.has_comm_lanes());
+        assert_eq!(m.world, 2, "lane spans still count toward world");
+        assert_eq!(m.iteration_leaves(0).len(), 2);
+        let means = m.mean_phase_secs();
+        assert!(means.iter().any(|(n, _)| n == phase::INPUT_A2A));
+        let serial = MergedTimeline::from_snapshot(&Snapshot {
+            spans: vec![span(0, 0, phase::EMB_LOOKUP, 0, 10)],
+            ..Snapshot::default()
+        });
+        assert!(!serial.has_comm_lanes());
     }
 
     #[test]

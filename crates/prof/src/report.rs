@@ -132,15 +132,17 @@ impl fmt::Display for ProfReport {
             )?;
         }
         if let Some(e) = &self.exposed {
+            let sched = if e.overlapped { "overlapped" } else { "serial" };
             writeln!(
                 f,
-                "  exposed comm: measured {:.1}% of {:.3} ms iteration \
-                 (predicted serial {:.1}%, gap {:.3} <= tolerance {TOLERANCE}; \
-                 overlap headroom would leave {:.1}% exposed)",
+                "  exposed comm: measured {:.1}% of {:.3} ms iteration on the \
+                 {sched} schedule (predicted {:.1}%, gap {:.3} <= tolerance \
+                 {TOLERANCE}; serial would expose {:.1}%, overlap {:.1}%)",
                 e.measured_fraction * 100.0,
                 e.iter_ms,
-                e.predicted_serial_fraction * 100.0,
+                e.predicted_fraction() * 100.0,
                 e.prediction_gap(),
+                e.predicted_serial_fraction * 100.0,
                 e.predicted_overlap_fraction * 100.0,
             )?;
             for (name, ms) in &e.per_collective {
@@ -161,6 +163,7 @@ mod tests {
             rank,
             iter,
             name,
+            lane: 0,
             start_ns: s,
             end_ns: e,
         }

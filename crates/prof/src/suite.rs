@@ -8,6 +8,12 @@
 //! * `exposed_comm_fp32` — the `exposed_comm` bench configuration
 //!   (4 ranks, full-precision wire), whose exposed-comm fraction tracks
 //!   Fig. 14's before-overlap bar.
+//! * `quickstart_w4_delay` / `quickstart_w4_overlap` — the Fig. 14 pair:
+//!   the same quickstart config with a netsim-derived wire delay
+//!   injected into every collective, trained once on the serial schedule
+//!   and once on the overlapped (Fig. 9) schedule. Their
+//!   `exposed_comm_fraction` columns are the before/after bars; the
+//!   throughput gap is the wall-clock win from overlapping.
 //! * `tiered_cache` — the §4.1.3 tiered embedding store scanned with a
 //!   hot working set; contributes the cache-hit-rate column.
 //!
@@ -19,7 +25,7 @@ use std::time::Instant;
 use crate::benchfile::{BenchEntry, BenchReport};
 use crate::exposed::exposed_comm;
 use crate::merge::MergedTimeline;
-use neo_collectives::QuantMode;
+use neo_collectives::{CommDelay, QuantMode};
 use neo_dataio::{SyntheticConfig, SyntheticDataset};
 use neo_dlrm_model::DlrmConfig;
 use neo_embeddings::store::{DenseStore, RowStore};
@@ -80,6 +86,7 @@ fn median(values: &mut [f64]) -> f64 {
 }
 
 /// Trains one pinned case and folds its telemetry into a [`BenchEntry`].
+#[allow(clippy::too_many_arguments)] // pinned case knobs; call sites are table-like literals
 fn train_case(
     name: &str,
     world: usize,
@@ -87,6 +94,8 @@ fn train_case(
     global_batch: usize,
     iters: u64,
     quant: (QuantMode, QuantMode),
+    overlap: bool,
+    comm_delay: Option<CommDelay>,
 ) -> Result<BenchEntry, String> {
     let model = DlrmConfig::tiny(8, rows, 16);
     let specs: Vec<TableSpec> = model
@@ -108,6 +117,8 @@ fn train_case(
     let mut cfg = SyncConfig::exact(world, model, plan, global_batch);
     cfg.quant_fwd = quant.0;
     cfg.quant_bwd = quant.1;
+    cfg.overlap = overlap;
+    cfg.comm_delay = comm_delay;
     cfg.telemetry = TelemetrySink::armed();
     let out = SyncTrainer::new(cfg)
         .train(&batches, &[], 0, None)
@@ -196,6 +207,8 @@ pub fn run_suite(label: &str, cfg: &SuiteConfig) -> Result<BenchReport, String> 
             cfg.global_batch,
             cfg.iters,
             (QuantMode::Fp16, QuantMode::Bf16),
+            false,
+            None,
         )?);
     }
     report.entries.push(train_case(
@@ -205,6 +218,33 @@ pub fn run_suite(label: &str, cfg: &SuiteConfig) -> Result<BenchReport, String> 
         128.min(cfg.global_batch),
         cfg.iters,
         (QuantMode::Fp32, QuantMode::Fp32),
+        false,
+        None,
+    )?);
+    // Fig. 14 pair: identical config and injected wire delay, serial vs
+    // overlapped schedule. The delay is priced from the ZionEX prototype
+    // scale-out link so the collectives cost real wall-clock to hide.
+    let pair_world = 4.min(cfg.worlds.iter().copied().max().unwrap_or(4));
+    let pair_delay = CommDelay::new(16e9, 100e-6);
+    report.entries.push(train_case(
+        "quickstart_w4_delay",
+        pair_world,
+        cfg.rows,
+        cfg.global_batch,
+        cfg.iters,
+        (QuantMode::Fp16, QuantMode::Bf16),
+        false,
+        Some(pair_delay),
+    )?);
+    report.entries.push(train_case(
+        "quickstart_w4_overlap",
+        pair_world,
+        cfg.rows,
+        cfg.global_batch,
+        cfg.iters,
+        (QuantMode::Fp16, QuantMode::Bf16),
+        true,
+        Some(pair_delay),
     )?);
     report.entries.push(cache_case(cfg.iters));
     Ok(report)
@@ -220,8 +260,8 @@ mod tests {
     fn quick_suite_produces_a_schema_valid_report() {
         let report = run_suite("test", &SuiteConfig::quick()).expect("suite");
         assert_eq!(report.schema_version, BENCH_SCHEMA_VERSION);
-        // 1 quickstart world + exposed_comm + cache
-        assert_eq!(report.entries.len(), 3, "{report:?}");
+        // 1 quickstart world + exposed_comm + delay/overlap pair + cache
+        assert_eq!(report.entries.len(), 5, "{report:?}");
         let round = BenchReport::parse(&report.to_json()).expect("round trip");
         assert_eq!(round, report);
         let q = &report.entries[0];
@@ -232,6 +272,23 @@ mod tests {
             .phase_ms
             .iter()
             .any(|(n, ms)| n == phase::ITERATION && *ms > 0.0));
+        let serial = report
+            .entries
+            .iter()
+            .find(|e| e.name == "quickstart_w4_delay")
+            .expect("serial delay entry");
+        let overlap = report
+            .entries
+            .iter()
+            .find(|e| e.name == "quickstart_w4_overlap")
+            .expect("overlap entry");
+        for e in [serial, overlap] {
+            assert!(e.throughput_samples_per_sec > 0.0, "{e:?}");
+            assert!(
+                e.exposed_comm_fraction > 0.0 && e.exposed_comm_fraction < 1.0,
+                "{e:?}"
+            );
+        }
         let cache = report
             .entries
             .iter()

@@ -48,6 +48,7 @@ proptest! {
                 rank,
                 iter: 0,
                 name: LEAVES[which % LEAVES.len()],
+                lane: 0,
                 start_ns: start,
                 end_ns: start + len,
             })
@@ -93,6 +94,7 @@ proptest! {
                 rank: 0,
                 iter: 0,
                 name: LEAVES[which % LEAVES.len()],
+                lane: 0,
                 start_ns: cursor,
                 end_ns: cursor + len,
             });
@@ -108,6 +110,7 @@ proptest! {
             rank: 0,
             iter: 0,
             name: phase::ITERATION,
+            lane: 0,
             start_ns: 0,
             end_ns: cursor,
         });

@@ -40,7 +40,7 @@ impl Snapshot {
     ///   "histograms": {"name": {"total": n, "sum": s, "mean": m,
     ///                            "p50": q, "p95": q, "p99": q,
     ///                            "buckets": [[bucket_lo, count]]}},
-    ///   "spans": [{"rank": 0, "iter": 0, "name": "...",
+    ///   "spans": [{"rank": 0, "lane": 0, "iter": 0, "name": "...",
     ///              "start_ns": 0, "end_ns": 1}]
     /// }
     /// ```
@@ -108,6 +108,8 @@ impl Snapshot {
             }
             out.push_str("\n    {\"rank\": ");
             out.push_str(&s.rank.to_string());
+            out.push_str(", \"lane\": ");
+            out.push_str(&s.lane.to_string());
             out.push_str(", \"iter\": ");
             out.push_str(&s.iter.to_string());
             out.push_str(", \"name\": ");
@@ -122,26 +124,46 @@ impl Snapshot {
     }
 
     /// Serialize spans as Chrome trace-event JSON ("X" complete events,
-    /// microsecond timestamps, `pid` 0, `tid` = rank). Loadable in
-    /// `chrome://tracing` and <https://ui.perfetto.dev>.
+    /// microsecond timestamps, `pid` 0). Loadable in `chrome://tracing`
+    /// and <https://ui.perfetto.dev>.
+    ///
+    /// Each `(rank, lane)` pair gets its own trace thread: lane 0 keeps
+    /// `tid` = rank, and auxiliary lanes (e.g. the nonblocking-collective
+    /// comm lane) map to `tid = world * lane + rank`, so overlapped comm
+    /// spans render on their own row instead of colliding with lane-0
+    /// compute spans.
     ///
     /// The stream opens with `process_name` / `thread_name` metadata ("M")
-    /// events so Perfetto labels the training job and each rank instead of
-    /// showing bare pid/tid numbers.
+    /// events so Perfetto labels the training job and each rank/lane thread
+    /// instead of showing bare pid/tid numbers.
     pub fn to_chrome_trace(&self) -> String {
+        let world = self
+            .spans
+            .iter()
+            .map(|s| s.rank + 1)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let tid_of = |rank: u32, lane: u32| u64::from(world) * u64::from(lane) + u64::from(rank);
         let mut out = String::with_capacity(4096);
         out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
         out.push_str(
             "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \
              \"args\": {\"name\": \"neo-dlrm training\"}}",
         );
-        let mut ranks: Vec<u32> = self.spans.iter().map(|s| s.rank).collect();
-        ranks.sort_unstable();
-        ranks.dedup();
-        for r in &ranks {
+        let mut threads: Vec<(u32, u32)> = self.spans.iter().map(|s| (s.lane, s.rank)).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        for &(lane, rank) in &threads {
+            let tid = tid_of(rank, lane);
+            let label = if lane == 0 {
+                format!("rank {rank}")
+            } else {
+                format!("rank {rank} comm lane {lane}")
+            };
             out.push_str(&format!(
                 ",\n  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \
-                 \"tid\": {r}, \"args\": {{\"name\": \"rank {r}\"}}}}"
+                 \"tid\": {tid}, \"args\": {{\"name\": \"{label}\"}}}}"
             ));
         }
         for s in &self.spans {
@@ -154,7 +176,8 @@ impl Snapshot {
             push_json_f64(&mut out, s.duration_ns() as f64 / 1e3);
             out.push_str(&format!(
                 ", \"pid\": 0, \"tid\": {}, \"args\": {{\"iter\": {}}}}}",
-                s.rank, s.iter
+                tid_of(s.rank, s.lane),
+                s.iter
             ));
         }
         out.push_str("\n]}\n");
@@ -292,6 +315,55 @@ mod tests {
                 .and_then(|a| a.get("name"))
                 .and_then(Json::as_str),
             Some("rank 1")
+        );
+    }
+
+    #[test]
+    fn chrome_trace_gives_comm_lanes_their_own_threads() {
+        let sink = TelemetrySink::armed();
+        for r in 0..2u32 {
+            let rec = sink.rank(r);
+            rec.begin_iteration(0);
+            drop(rec.span(phase::TOP_MLP));
+            rec.end_iteration();
+        }
+        let lane = sink.rank_lane(1, 1);
+        lane.begin_iteration(0);
+        drop(lane.span(phase::ALLTOALL_FWD));
+        lane.end_iteration();
+
+        let text = sink.export_chrome_trace().unwrap_or_default();
+        let doc = json::parse(&text).unwrap_or(Json::Null);
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .cloned()
+            .unwrap_or_default();
+        // world = 2, so rank 1 lane 1 lands on tid 2*1 + 1 = 3
+        let lane_meta = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("thread_name")
+                    && e.get("tid").and_then(Json::as_f64) == Some(3.0)
+            })
+            .and_then(|e| e.get("args"))
+            .and_then(|a| a.get("name"))
+            .and_then(Json::as_str);
+        assert_eq!(lane_meta, Some("rank 1 comm lane 1"));
+        let lane_span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(phase::ALLTOALL_FWD));
+        assert_eq!(
+            lane_span.and_then(|e| e.get("tid")).and_then(Json::as_f64),
+            Some(3.0)
+        );
+        // lane-0 spans keep tid = rank
+        let main_span = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(phase::TOP_MLP));
+        assert_eq!(
+            main_span.and_then(|e| e.get("tid")).and_then(Json::as_f64),
+            Some(0.0)
         );
     }
 

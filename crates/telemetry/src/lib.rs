@@ -49,6 +49,10 @@ use std::time::Instant;
 pub struct SpanRecord {
     /// Rank that recorded the span.
     pub rank: u32,
+    /// Execution lane within the rank: `0` is the main compute thread;
+    /// higher lanes are auxiliary threads (e.g. the nonblocking-collective
+    /// comm lane), whose spans may legally overlap lane-0 spans in time.
+    pub lane: u32,
     /// Training iteration the span belongs to.
     pub iter: u64,
     /// Phase name, normally one of the [`phase`] constants.
@@ -153,11 +157,22 @@ impl TelemetrySink {
         self.inner.as_ref().map(|i| i.now_ns())
     }
 
-    /// Create the per-rank span recorder for `rank`.
+    /// Create the per-rank span recorder for `rank` (main lane 0).
     pub fn rank(&self, rank: u32) -> RankRecorder {
+        self.rank_lane(rank, 0)
+    }
+
+    /// Create a span recorder for an auxiliary execution lane of `rank`.
+    ///
+    /// Lane 0 is the main compute thread ([`TelemetrySink::rank`]); higher
+    /// lanes belong to helper threads of the same rank — e.g. the
+    /// nonblocking-collective comm lane — whose spans may legally overlap
+    /// lane-0 spans on the merged timeline.
+    pub fn rank_lane(&self, rank: u32, lane: u32) -> RankRecorder {
         RankRecorder {
             sink: self.clone(),
             rank,
+            lane,
             iter: std::cell::Cell::new(0),
             active: std::cell::Cell::new(false),
         }
@@ -201,6 +216,7 @@ impl TelemetrySink {
 pub struct RankRecorder {
     sink: TelemetrySink,
     rank: u32,
+    lane: u32,
     iter: std::cell::Cell<u64>,
     active: std::cell::Cell<bool>,
 }
@@ -214,6 +230,11 @@ impl RankRecorder {
     /// Rank this recorder stamps onto its spans.
     pub fn rank(&self) -> u32 {
         self.rank
+    }
+
+    /// Execution lane this recorder stamps onto its spans (0 = main).
+    pub fn lane(&self) -> u32 {
+        self.lane
     }
 
     /// The sink this recorder feeds.
@@ -252,6 +273,7 @@ impl RankRecorder {
             live: Some(SpanLive {
                 sink: self.sink.clone(),
                 rank: self.rank,
+                lane: self.lane,
                 iter: self.iter.get(),
                 name,
                 start_ns,
@@ -263,6 +285,7 @@ impl RankRecorder {
 struct SpanLive {
     sink: TelemetrySink,
     rank: u32,
+    lane: u32,
     iter: u64,
     name: &'static str,
     start_ns: u64,
@@ -293,6 +316,7 @@ impl SpanGuard {
         let end_ns = live.sink.now_ns()?;
         let rec = SpanRecord {
             rank: live.rank,
+            lane: live.lane,
             iter: live.iter,
             name: live.name,
             start_ns: live.start_ns,
@@ -388,6 +412,22 @@ mod tests {
         assert_eq!(spans[0].rank, 2);
         assert_eq!(spans[0].iter, 7);
         assert!(spans[0].end_ns >= spans[0].start_ns);
+    }
+
+    #[test]
+    fn lane_recorder_stamps_lane_and_rank() {
+        let sink = TelemetrySink::armed();
+        let rec = sink.rank_lane(1, 2);
+        assert_eq!((rec.rank(), rec.lane()), (1, 2));
+        rec.begin_iteration(5);
+        let sp = rec.span(phase::ALLTOALL_FWD);
+        drop(sp);
+        rec.end_iteration();
+        let spans = sink.snapshot().map(|s| s.spans).unwrap_or_default();
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].rank, spans[0].lane, spans[0].iter), (1, 2, 5));
+        // the plain rank() recorder is lane 0
+        assert_eq!(sink.rank(3).lane(), 0);
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub fn comm_latency_ns(op: &str) -> String {
     format!("comm.{op}.ns")
 }
 
+/// Histogram name for the posted-to-wait latency of a nonblocking
+/// collective op: `comm.<op>.wait_ns`. Distinct from [`comm_latency_ns`]
+/// (in-collective time on the comm lane): this is how long the *caller*
+/// blocked in `CommHandle::wait`, i.e. the exposed part of the op.
+pub fn comm_wait_ns(op: &str) -> String {
+    format!("comm.{op}.wait_ns")
+}
+
 /// Counter name for cache hits under `prefix`: `<prefix>.cache_hit`.
 pub fn cache_hit(prefix: &str) -> String {
     format!("{prefix}.cache_hit")

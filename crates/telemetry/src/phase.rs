@@ -39,11 +39,13 @@ pub const BWD_BOTTOM_MLP: &str = "bwd_bottom_mlp";
 pub const SPARSE_OPTIM: &str = "sparse_optim";
 /// Dense (MLP) optimizer apply.
 pub const DENSE_OPTIM: &str = "dense_optim";
-/// AllReduce of dense gradients (combined span).
+/// AllReduce of dense gradients (combined span, serial schedule).
 pub const ALLREDUCE: &str = "allreduce";
-/// AllReduce of the top-MLP gradients (simulated pipeline split).
+/// AllReduce of the top-MLP gradient half (overlapped-schedule split,
+/// posted as soon as the top-MLP backward finishes).
 pub const ALLREDUCE_TOP: &str = "allreduce_top";
-/// AllReduce of the bottom-MLP gradients (simulated pipeline split).
+/// AllReduce of the bottom-MLP gradient half (overlapped-schedule split,
+/// posted as soon as the bottom-MLP backward finishes).
 pub const ALLREDUCE_BOT: &str = "allreduce_bot";
 
 /// Every phase name, in rough execution order.

@@ -98,6 +98,7 @@ mod tests {
     fn span(rank: u32, iter: u64, name: &'static str, start: u64, end: u64) -> SpanRecord {
         SpanRecord {
             rank,
+            lane: 0,
             iter,
             name,
             start_ns: start,

@@ -26,11 +26,30 @@
 //!
 //! Both sides derive the wire manifest from the shared plan, so no shape
 //! metadata is exchanged at runtime.
+//!
+//! # Overlapped schedule (Fig. 9)
+//!
+//! With [`SyncConfig::overlap`] set, the same iteration is re-ordered so
+//! that every AlltoAll/AllReduce the dependency graph permits runs on the
+//! communicator's nonblocking comm lane *behind* compute:
+//!
+//! * batch `i+1`'s index AlltoAll is posted before batch `i`'s
+//!   interaction + top MLP (double-buffered batches);
+//! * the pooled-output AlltoAll is posted before the bottom MLP runs;
+//! * the MLP-gradient AllReduce is split in two, each half posted the
+//!   moment its backward segment finishes (`allreduce_top` right after
+//!   the top-MLP backward, `allreduce_bot` after the bottom-MLP
+//!   backward).
+//!
+//! Every reordered pairing is between operations with no data dependency
+//! and reductions keep their rank-order accumulation, so the overlapped
+//! schedule is **bitwise identical** to the serial one — only the
+//! wall-clock placement of communication changes.
 
 use std::fmt;
 use std::sync::Arc;
 
-use neo_collectives::{CommStats, Communicator, ProcessGroup, QuantMode};
+use neo_collectives::{CommDelay, CommHandle, CommStats, Communicator, ProcessGroup, QuantMode};
 use neo_dataio::ops::bucketize_rows;
 use neo_dataio::CombinedBatch;
 use neo_dlrm_model::interaction::{dot_interaction, dot_interaction_backward, num_pairs};
@@ -173,6 +192,17 @@ pub struct SyncConfig {
     /// [`TelemetrySink::armed`] to capture per-iteration phase spans,
     /// comm counters, and loss/lr/throughput gauges.
     pub telemetry: TelemetrySink,
+    /// Run the overlapped (Fig. 9) schedule: the index/pooled AlltoAlls
+    /// and a split MLP AllReduce are posted to the communicator's comm
+    /// lane so they run behind compute, and batches are double-buffered
+    /// so batch `i+1`'s index exchange is in flight during batch `i`'s
+    /// interaction and top MLP. Bitwise-identical to the serial schedule.
+    pub overlap: bool,
+    /// Optional netsim-derived wire-cost injection applied to every
+    /// collective (see [`CommDelay`]). `None` — the default — adds no
+    /// clock reads and no sleeps; overlap benchmarks set it so the
+    /// shared-memory collectives have realistic, hideable cost.
+    pub comm_delay: Option<CommDelay>,
 }
 
 impl SyncConfig {
@@ -194,6 +224,8 @@ impl SyncConfig {
             gather_final_model: false,
             lr_schedule: LrSchedule::default(),
             telemetry: TelemetrySink::disabled(),
+            overlap: false,
+            comm_delay: None,
         }
     }
 }
@@ -310,6 +342,23 @@ struct DpState {
     opt: Box<dyn SparseOptimizer>,
 }
 
+/// One table's `(lengths, indices)` inputs bound for an owner shard —
+/// the §4.4 lengths+indices wire format of the index AlltoAll.
+#[derive(Clone)]
+struct IndexMsg {
+    table: usize,
+    shard: usize,
+    lengths: Vec<u32>,
+    indices: Vec<u64>,
+}
+
+/// A batch whose index AlltoAll is already in flight on the comm lane
+/// (the double-buffer slot of the overlapped schedule).
+struct PendingInput {
+    sub: CombinedBatch,
+    handle: CommHandle<Vec<Vec<IndexMsg>>>,
+}
+
 struct Worker {
     rank: usize,
     world: usize,
@@ -328,6 +377,8 @@ struct Worker {
     scratch_grads: Vec<f32>,
     /// Features cached between `forward(train=true)` and `backward_update`.
     cached_features: Option<Vec<Tensor2>>,
+    /// The next batch's posted index AlltoAll (overlapped schedule only).
+    pending_input: Option<PendingInput>,
     bottom_opt: Box<dyn neo_tensor::optim::DenseOptimizer>,
     top_opt: Box<dyn neo_tensor::optim::DenseOptimizer>,
     /// Per-rank span recorder. Only records between `begin_iteration` /
@@ -367,6 +418,7 @@ fn make_opt(cfg: &SyncConfig, rows: u64, width: usize) -> Box<dyn SparseOptimize
 impl Worker {
     fn new(cfg: Arc<SyncConfig>, mut comm: Communicator) -> Self {
         comm.set_telemetry(cfg.telemetry.clone());
+        comm.set_comm_delay(cfg.comm_delay);
         let rank = comm.rank();
         let world = comm.world();
         let rec = cfg.telemetry.rank(rank as u32);
@@ -502,47 +554,18 @@ impl Worker {
             dp_tables,
             scratch_grads: Vec::new(),
             cached_features: None,
+            pending_input: None,
             bottom_opt,
             top_opt,
             rec,
         }
     }
 
-    /// Forward pass over the worker's sub-batch, participating in the
-    /// group's collectives. Returns `(logits, sub_batch)`.
-    fn forward(
-        &mut self,
-        global: &CombinedBatch,
-        train: bool,
-    ) -> Result<(Tensor2, CombinedBatch), SyncError> {
-        let world = self.world;
-        let sub = global
-            .split(world)
-            .map_err(|e| err(e.to_string()))?
-            .swap_remove(self.rank);
-        let b_loc = sub.batch_size();
-        let model = self.cfg.model.clone();
-        let d = model.emb_dim();
-
-        // 1. bottom MLP on local dense features
-        let sp = self.rec.span(phase::FWD_BOTTOM_MLP);
-        let z0 = if train {
-            self.bottom.forward(&sub.dense)
-        } else {
-            self.bottom.forward_inference(&sub.dense)
-        };
-        drop(sp);
-
-        // 2. index redistribution
-        let sp = self.rec.span(phase::INPUT_A2A);
-        #[derive(Clone)]
-        struct IndexMsg {
-            table: usize,
-            shard: usize,
-            lengths: Vec<u32>,
-            indices: Vec<u64>,
-        }
-        let mut sends: Vec<Vec<IndexMsg>> = vec![Vec::new(); world];
+    /// Builds the per-destination `IndexMsg` payload of the index
+    /// AlltoAll for the local sub-batch (step 2 of the iteration).
+    fn build_index_sends(&self, sub: &CombinedBatch) -> Result<Vec<Vec<IndexMsg>>, SyncError> {
+        let model = &self.cfg.model;
+        let mut sends: Vec<Vec<IndexMsg>> = vec![Vec::new(); self.world];
         for p in &self.cfg.plan.placements {
             let t = p.table;
             let (lens, idx) = sub.table_inputs(t);
@@ -579,16 +602,18 @@ impl Worker {
                 Scheme::DataParallel => {}
             }
         }
-        let recv = self.comm.all_to_all_v(sends)?;
-        drop(sp);
+        Ok(sends)
+    }
 
-        // 3. pooled lookups for owned shards over the global batch
-        let sp = self.rec.span(phase::EMB_LOOKUP);
+    /// Files the received index messages into the owned table-/column-
+    /// and row-wise shards (the global-batch inputs they must serve).
+    fn consume_index_recv(&mut self, recv: &[Vec<IndexMsg>]) -> Result<(), SyncError> {
+        let model = self.cfg.model.clone();
         // table-wise / column-wise shards
         for sh in &mut self.shards {
             sh.lengths.clear();
             sh.indices.clear();
-            for src in &recv {
+            for src in recv {
                 let msg = src
                     .iter()
                     .find(|m| m.table == sh.desc.table && m.shard == sh.desc.shard)
@@ -601,7 +626,7 @@ impl Worker {
         for rs in &mut self.row_shards {
             rs.lengths.clear();
             rs.indices.clear();
-            for src in &recv {
+            for src in recv {
                 let shard_no = self.cfg.plan.placements[rs.table]
                     .scheme
                     .row_shard_index(self.rank, rs.row_off, &model, rs.table);
@@ -613,41 +638,50 @@ impl Worker {
                 rs.indices.extend_from_slice(&msg.indices);
             }
         }
-        drop(recv);
+        Ok(())
+    }
 
-        // pooled outputs of owned shards (global batch)
+    /// Pooled outputs of the owned table-/column-wise shards over the
+    /// global batch, in deterministic shard order.
+    fn owned_pooled_forward(&mut self) -> Result<Vec<Tensor2>, SyncError> {
         let mut owned_pooled: Vec<Tensor2> = Vec::with_capacity(self.shards.len());
         for sh in &mut self.shards {
             let pooled = pooled_forward(sh.store.as_mut(), &sh.lengths, &sh.indices)
                 .map_err(|e| err(e.to_string()))?;
             owned_pooled.push(pooled);
         }
-        if sp.is_recording() {
-            let rows: usize = self.shards.iter().map(|sh| sh.indices.len()).sum();
-            self.rec
-                .sink()
-                .counter_add(metric::EMB_LOOKUP_ROWS, rows as u64);
-        }
-        drop(sp);
+        Ok(owned_pooled)
+    }
 
-        // 4a. pooled AlltoAll for table-/column-wise shards (manifest order)
-        let sp = self.rec.span(phase::ALLTOALL_FWD);
+    /// Packs owned pooled outputs into per-destination wire payloads
+    /// (manifest order — the receiver derives the same layout).
+    fn build_pooled_payloads(&self, owned_pooled: &[Tensor2], b_loc: usize) -> Vec<Vec<f32>> {
+        let world = self.world;
         let mut payloads: Vec<Vec<f32>> = vec![Vec::new(); world];
-        for (sh, pooled) in self.shards.iter().zip(&owned_pooled) {
+        for (sh, pooled) in self.shards.iter().zip(owned_pooled) {
             debug_assert_eq!(pooled.rows(), world * b_loc, "shard {:?}", sh.desc);
             for (dest, payload) in payloads.iter_mut().enumerate() {
                 let chunk = pooled.slice_rows(dest * b_loc, (dest + 1) * b_loc);
                 payload.extend_from_slice(chunk.as_slice());
             }
         }
-        let pooled_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_fwd)?;
+        payloads
+    }
 
-        // assemble per-table pooled features for the local sub-batch
+    /// Reassembles per-table pooled features for the local sub-batch from
+    /// the pooled-AlltoAll receive buffers, using each owner's manifest.
+    fn assemble_pooled_features(
+        &self,
+        pooled_recv: &[Vec<f32>],
+        b_loc: usize,
+    ) -> Result<Vec<Tensor2>, SyncError> {
+        let model = &self.cfg.model;
+        let d = model.emb_dim();
         let mut pooled_features: Vec<Tensor2> = (0..model.tables.len())
             .map(|_| Tensor2::zeros(b_loc, d))
             .collect();
         for (owner, data) in pooled_recv.iter().enumerate() {
-            let manifest = owner_manifest(&self.cfg.plan, &model, owner);
+            let manifest = owner_manifest(&self.cfg.plan, model, owner);
             let mut off = 0usize;
             for c in manifest {
                 let n = b_loc * c.width;
@@ -663,7 +697,19 @@ impl Worker {
                 return Err(err("pooled payload length mismatch"));
             }
         }
-        drop(sp);
+        Ok(pooled_features)
+    }
+
+    /// Row-wise ReduceScatter features and data-parallel local lookups
+    /// (steps 4b/4c — blocking in both schedules).
+    fn row_and_dp_features(
+        &mut self,
+        sub: &CombinedBatch,
+        pooled_features: &mut [Tensor2],
+        b_loc: usize,
+    ) -> Result<(), SyncError> {
+        let world = self.world;
+        let d = self.cfg.model.emb_dim();
 
         // 4b. ReduceScatter for row-wise tables (table-id order, all ranks)
         let row_tables = self.row_tables.clone();
@@ -701,8 +747,17 @@ impl Worker {
                 pooled_forward(dpt.store.as_mut(), lens, idx).map_err(|e| err(e.to_string()))?;
         }
         drop(sp);
+        Ok(())
+    }
 
-        // 5. interaction + top MLP
+    /// Dot interaction + top MLP (step 5); caches the forward features
+    /// for `backward_update` when training.
+    fn interact_and_top(
+        &mut self,
+        z0: Tensor2,
+        mut pooled_features: Vec<Tensor2>,
+        train: bool,
+    ) -> Result<Tensor2, SyncError> {
         let sp = self.rec.span(phase::INTERACTION);
         let mut features = vec![z0];
         features.append(&mut pooled_features);
@@ -720,27 +775,157 @@ impl Worker {
         if train {
             self.cached_features = Some(features);
         }
+        Ok(logits)
+    }
+
+    /// Forward pass over the worker's sub-batch, participating in the
+    /// group's collectives. Returns `(logits, sub_batch)`.
+    fn forward(
+        &mut self,
+        global: &CombinedBatch,
+        train: bool,
+    ) -> Result<(Tensor2, CombinedBatch), SyncError> {
+        let sub = global
+            .split(self.world)
+            .map_err(|e| err(e.to_string()))?
+            .swap_remove(self.rank);
+        let b_loc = sub.batch_size();
+
+        // 1. bottom MLP on local dense features
+        let sp = self.rec.span(phase::FWD_BOTTOM_MLP);
+        let z0 = if train {
+            self.bottom.forward(&sub.dense)
+        } else {
+            self.bottom.forward_inference(&sub.dense)
+        };
+        drop(sp);
+
+        // 2. index redistribution
+        let sp = self.rec.span(phase::INPUT_A2A);
+        let sends = self.build_index_sends(&sub)?;
+        let recv = self.comm.all_to_all_v(sends)?;
+        drop(sp);
+
+        // 3. pooled lookups for owned shards over the global batch
+        let sp = self.rec.span(phase::EMB_LOOKUP);
+        self.consume_index_recv(&recv)?;
+        drop(recv);
+        let owned_pooled = self.owned_pooled_forward()?;
+        if sp.is_recording() {
+            let rows: usize = self.shards.iter().map(|sh| sh.indices.len()).sum();
+            self.rec
+                .sink()
+                .counter_add(metric::EMB_LOOKUP_ROWS, rows as u64);
+        }
+        drop(sp);
+
+        // 4a. pooled AlltoAll for table-/column-wise shards (manifest order)
+        let sp = self.rec.span(phase::ALLTOALL_FWD);
+        let payloads = self.build_pooled_payloads(&owned_pooled, b_loc);
+        let pooled_recv = self.comm.all_to_all_v_quant(payloads, self.cfg.quant_fwd)?;
+        // assemble per-table pooled features for the local sub-batch
+        let mut pooled_features = self.assemble_pooled_features(&pooled_recv, b_loc)?;
+        drop(sp);
+
+        // 4b/4c. row-wise ReduceScatter + data-parallel lookups
+        self.row_and_dp_features(&sub, &mut pooled_features, b_loc)?;
+
+        // 5. interaction + top MLP
+        let logits = self.interact_and_top(z0, pooled_features, train)?;
         Ok((logits, sub))
     }
 
-    /// Backward + update from the local logit gradient (already scaled by
-    /// the *global* batch size).
-    fn backward_update(
+    /// Splits off the local sub-batch and posts its index AlltoAll to the
+    /// comm lane (the producer half of the double buffer).
+    fn post_input_a2a(
         &mut self,
-        sub: &CombinedBatch,
-        grad_logits: &Tensor2,
-    ) -> Result<(), SyncError> {
-        let world = self.world;
-        let b_loc = sub.batch_size();
-        let model = self.cfg.model.clone();
-        let d = model.emb_dim();
-        let features = self
-            .cached_features
-            .take()
-            .ok_or_else(|| err("backward without forward"))?;
-        let bwd_span = self.rec.span(phase::BACKWARD);
+        global: &CombinedBatch,
+        iter: u64,
+    ) -> Result<PendingInput, SyncError> {
+        let sub = global
+            .split(self.world)
+            .map_err(|e| err(e.to_string()))?
+            .swap_remove(self.rank);
+        let sends = self.build_index_sends(&sub)?;
+        let handle = self.comm.post_all_to_all_v(sends, phase::INPUT_A2A, iter);
+        Ok(PendingInput { sub, handle })
+    }
 
-        // 7. dense backward
+    /// Forward pass of the overlapped (Fig. 9) schedule. The current
+    /// batch's index AlltoAll is already in flight (posted during the
+    /// previous iteration, or primed here at the pipeline head); `next`
+    /// is the double-buffered batch whose index exchange this iteration
+    /// posts before its own interaction/top MLP. Bitwise-identical to
+    /// [`Worker::forward`] with `train = true`: every reordered pair of
+    /// operations is data-independent.
+    fn forward_overlapped(
+        &mut self,
+        global: &CombinedBatch,
+        next: Option<&CombinedBatch>,
+        iter: u64,
+    ) -> Result<(Tensor2, CombinedBatch), SyncError> {
+        let pending = match self.pending_input.take() {
+            Some(p) => p,
+            None => self.post_input_a2a(global, iter)?,
+        };
+        let PendingInput { sub, handle } = pending;
+        let b_loc = sub.batch_size();
+        let recv = handle.wait()?;
+
+        // owned-shard lookups first, so the pooled exchange can be
+        // posted before the bottom MLP and hide behind it
+        let sp = self.rec.span(phase::EMB_LOOKUP);
+        self.consume_index_recv(&recv)?;
+        drop(recv);
+        let owned_pooled = self.owned_pooled_forward()?;
+        if sp.is_recording() {
+            let rows: usize = self.shards.iter().map(|sh| sh.indices.len()).sum();
+            self.rec
+                .sink()
+                .counter_add(metric::EMB_LOOKUP_ROWS, rows as u64);
+        }
+        drop(sp);
+
+        let payloads = self.build_pooled_payloads(&owned_pooled, b_loc);
+        let pooled = self.comm.post_all_to_all_v_quant(
+            payloads,
+            self.cfg.quant_fwd,
+            phase::ALLTOALL_FWD,
+            iter,
+        );
+
+        // bottom MLP runs while the pooled AlltoAll is on the wire
+        let sp = self.rec.span(phase::FWD_BOTTOM_MLP);
+        let z0 = self.bottom.forward(&sub.dense);
+        drop(sp);
+
+        let pooled_recv = pooled.wait()?;
+        let mut pooled_features = self.assemble_pooled_features(&pooled_recv, b_loc)?;
+
+        // row-wise ReduceScatter + data-parallel lookups stay blocking
+        self.row_and_dp_features(&sub, &mut pooled_features, b_loc)?;
+
+        // double buffer: batch i+1's index exchange rides behind batch
+        // i's interaction, top MLP, and the whole backward
+        if let Some(nb) = next {
+            self.pending_input = Some(self.post_input_a2a(nb, iter)?);
+        }
+
+        let logits = self.interact_and_top(z0, pooled_features, true)?;
+        Ok((logits, sub))
+    }
+
+    /// Dense backward (step 7): top MLP, interaction, bottom MLP.
+    /// Returns the per-feature gradients (`g_features[0]` is the dense
+    /// input; `g_features[t + 1]` belongs to table `t`).
+    fn dense_backward(
+        &mut self,
+        grad_logits: &Tensor2,
+        features: &[Tensor2],
+    ) -> Result<Vec<Tensor2>, SyncError> {
+        let model = &self.cfg.model;
+        let d = model.emb_dim();
+        let num_tables = model.tables.len();
         let sp = self.rec.span(phase::TOP_MLP_BWD);
         let g_top_in = self
             .top
@@ -749,7 +934,7 @@ impl Worker {
         drop(sp);
         let sp = self.rec.span(phase::INTERACTION_BWD);
         let splits = g_top_in
-            .hsplit(&[d, num_pairs(model.tables.len() + 1)])
+            .hsplit(&[d, num_pairs(num_tables + 1)])
             .map_err(|e| err(e.to_string()))?;
         let refs: Vec<&Tensor2> = features.iter().collect();
         let mut g_features =
@@ -761,6 +946,137 @@ impl Worker {
             .backward(&g_features[0])
             .map_err(|e| err(e.to_string()))?;
         drop(sp);
+        Ok(g_features)
+    }
+
+    /// Backward + update from the local logit gradient (already scaled by
+    /// the *global* batch size).
+    fn backward_update(
+        &mut self,
+        sub: &CombinedBatch,
+        grad_logits: &Tensor2,
+    ) -> Result<(), SyncError> {
+        let features = self
+            .cached_features
+            .take()
+            .ok_or_else(|| err("backward without forward"))?;
+        let bwd_span = self.rec.span(phase::BACKWARD);
+
+        // 7. dense backward
+        let g_features = self.dense_backward(grad_logits, &features)?;
+
+        // 8. sparse paths (grad exchanges + exact optimizer updates)
+        self.sparse_backward(sub, &g_features)?;
+
+        // 9. MLP AllReduce + SGD
+        self.scratch_grads.clear();
+        self.bottom.grads_flat(&mut self.scratch_grads);
+        self.top.grads_flat(&mut self.scratch_grads);
+        let mut buf = std::mem::take(&mut self.scratch_grads);
+        let sp = self.rec.span(phase::ALLREDUCE);
+        self.comm.all_reduce(&mut buf)?;
+        drop(sp);
+        let sp = self.rec.span(phase::DENSE_OPTIM);
+        let nb = self.bottom.num_params();
+        self.bottom
+            .set_grads_flat(&buf[..nb])
+            .map_err(|e| err(e.to_string()))?;
+        self.top
+            .set_grads_flat(&buf[nb..])
+            .map_err(|e| err(e.to_string()))?;
+        self.scratch_grads = buf;
+        self.bottom.apply_optimizer(self.bottom_opt.as_mut());
+        self.top.apply_optimizer(self.top_opt.as_mut());
+        drop(sp);
+        drop(bwd_span);
+        Ok(())
+    }
+
+    /// Backward + update of the overlapped (Fig. 9) schedule. The serial
+    /// path's single MLP AllReduce is split in two halves, each posted to
+    /// the comm lane the moment its backward segment finishes, so both
+    /// run behind the blocking sparse paths. Rank-order accumulation is
+    /// element-wise, so the two halves are bitwise-equal to the serial
+    /// combined buffer (`buf[..nb]` / `buf[nb..]`).
+    fn backward_update_overlapped(
+        &mut self,
+        sub: &CombinedBatch,
+        grad_logits: &Tensor2,
+        iter: u64,
+    ) -> Result<(), SyncError> {
+        let features = self
+            .cached_features
+            .take()
+            .ok_or_else(|| err("backward without forward"))?;
+        let bwd_span = self.rec.span(phase::BACKWARD);
+
+        let model = &self.cfg.model;
+        let d = model.emb_dim();
+        let num_tables = model.tables.len();
+        let sp = self.rec.span(phase::TOP_MLP_BWD);
+        let g_top_in = self
+            .top
+            .backward(grad_logits)
+            .map_err(|e| err(e.to_string()))?;
+        drop(sp);
+        // the top MLP's grads are final: post their AllReduce half now
+        let mut top_grads = Vec::new();
+        self.top.grads_flat(&mut top_grads);
+        let top_half = self
+            .comm
+            .post_all_reduce(top_grads, phase::ALLREDUCE_TOP, iter);
+
+        let sp = self.rec.span(phase::INTERACTION_BWD);
+        let splits = g_top_in
+            .hsplit(&[d, num_pairs(num_tables + 1)])
+            .map_err(|e| err(e.to_string()))?;
+        let refs: Vec<&Tensor2> = features.iter().collect();
+        let mut g_features =
+            dot_interaction_backward(&refs, &splits[1]).map_err(|e| err(e.to_string()))?;
+        g_features[0] += &splits[0];
+        drop(sp);
+        let sp = self.rec.span(phase::BWD_BOTTOM_MLP);
+        self.bottom
+            .backward(&g_features[0])
+            .map_err(|e| err(e.to_string()))?;
+        drop(sp);
+        // bottom half follows as soon as its segment is done
+        let mut bot_grads = Vec::new();
+        self.bottom.grads_flat(&mut bot_grads);
+        let bot_half = self
+            .comm
+            .post_all_reduce(bot_grads, phase::ALLREDUCE_BOT, iter);
+
+        // blocking sparse paths run while both halves are on the wire
+        self.sparse_backward(sub, &g_features)?;
+
+        let bot = bot_half.wait()?;
+        let top = top_half.wait()?;
+        let sp = self.rec.span(phase::DENSE_OPTIM);
+        self.bottom
+            .set_grads_flat(&bot)
+            .map_err(|e| err(e.to_string()))?;
+        self.top
+            .set_grads_flat(&top)
+            .map_err(|e| err(e.to_string()))?;
+        self.bottom.apply_optimizer(self.bottom_opt.as_mut());
+        self.top.apply_optimizer(self.top_opt.as_mut());
+        drop(sp);
+        drop(bwd_span);
+        Ok(())
+    }
+
+    /// Sparse backward (step 8): grad exchanges back to every shard kind
+    /// plus the exact optimizer updates. Blocking in both schedules.
+    fn sparse_backward(
+        &mut self,
+        sub: &CombinedBatch,
+        g_features: &[Tensor2],
+    ) -> Result<(), SyncError> {
+        let world = self.world;
+        let b_loc = sub.batch_size();
+        let model = self.cfg.model.clone();
+        let d = model.emb_dim();
 
         // 8a. grad AlltoAll back to table-/column-wise owners
         let sp = self.rec.span(phase::ALLTOALL_BWD);
@@ -874,28 +1190,6 @@ impl Worker {
                 .sink()
                 .counter_add(metric::EMB_OPTIM_ROWS, optim_rows);
         }
-
-        // 9. MLP AllReduce + SGD
-        self.scratch_grads.clear();
-        self.bottom.grads_flat(&mut self.scratch_grads);
-        self.top.grads_flat(&mut self.scratch_grads);
-        let mut buf = std::mem::take(&mut self.scratch_grads);
-        let sp = self.rec.span(phase::ALLREDUCE);
-        self.comm.all_reduce(&mut buf)?;
-        drop(sp);
-        let sp = self.rec.span(phase::DENSE_OPTIM);
-        let nb = self.bottom.num_params();
-        self.bottom
-            .set_grads_flat(&buf[..nb])
-            .map_err(|e| err(e.to_string()))?;
-        self.top
-            .set_grads_flat(&buf[nb..])
-            .map_err(|e| err(e.to_string()))?;
-        self.scratch_grads = buf;
-        self.bottom.apply_optimizer(self.bottom_opt.as_mut());
-        self.top.apply_optimizer(self.top_opt.as_mut());
-        drop(sp);
-        drop(bwd_span);
         Ok(())
     }
 }
@@ -917,17 +1211,33 @@ impl Worker {
         }
     }
 
-    fn train_step(&mut self, iter: u64, global: &CombinedBatch) -> Result<f32, SyncError> {
+    /// One training iteration. `next` is the double-buffered batch the
+    /// overlapped schedule posts ahead; the serial schedule ignores it.
+    fn train_step(
+        &mut self,
+        iter: u64,
+        global: &CombinedBatch,
+        next: Option<&CombinedBatch>,
+    ) -> Result<f32, SyncError> {
         let lr = self.cfg.lr_schedule.lr_at(self.cfg.lr, iter);
         self.set_lr(lr);
         self.rec.begin_iteration(iter);
         let iter_span = self.rec.span(phase::ITERATION);
-        let (logits, sub) = self.forward(global, true)?;
+        let overlap = self.cfg.overlap;
+        let (logits, sub) = if overlap {
+            self.forward_overlapped(global, next, iter)?
+        } else {
+            self.forward(global, true)?
+        };
         let (loss, mut grad) =
             bce_with_logits(&logits, &sub.labels).map_err(|e| err(e.to_string()))?;
         // bce divides by the local batch; rescale to the global batch
         grad.scale(sub.batch_size() as f32 / self.cfg.global_batch as f32);
-        self.backward_update(&sub, &grad)?;
+        if overlap {
+            self.backward_update_overlapped(&sub, &grad, iter)?;
+        } else {
+            self.backward_update(&sub, &grad)?;
+        }
         // global mean loss (sub-batches are equal-sized)
         let mut l = vec![loss];
         let sp = self.rec.span(phase::ALLREDUCE);
@@ -1191,10 +1501,28 @@ impl SyncTrainer {
                         let mut w = Worker::new(cfg.clone(), comm);
                         let mut losses = Vec::with_capacity(num_batches as usize);
                         let mut ne_curve = Vec::new();
+                        // double buffer: the overlapped schedule needs
+                        // batch i+1 during iteration i, so each batch is
+                        // built one iteration ahead and carried over
+                        let mut carried: Option<CombinedBatch> = None;
                         for i in 0..num_batches {
-                            let b = make(i);
-                            check(&b)?;
-                            losses.push(w.train_step(i, &b)?);
+                            let b = match carried.take() {
+                                Some(b) => b,
+                                None => {
+                                    let b = make(i);
+                                    check(&b)?;
+                                    b
+                                }
+                            };
+                            let next = if cfg.overlap && i + 1 < num_batches {
+                                let nb = make(i + 1);
+                                check(&nb)?;
+                                Some(nb)
+                            } else {
+                                None
+                            };
+                            losses.push(w.train_step(i, &b, next.as_ref())?);
+                            carried = next;
                             let samples = (i + 1) * cfg.global_batch as u64;
                             if eval_every > 0
                                 && (i + 1) % eval_every as u64 == 0
@@ -1597,6 +1925,94 @@ mod tests {
         // zero world
         let sc = SyncConfig::exact(0, model_cfg(), mixed_plan(1), 32);
         assert!(SyncTrainer::new(sc).train(&[], &[], 0, None).is_err());
+    }
+
+    #[test]
+    fn overlapped_schedule_bitwise_matches_serial() {
+        let run = |overlap: bool| {
+            let mut sc = SyncConfig::exact(4, model_cfg(), mixed_plan(4), 32);
+            sc.overlap = overlap;
+            sc.gather_final_model = true;
+            SyncTrainer::new(sc)
+                .train(&batches(5, 32), &[], 0, Some(&dataset().batch(32, 77)))
+                .unwrap()
+        };
+        let serial = run(false);
+        let over = run(true);
+        assert_eq!(serial.losses, over.losses, "loss trajectories diverge");
+        assert_eq!(serial.probe_logits, over.probe_logits);
+        let probe = dataset().batch(32, 77);
+        let a = serial
+            .final_model
+            .unwrap()
+            .forward_inference(&probe)
+            .unwrap();
+        let b = over.final_model.unwrap().forward_inference(&probe).unwrap();
+        assert_eq!(a, b, "gathered models diverge");
+    }
+
+    #[test]
+    fn overlapped_schedule_with_delay_still_bitwise_matches() {
+        // injected wire latency moves wall-clock placement only
+        let run = |overlap: bool| {
+            let mut sc = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 16);
+            sc.overlap = overlap;
+            sc.comm_delay = overlap.then(|| CommDelay::new(64e9, 5e-6));
+            SyncTrainer::new(sc)
+                .train(&batches(3, 16), &[], 0, Some(&dataset().batch(16, 55)))
+                .unwrap()
+        };
+        let serial = run(false);
+        let over = run(true);
+        assert_eq!(serial.losses, over.losses);
+        assert_eq!(serial.probe_logits, over.probe_logits);
+    }
+
+    #[test]
+    fn overlapped_telemetry_splits_allreduce_onto_comm_lane() {
+        let mut cfg = SyncConfig::exact(2, model_cfg(), mixed_plan(2), 16);
+        cfg.overlap = true;
+        let sink = neo_telemetry::TelemetrySink::armed();
+        cfg.telemetry = sink.clone();
+        let out = SyncTrainer::new(cfg)
+            .train(&batches(3, 16), &[], 0, None)
+            .unwrap();
+        assert_eq!(out.losses.len(), 3);
+        let snap = sink.snapshot().expect("armed sink snapshots");
+        let names = snap.span_names();
+        for want in [
+            phase::ALLREDUCE_TOP,
+            phase::ALLREDUCE_BOT,
+            phase::INPUT_A2A,
+            phase::ALLTOALL_FWD,
+            phase::ALLREDUCE, // the loss mean stays a blocking combined op
+        ] {
+            assert!(names.contains(&want), "missing phase {want} in {names:?}");
+        }
+        // posted collectives record their spans on the comm lane; the
+        // loss AllReduce stays on the main lane
+        for posted in [phase::ALLREDUCE_TOP, phase::ALLREDUCE_BOT, phase::INPUT_A2A] {
+            assert!(
+                snap.spans
+                    .iter()
+                    .filter(|s| s.name == posted)
+                    .all(|s| s.lane == neo_collectives::COMM_LANE),
+                "{posted} spans not on the comm lane"
+            );
+        }
+        assert!(snap
+            .spans
+            .iter()
+            .filter(|s| s.name == phase::ALLREDUCE)
+            .all(|s| s.lane == 0));
+        // every wait on a posted op records posted-to-wait latency
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|(k, h)| k == &metric::comm_wait_ns("all_reduce") && h.total() > 0),
+            "no comm.all_reduce.wait_ns observations in {:?}",
+            snap.histograms.iter().map(|(k, _)| k).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -25,11 +25,16 @@
 //! `cargo run -p neo-xtask -- json-check [--min-phases N] <files...>`
 //! validates telemetry exports produced by `--telemetry`: each file must
 //! parse as JSON; a metrics summary (object with a `spans` key) must carry
-//! at least N distinct span phase names, and a Chrome trace (object with a
-//! `traceEvents` key) must give every event a name and phase, every "X"
-//! event a timestamp and duration, and must label the process
-//! (`process_name`) and every rank's thread (`thread_name`) with metadata
-//! events.
+//! at least N distinct span phase names and no pair of spans that
+//! partially overlaps on the same `(rank, lane)` — spans within one
+//! execution lane come from scoped guards and may only nest, while the
+//! overlapped trainer's posted collectives interleave with compute
+//! legally because they run on a separate comm lane with its own
+//! Chrome-trace tid. A Chrome trace (object with a `traceEvents` key)
+//! must give every event a name and phase, every "X" event a timestamp
+//! and duration, and must label the process (`process_name`) and every
+//! thread — each rank's main lane and any comm lanes — with
+//! `thread_name` metadata events.
 //!
 //! `cargo run -p neo-xtask -- bench [--label L] [--out FILE] [--quick]
 //! [--best-of N] [--check BASELINE --tolerance PCT]` runs the pinned
@@ -171,10 +176,18 @@ fn run_json_check(args: &[String]) -> Result<usize, String> {
             let total = spans.len();
             names.sort_unstable();
             names.dedup();
+            let tangled = tangled_spans(spans);
             if names.len() < min_phases {
                 println!(
                     "{shown}: only {} distinct span phase(s), need at least {min_phases}",
                     names.len()
+                );
+                problems += 1;
+            } else if tangled > 0 {
+                println!(
+                    "{shown}: {tangled} span pair(s) partially overlap on the same \
+                     (rank, lane); spans may only nest within a lane (overlapped \
+                     collectives belong on their own comm lane)"
                 );
                 problems += 1;
             } else {
@@ -243,6 +256,49 @@ fn run_json_check(args: &[String]) -> Result<usize, String> {
         }
     }
     Ok(problems)
+}
+
+/// Counts span pairs that *partially* overlap while sharing a `(rank,
+/// lane)` — a malformed timeline. Spans on one execution lane come from
+/// scoped guards, so they may nest but never cross; the overlapped
+/// (Fig. 9) trainer's posted collectives interleave with compute
+/// legally because they run on a separate comm lane (`lane > 0`, its
+/// own Chrome-trace tid), which this check deliberately permits. Span
+/// records without a `lane` key are lane 0 (pre-lane exports).
+fn tangled_spans(spans: &[neo_telemetry::json::Json]) -> usize {
+    type LaneIntervals = Vec<((u64, u64), Vec<(f64, f64)>)>;
+    let mut by_lane: LaneIntervals = Vec::new();
+    for s in spans {
+        let rank = s.get("rank").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+        let lane = s.get("lane").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+        let (Some(start), Some(end)) = (
+            s.get("start_ns").and_then(|v| v.as_f64()),
+            s.get("end_ns").and_then(|v| v.as_f64()),
+        ) else {
+            continue;
+        };
+        let key = (rank, lane);
+        match by_lane.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push((start, end)),
+            None => by_lane.push((key, vec![(start, end)])),
+        }
+    }
+    let mut tangled = 0usize;
+    for (_, mut iv) in by_lane {
+        // sort by start ascending, longest first on ties so parents precede
+        iv.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+        let mut stack: Vec<f64> = Vec::new();
+        for (start, end) in iv {
+            while stack.last().is_some_and(|&e| e <= start) {
+                stack.pop();
+            }
+            if stack.last().is_some_and(|&e| end > e) {
+                tangled += 1; // starts inside an open span, ends after it
+            }
+            stack.push(end);
+        }
+    }
+    tangled
 }
 
 /// Runs the pinned benchmark suite, writes `results/BENCH_<label>.json`,
@@ -556,10 +612,36 @@ mod tests {
         let bad = base.join("bad.json");
         fs::write(&bad, "{not json").unwrap();
 
+        // comm-lane spans interleaving with main-lane compute: legal
+        let lanes = base.join("lanes.json");
+        fs::write(
+            &lanes,
+            r#"{"counters": {}, "gauges": {}, "histograms": {}, "spans": [
+                {"rank": 0, "iter": 0, "name": "iteration", "lane": 0, "start_ns": 0, "end_ns": 50},
+                {"rank": 0, "iter": 0, "name": "emb_lookup", "lane": 0, "start_ns": 0, "end_ns": 30},
+                {"rank": 0, "iter": 0, "name": "input_a2a", "lane": 1, "start_ns": 10, "end_ns": 40}
+            ]}"#,
+        )
+        .unwrap();
+        // the same interleave on ONE lane: malformed
+        let tangled = base.join("tangled.json");
+        fs::write(
+            &tangled,
+            r#"{"counters": {}, "gauges": {}, "histograms": {}, "spans": [
+                {"rank": 0, "iter": 0, "name": "emb_lookup", "lane": 0, "start_ns": 0, "end_ns": 30},
+                {"rank": 0, "iter": 0, "name": "input_a2a", "lane": 0, "start_ns": 10, "end_ns": 40}
+            ]}"#,
+        )
+        .unwrap();
+
         let arg = |p: &Path| p.to_string_lossy().into_owned();
         let ok =
             run_json_check(&["--min-phases".into(), "2".into(), arg(&good), arg(&trace)]).unwrap();
         assert_eq!(ok, 0);
+        let lane_ok = run_json_check(&["--min-phases".into(), "3".into(), arg(&lanes)]).unwrap();
+        assert_eq!(lane_ok, 0, "cross-lane interleaving is legal");
+        let lane_bad = run_json_check(&[arg(&tangled)]).unwrap();
+        assert_eq!(lane_bad, 1, "same-lane partial overlap is flagged");
         let too_few = run_json_check(&["--min-phases".into(), "8".into(), arg(&good)]).unwrap();
         assert_eq!(too_few, 1);
         let no_meta = run_json_check(&[arg(&unlabeled)]).unwrap();

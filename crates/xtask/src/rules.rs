@@ -227,6 +227,14 @@ fn iterates_ident(code: &str, name: &str) -> bool {
 /// Rule `span_balance`: telemetry span instrumentation must be shaped so
 /// the recorded timeline stays well-formed.
 ///
+/// Well-formed means spans nest within one `(rank, lane)`: the check is
+/// per source file and lane-agnostic on purpose, because the overlapped
+/// trainer's posted collectives record on a dedicated comm lane
+/// (`neo_collectives::COMM_LANE`) whose spans legally interleave with
+/// the rank's main-lane compute — the guards still pair up file by
+/// file, one `begin_iteration`/`end_iteration` pair per recording site
+/// (the comm-lane recorder in `nonblocking.rs` carries its own pair).
+///
 /// Two checks, both per file and both waivable with
 /// `// lint: allow(span_balance) — <reason>`:
 ///

@@ -1,11 +1,19 @@
 //! Quickstart: train a small DLRM synchronously across 4 simulated GPUs.
 //!
 //! ```text
-//! cargo run --release --example quickstart [-- --telemetry out.json]
+//! cargo run --release --example quickstart \
+//!     [-- --telemetry out.json] [--overlap] [--comm-delay]
 //! ```
 //!
+//! `--overlap` trains on the overlapped (Fig. 9) schedule instead of the
+//! serial one — bitwise-identical losses, different wall-clock shape.
+//! `--comm-delay` injects the ZionEX-derived wire latency into every
+//! collective so communication costs real time; combine both to
+//! reproduce the Fig. 14 exposed-comm drop measured in README.md.
+//!
 //! Demonstrates the full Neo pipeline at laptop scale: synthetic CTR data
-//! in the combined format, a planner-generated hybrid sharding plan, the
+//! in the combined format streamed through the background prefetcher and
+//! shared per-worker feed, a planner-generated hybrid sharding plan, the
 //! hybrid-parallel trainer with quantized AlltoAll, and normalized-entropy
 //! evaluation.
 //!
@@ -20,7 +28,8 @@
 use neo_dlrm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let telemetry_path = parse_telemetry_arg()?;
+    let args = parse_args()?;
+    let telemetry_path = args.telemetry;
     // 1. model: 8 embedding tables of 20000 rows, dim 16
     let model = DlrmConfig::tiny(8, 20_000, 16);
     println!("model: {} parameters", model.num_params());
@@ -46,19 +55,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.quant_fwd = QuantMode::Fp16;
     cfg.quant_bwd = QuantMode::Bf16;
     cfg.lr = 0.4;
+    cfg.overlap = args.overlap;
+    if args.comm_delay {
+        // wire cost priced like the bench suite's Fig. 14 pair
+        cfg.comm_delay = Some(CommDelay::new(16e9, 100e-6));
+    }
+    if args.overlap || args.comm_delay {
+        println!(
+            "schedule: {}{}",
+            if args.overlap {
+                "overlapped (Fig. 9)"
+            } else {
+                "serial"
+            },
+            if args.comm_delay {
+                " + injected wire delay"
+            } else {
+                ""
+            },
+        );
+    }
     if telemetry_path.is_some() {
         cfg.telemetry = TelemetrySink::armed();
     }
     let sink = cfg.telemetry.clone();
     let trainer = SyncTrainer::new(cfg);
 
-    // 4. synthetic CTR stream + eval set
+    // 4. synthetic CTR stream + eval set, fed through the §4.4 ingestion
+    //    pipeline: a background prefetcher builds batches ahead of the
+    //    trainer (double-buffered) and a shared feed hands each global
+    //    batch to all 4 workers
+    const ITERS: u64 = 120;
     let ds = SyntheticDataset::new(SyntheticConfig::uniform(8, 20_000, 4, 4))?;
-    let train: Vec<_> = (0..120).map(|k| ds.batch(256, k)).collect();
     let eval: Vec<_> = (10_000..10_004).map(|k| ds.batch(256, k)).collect();
+    let reader =
+        PrefetchReader::spawn_with_telemetry(ITERS, 2, sink.clone(), move |k| ds.batch(256, k));
+    let feed = SharedFeed::new(reader, 4);
 
     // 5. train, evaluating NE every 20 iterations
-    let out = trainer.train(&train, &eval, 20, None)?;
+    let out = trainer.train_stream(
+        ITERS,
+        |k| feed.batch(k).expect("prefetch feed covers every iteration"),
+        &eval,
+        20,
+        None,
+    )?;
     println!(
         "loss: first {:.4} -> last {:.4}",
         out.losses[0],
@@ -91,18 +132,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Pulls `--telemetry <path>` out of the CLI args, if present.
-fn parse_telemetry_arg() -> Result<Option<String>, String> {
+struct Args {
+    telemetry: Option<String>,
+    overlap: bool,
+    comm_delay: bool,
+}
+
+/// Parses `[--telemetry <path>] [--overlap] [--comm-delay]`.
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        telemetry: None,
+        overlap: false,
+        comm_delay: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--telemetry" {
-            return match args.next() {
-                Some(p) => Ok(Some(p)),
-                None => Err("--telemetry requires an output path".into()),
-            };
+        match a.as_str() {
+            "--telemetry" => match args.next() {
+                Some(p) => parsed.telemetry = Some(p),
+                None => return Err("--telemetry requires an output path".into()),
+            },
+            "--overlap" => parsed.overlap = true,
+            "--comm-delay" => parsed.comm_delay = true,
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(None)
+    Ok(parsed)
 }
 
 /// `out.json` -> `out.trace.json` (appends when there is no extension).

@@ -62,8 +62,10 @@ pub use neo_trainer as trainer;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use neo_collectives::{Communicator, ProcessGroup, QuantMode};
-    pub use neo_dataio::{CombinedBatch, PrefetchReader, SyntheticConfig, SyntheticDataset};
+    pub use neo_collectives::{CommDelay, CommHandle, Communicator, ProcessGroup, QuantMode};
+    pub use neo_dataio::{
+        CombinedBatch, PrefetchReader, SharedFeed, SyntheticConfig, SyntheticDataset,
+    };
     pub use neo_dlrm_model::{
         bce_with_logits, Auc, DlrmConfig, DlrmModel, ModelProfile, NormalizedEntropy,
     };

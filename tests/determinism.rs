@@ -2,6 +2,7 @@
 //! updates plus rank-ordered reductions make training bit-wise reproducible
 //! run-to-run, and checkpoints restore exactly.
 
+use neo_dlrm::collectives::QuantMode;
 use neo_dlrm::dataio::{SyntheticConfig, SyntheticDataset};
 use neo_dlrm::dlrm::{bce_with_logits, DlrmConfig};
 use neo_dlrm::embeddings::{SparseAdagrad, SparseOptimizer};
@@ -73,6 +74,55 @@ fn armed_telemetry_does_not_perturb_training() {
         out.probe_logits.unwrap()
     };
     assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn overlap_schedule_bitwise_matches_serial() {
+    // The Fig. 9 overlapped schedule only reorders data-independent work
+    // (posted collectives still reduce in rank order on the comm lane),
+    // so for every world size and quantization mode the loss trajectory,
+    // the probe logits, and every trained embedding row must be bitwise
+    // identical to the serial schedule.
+    let ds = dataset();
+    let batches: Vec<_> = (0..6).map(|k| ds.batch(32, k)).collect();
+    let probe = ds.batch(32, 555);
+    for world in [2, 4] {
+        for (qf, qb) in [
+            (QuantMode::Fp32, QuantMode::Fp32),
+            (QuantMode::Fp16, QuantMode::Bf16),
+        ] {
+            let run = |overlap: bool| {
+                let mut cfg = planned(world, 32);
+                cfg.seed = 42;
+                cfg.quant_fwd = qf;
+                cfg.quant_bwd = qb;
+                cfg.overlap = overlap;
+                cfg.gather_final_model = true;
+                SyncTrainer::new(cfg)
+                    .train(&batches, &[], 0, Some(&probe))
+                    .unwrap()
+            };
+            let serial = run(false);
+            let overlapped = run(true);
+            let tag = format!("world {world}, quant {qf:?}/{qb:?}");
+            assert_eq!(serial.losses, overlapped.losses, "losses diverge: {tag}");
+            assert_eq!(
+                serial.probe_logits, overlapped.probe_logits,
+                "probe logits diverge: {tag}"
+            );
+            let mut a = serial.final_model.expect("gathered serial model");
+            let mut b = overlapped.final_model.expect("gathered overlapped model");
+            for (t, (ta, tb)) in a.tables.iter_mut().zip(b.tables.iter_mut()).enumerate() {
+                let d = ta.dim();
+                let (mut ra, mut rb) = (vec![0.0f32; d], vec![0.0f32; d]);
+                for row in 0..ta.num_rows() {
+                    ta.read_row(row, &mut ra);
+                    tb.read_row(row, &mut rb);
+                    assert_eq!(ra, rb, "embedding row diverges: table {t} row {row}, {tag}");
+                }
+            }
+        }
+    }
 }
 
 #[test]
