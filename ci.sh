@@ -5,44 +5,49 @@
 #   1. formatting        (cargo fmt --check)
 #   2. clippy            (warnings are errors)
 #   3. neo-xtask lint    (panic / hash_iter / crate_header / props_cover /
-#                         span_balance / metric_names)
+#                         span_balance / metric_names / lock_order /
+#                         lock_unwrap / stale_waiver)
 #   4. tier-1 tests      (root-package build + tests, the ROADMAP gate)
 #   5. workspace tests   (all crates)
-#   6. sanitizer tests   (numeric sanitizer armed via --features sanitize)
+#   6. sanitizer tests   (numeric sanitizer + lock-order runtime validator
+#                         armed via --features sanitize)
 #   7. telemetry check   (quickstart --telemetry artifacts parse, carry the
 #                         span taxonomy, and label process/rank threads)
 #   8. bench gate        (pinned benchmark suite vs the committed baseline;
 #                         fails on >10% throughput regression)
+#   9. interleave gate   (seeded schedule perturbation of the overlapped
+#                         trainer: no deadlock, bitwise-equal to serial)
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> [1/8] cargo fmt --check"
+echo "==> [1/9] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/8] cargo clippy --workspace -- -D warnings"
+echo "==> [2/9] cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [3/8] cargo run -p neo-xtask -- lint"
+echo "==> [3/9] cargo run -p neo-xtask -- lint"
 cargo run -q -p neo-xtask -- lint
 
-echo "==> [4/8] tier-1: cargo build --release && cargo test -q"
+echo "==> [4/9] tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "==> [5/8] cargo test -q --workspace"
+echo "==> [5/9] cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> [6/8] cargo test -q -p neo-tensor -p neo-embeddings --features sanitize"
-cargo test -q -p neo-tensor -p neo-embeddings --features sanitize
+echo "==> [6/9] sanitize: numeric + lock-order validators armed"
+cargo test -q -p neo-tensor -p neo-embeddings -p neo-sync -p neo-collectives \
+    -p neo-dataio -p neo-telemetry -p neo-trainer -p neo-dlrm --features sanitize
 
-echo "==> [7/8] telemetry: quickstart --telemetry + neo-xtask json-check"
+echo "==> [7/9] telemetry: quickstart --telemetry + neo-xtask json-check"
 TELEMETRY_OUT="$(mktemp -d)/neo_telemetry.json"
 cargo run -q --release --example quickstart -- --telemetry "$TELEMETRY_OUT" >/dev/null
 cargo run -q -p neo-xtask -- json-check --min-phases 8 \
     "$TELEMETRY_OUT" "${TELEMETRY_OUT%.json}.trace.json"
 rm -rf "$(dirname "$TELEMETRY_OUT")"
 
-echo "==> [8/8] bench: pinned suite vs committed baseline (tolerance 10%)"
+echo "==> [8/9] bench: pinned suite vs committed baseline (tolerance 10%)"
 # one retry: a transient co-tenant load spike must persist across two
 # best-of-3 measurements (~a minute apart) to fail the gate
 bench_gate() {
@@ -50,5 +55,8 @@ bench_gate() {
         --check results/bench_baseline.json --tolerance 10
 }
 bench_gate || { echo "bench gate failed once; retrying"; bench_gate; }
+
+echo "==> [9/9] interleave: 32 seeded schedule perturbations vs serial"
+cargo run -q --release -p neo-xtask -- interleave --seeds 32
 
 echo "ci.sh: all gates passed"

@@ -1,10 +1,10 @@
 //! The thread-backed process group and its collectives.
 
 use std::any::Any;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
+use neo_sync::{OrderedBarrier, OrderedMutex};
 use neo_telemetry::{metric, TelemetrySink};
-use parking_lot::Mutex;
 
 use crate::delay::CommDelay;
 use crate::nonblocking::Lane;
@@ -16,7 +16,7 @@ use crate::quant::{QuantError, QuantMode};
 /// payload of the wrong type) or a quantization misuse, surfaced as typed
 /// errors so trainers can shut a job down cleanly instead of unwinding
 /// through a panic on the hot path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CollectiveError {
     /// A rank's deposit slot was empty when results were read.
     MissingDeposit {
@@ -31,10 +31,18 @@ pub enum CollectiveError {
     /// A quantized collective was asked for an impossible wire conversion.
     Quant(QuantError),
     /// A nonblocking collective's comm lane shut down before delivering
-    /// the result (its thread panicked or the group was torn down).
+    /// the result (the group was torn down mid-flight).
     LaneClosed {
         /// The collective being executed.
         op: &'static str,
+    },
+    /// The comm-lane worker panicked while running a posted collective;
+    /// the panic payload is captured here instead of unwinding the caller.
+    LaneFailed {
+        /// The collective being executed.
+        op: &'static str,
+        /// The panic message the lane worker died with.
+        message: String,
     },
 }
 
@@ -53,6 +61,9 @@ impl std::fmt::Display for CollectiveError {
             CollectiveError::Quant(e) => write!(f, "quantized collective: {e}"),
             CollectiveError::LaneClosed { op } => {
                 write!(f, "comm lane closed before {op} completed")
+            }
+            CollectiveError::LaneFailed { op, message } => {
+                write!(f, "comm lane worker panicked during {op}: {message}")
             }
         }
     }
@@ -90,16 +101,20 @@ struct Deposit {
 
 pub(crate) struct Shared {
     world: usize,
-    barrier: Barrier,
-    slots: Mutex<Vec<Option<Deposit>>>,
+    barrier: OrderedBarrier,
+    slots: OrderedMutex<Vec<Option<Deposit>>>,
 }
 
 impl Shared {
-    fn new(world: usize) -> Arc<Self> {
+    /// `slots_name`/`barrier_name` are this instance's nodes in the
+    /// workspace lock hierarchy (DESIGN.md): the main and lane copies
+    /// get distinct names so the sanitize-mode order graph can tell a
+    /// legal main-vs-lane interleaving from a true inversion.
+    fn new(world: usize, slots_name: &'static str, barrier_name: &'static str) -> Arc<Self> {
         Arc::new(Shared {
             world,
-            barrier: Barrier::new(world),
-            slots: Mutex::new((0..world).map(|_| None).collect()),
+            barrier: OrderedBarrier::new(barrier_name, world),
+            slots: OrderedMutex::new(slots_name, (0..world).map(|_| None).collect()),
         })
     }
 }
@@ -120,11 +135,11 @@ impl ProcessGroup {
     #[allow(clippy::new_ret_no_self)] // deliberately a factory: one handle per rank
     pub fn new(world: usize) -> Vec<Communicator> {
         assert!(world > 0, "process group needs at least one rank");
-        let shared = Shared::new(world);
+        let shared = Shared::new(world, "collectives.main.slots", "collectives.main.barrier");
         // Nonblocking collectives rendezvous through a second, independent
         // shared state so an in-flight posted op can never cross-match a
         // blocking op issued concurrently on the main thread.
-        let lane_shared = Shared::new(world);
+        let lane_shared = Shared::new(world, "collectives.lane.slots", "collectives.lane.barrier");
         (0..world)
             .map(|rank| Communicator {
                 rank,

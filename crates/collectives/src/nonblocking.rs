@@ -13,9 +13,11 @@
 //! `comm.<op>.wait_ns` histogram — the *exposed* remainder of the op,
 //! as opposed to the in-collective time measured on the lane.
 
+use std::any::Any;
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use neo_sync::chaos;
 use neo_telemetry::{metric, RankRecorder, TelemetrySink};
 
 use crate::delay::CommDelay;
@@ -29,7 +31,29 @@ pub const COMM_LANE: u32 = 1;
 /// iteration so the queue never builds more than a few entries.
 const LANE_QUEUE: usize = 32;
 
-type Job = Box<dyn FnOnce(&mut LaneCtx) + Send>;
+type Job = Box<dyn FnOnce(&mut LaneCtx) -> LaneStatus + Send>;
+
+/// Whether the lane thread can keep serving jobs after the one it just ran.
+enum LaneStatus {
+    Ok,
+    /// The job's collective panicked. The lane-side rendezvous may be
+    /// desynchronized mid-exchange, so the thread stops taking work;
+    /// later waits on this rank observe [`CollectiveError::LaneClosed`].
+    Failed,
+}
+
+/// Renders a captured panic payload (the `catch_unwind` error value) for
+/// [`CollectiveError::LaneFailed`]. `panic!` with a literal yields `&str`,
+/// formatted panics yield `String`; anything else is opaque.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// State owned by one rank's comm-lane thread.
 struct LaneCtx {
@@ -54,7 +78,18 @@ impl Lane {
                 rec: RankRecorder::disabled(),
             };
             while let Ok(job) = rx.recv() {
-                job(&mut ctx);
+                if matches!(job(&mut ctx), LaneStatus::Failed) {
+                    // The lane-side rendezvous may be desynchronized
+                    // mid-exchange, so stop *running* jobs — but keep
+                    // draining the queue until the owner drops the
+                    // sender: dropping an unrun job drops its result
+                    // sender, so its waiter observes LaneClosed instead
+                    // of blocking on a message that never comes.
+                    while let Ok(dead) = rx.recv() {
+                        drop(dead);
+                    }
+                    break;
+                }
             }
         });
         Self { tx }
@@ -72,6 +107,7 @@ impl Lane {
         self.send(Box::new(move |ctx| {
             ctx.rec = sink.rank_lane(ctx.comm.rank as u32, COMM_LANE);
             ctx.comm.set_telemetry(sink);
+            LaneStatus::Ok
         }));
     }
 
@@ -79,7 +115,10 @@ impl Lane {
     /// pay the modeled wire time on the lane thread (overlappable) rather
     /// than on the caller.
     pub(crate) fn set_comm_delay(&self, delay: Option<CommDelay>) {
-        self.send(Box::new(move |ctx| ctx.comm.set_comm_delay(delay)));
+        self.send(Box::new(move |ctx| {
+            ctx.comm.set_comm_delay(delay);
+            LaneStatus::Ok
+        }));
     }
 }
 
@@ -106,9 +145,12 @@ impl<R> CommHandle<R> {
     ///
     /// # Errors
     ///
-    /// Returns the posted collective's error, or
-    /// [`CollectiveError::LaneClosed`] if the lane died first.
+    /// Returns the posted collective's error —
+    /// [`CollectiveError::LaneFailed`] if the lane worker panicked while
+    /// running it — or [`CollectiveError::LaneClosed`] if the lane died
+    /// before delivering.
     pub fn wait(self) -> Result<R, CollectiveError> {
+        chaos::yield_point(chaos::site::WAIT);
         let t0 = self.telemetry.now_ns();
         let res = match self.rx.recv() {
             Ok(r) => r,
@@ -140,13 +182,34 @@ impl Communicator {
             telemetry: self.telemetry.clone(),
         };
         if let Some(lane) = &self.lane {
+            chaos::yield_point(chaos::site::POST);
             lane.send(Box::new(move |ctx| {
+                chaos::yield_point(chaos::site::LANE_ENTER);
                 ctx.rec.begin_iteration(iter);
                 let sp = ctx.rec.span(span_name);
-                let res = run(&mut ctx.comm);
+                // AssertUnwindSafe: on panic the lane stops serving jobs
+                // (LaneStatus::Failed breaks its loop), so any state the
+                // unwound exchange left mid-invariant is never touched
+                // again — the panic surfaces as a typed LaneFailed on the
+                // handle instead of killing a detached thread.
+                let res =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&mut ctx.comm)));
                 drop(sp);
                 ctx.rec.end_iteration();
-                let _ = tx.send(res);
+                chaos::yield_point(chaos::site::LANE_EXIT);
+                match res {
+                    Ok(res) => {
+                        let _ = tx.send(res);
+                        LaneStatus::Ok
+                    }
+                    Err(payload) => {
+                        let _ = tx.send(Err(CollectiveError::LaneFailed {
+                            op,
+                            message: panic_message(payload.as_ref()),
+                        }));
+                        LaneStatus::Failed
+                    }
+                }
             }));
         }
         handle
@@ -160,10 +223,9 @@ impl Communicator {
     ///
     /// [`phase`]: neo_telemetry::phase
     ///
-    /// # Panics
-    ///
-    /// The posted exchange panics on the lane thread if
-    /// `sends.len() != world`.
+    /// A contract violation (e.g. `sends.len() != world`) panics the
+    /// exchange *on the lane thread*; the panic is captured and surfaces
+    /// as [`CollectiveError::LaneFailed`] at [`CommHandle::wait`].
     pub fn post_all_to_all_v<T: Clone + Send + 'static>(
         &mut self,
         sends: Vec<Vec<T>>,
@@ -346,6 +408,39 @@ mod tests {
             .collect();
         assert_eq!(lane_spans.len(), 2, "one lane span per rank");
         assert!(lane_spans.iter().all(|s| s.iter == 4));
+    }
+
+    #[test]
+    fn lane_panic_surfaces_as_typed_lane_failed() {
+        // Every rank posts a malformed exchange (wrong sends.len()), so
+        // every lane worker trips the world-size assert *before* its
+        // rendezvous deposit — each rank must get the captured panic back
+        // as LaneFailed rather than hanging or unwinding the caller.
+        let out = run(2, |rank, c| {
+            let bad = c.post_all_to_all_v(vec![vec![rank as u32]; 3], phase::INPUT_A2A, 0);
+            let err = bad.wait().expect_err("malformed exchange must fail");
+            // The lane is now out of service: later posts observe a
+            // closed lane at wait, not a hang.
+            let after = c.post_all_to_all_v(vec![vec![rank as u32]; 2], phase::INPUT_A2A, 1);
+            (err, after.wait().expect_err("lane must be closed"))
+        });
+        for (err, after) in out {
+            match err {
+                CollectiveError::LaneFailed { op, message } => {
+                    assert_eq!(op, "all_to_all_v");
+                    assert!(
+                        message.contains("world send lists"),
+                        "captured payload should carry the assert text, got {message:?}"
+                    );
+                }
+                other => panic!("expected LaneFailed, got {other:?}"),
+            }
+            assert_eq!(
+                after,
+                CollectiveError::LaneClosed { op: "all_to_all_v" },
+                "post-failure ops must observe a closed lane"
+            );
+        }
     }
 
     #[test]

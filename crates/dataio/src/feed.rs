@@ -11,7 +11,8 @@
 //! `k`), so the park window stays a couple of batches deep.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, PoisonError};
+
+use neo_sync::OrderedMutex;
 
 use crate::batch::CombinedBatch;
 use crate::reader::PrefetchReader;
@@ -38,7 +39,7 @@ use crate::reader::PrefetchReader;
 /// ```
 #[derive(Debug)]
 pub struct SharedFeed {
-    state: Mutex<FeedState>,
+    state: OrderedMutex<FeedState>,
     world: usize,
 }
 
@@ -62,11 +63,14 @@ impl SharedFeed {
     pub fn new(reader: PrefetchReader, world: usize) -> Self {
         assert!(world > 0, "feed needs at least one consumer");
         Self {
-            state: Mutex::new(FeedState {
-                reader,
-                next: 0,
-                parked: BTreeMap::new(),
-            }),
+            state: OrderedMutex::new(
+                "dataio.feed.state",
+                FeedState {
+                    reader,
+                    next: 0,
+                    parked: BTreeMap::new(),
+                },
+            ),
             world,
         }
     }
@@ -75,7 +79,7 @@ impl SharedFeed {
     /// catches up to `k`; returns `None` when the stream ends before
     /// `k`, or when every claim on `k` was already taken.
     pub fn batch(&self, k: u64) -> Option<CombinedBatch> {
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = self.state.lock();
         loop {
             if let Some((_, claims)) = st.parked.get_mut(&k) {
                 *claims -= 1;
@@ -97,11 +101,7 @@ impl SharedFeed {
 
     /// Batch indices currently parked (pulled but not fully claimed).
     pub fn parked(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .parked
-            .len()
+        self.state.lock().parked.len()
     }
 }
 

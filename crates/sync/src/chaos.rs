@@ -1,0 +1,127 @@
+//! Deterministic schedule-chaos injector for the interleave harness.
+//!
+//! `neo-xtask interleave` arms this module with a seed, then runs the
+//! overlapped trainer. Code on the comm-lane boundaries calls
+//! [`yield_point`] with a site id; armed, the injector hashes
+//! `(seed, per-thread call counter, site)` with SplitMix64 and — on a
+//! fixed fraction of calls — yields the time slice or sleeps a bounded
+//! pseudo-random number of microseconds. That perturbs which thread wins
+//! each race without changing any computed value, so a schedule that
+//! only *happens* to produce bitwise-identical results gets shaken out.
+//!
+//! Determinism contract: decisions depend only on the seed, the site id,
+//! and how many yield points *this thread* has crossed. Thread identity
+//! is positional (the trainer spawns the same worker/lane topology every
+//! run), so a failing seed replays the same decision sequence per
+//! thread. Disarmed (the default, and always in production paths), every
+//! call is two relaxed atomic loads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Yield-point site ids. Spread across the comm-lane hand-off so
+/// perturbations hit both sides of every queue/rendezvous edge.
+pub mod site {
+    /// Caller thread, just before shipping a job to the comm lane.
+    pub const POST: u32 = 1;
+    /// Comm-lane thread, after dequeuing a job and before running it.
+    pub const LANE_ENTER: u32 = 2;
+    /// Comm-lane thread, after running a job and before sending the result.
+    pub const LANE_EXIT: u32 = 3;
+    /// Caller thread, on entry to `CommHandle::wait`.
+    pub const WAIT: u32 = 4;
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static SEED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Yield points this thread has crossed while armed.
+    static COUNTER: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Arms the injector with `seed`. Affects the whole process; the
+/// interleave harness runs one perturbed schedule per process run.
+pub fn arm(seed: u64) {
+    SEED.store(seed, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms the injector; subsequent [`yield_point`] calls are no-ops.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the injector is currently armed.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// SplitMix64 finalizer — the same mixer the proptest shim's `TestRng`
+/// uses, good enough to decorrelate (seed, counter, site) triples.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A perturbation opportunity. Disarmed: no-op. Armed: deterministically
+/// (per seed, thread position, and `site`) does nothing, yields the time
+/// slice, or sleeps 20–200 µs.
+pub fn yield_point(site: u32) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let n = COUNTER.with(|c| {
+        let n = c.get();
+        c.set(n + 1);
+        n
+    });
+    let seed = SEED.load(Ordering::Relaxed);
+    let h = splitmix64(seed ^ n.wrapping_mul(0x0100_0000_01B3) ^ ((site as u64) << 56));
+    match h % 8 {
+        // ~2/8 of calls: give up the slice so a racing thread can win.
+        0 | 1 => std::thread::yield_now(),
+        // ~1/8 of calls: a real stall, long enough to reorder queue
+        // hand-offs even when the other thread needs a syscall to wake.
+        2 => std::thread::sleep(Duration::from_micros(20 + (h >> 32) % 180)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_is_noop_and_armed_is_deterministic() {
+        assert!(!is_armed());
+        yield_point(site::POST); // must not panic or stall
+
+        // The decision stream is a pure function of (seed, counter, site):
+        // two fresh threads with the same seed see identical hashes.
+        let decisions = |seed: u64| -> Vec<u64> {
+            (0..64)
+                .map(|n: u64| {
+                    splitmix64(
+                        seed ^ n.wrapping_mul(0x0100_0000_01B3) ^ ((site::WAIT as u64) << 56),
+                    ) % 8
+                })
+                .collect()
+        };
+        assert_eq!(decisions(7), decisions(7));
+        assert_ne!(decisions(7), decisions(8), "seeds must differ");
+    }
+
+    #[test]
+    fn arm_disarm_round_trip() {
+        arm(42);
+        assert!(is_armed());
+        for s in [site::POST, site::LANE_ENTER, site::LANE_EXIT, site::WAIT] {
+            yield_point(s);
+        }
+        disarm();
+        assert!(!is_armed());
+    }
+}

@@ -1,0 +1,225 @@
+//! Lock-order bookkeeping behind the `sanitize` feature.
+//!
+//! Armed, every [`crate::OrderedMutex`] / [`crate::OrderedRwLock`]
+//! acquisition consults a **thread-local held-lock stack** and a
+//! **process-wide acquisition-order graph** keyed by lock name. Acquiring
+//! `B` while holding `A` records the edge `A → B`; an acquisition whose
+//! edge would close a cycle in that graph is a potential deadlock and
+//! yields a typed [`LockOrderViolation`] *before* blocking. A
+//! [`crate::OrderedBarrier`] wait while any lock is held is a rendezvous
+//! wait-cycle hazard (a peer may need that lock to reach the barrier) and
+//! is reported the same way.
+//!
+//! Disarmed, every hook in this module is an empty inlined function.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::recover;
+
+/// What kind of ordering hazard a [`LockOrderViolation`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The acquisition's order-graph edge closes a cycle: some other
+    /// thread interleaving acquires the same locks in the opposite
+    /// order, so the program can deadlock.
+    Cycle,
+    /// A barrier wait was entered while holding a lock: a peer rank that
+    /// needs the lock to reach the same barrier would deadlock the group.
+    RendezvousWhileLocked,
+}
+
+/// A detected lock-ordering hazard, reported instead of deadlocking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOrderViolation {
+    /// The hazard class.
+    pub kind: ViolationKind,
+    /// The lock (or barrier) being acquired when the hazard was found.
+    pub acquiring: &'static str,
+    /// Locks the acquiring thread already held, outermost first.
+    pub held: Vec<&'static str>,
+    /// For [`ViolationKind::Cycle`]: the order-graph cycle the edge
+    /// closes, as a lock-name sequence ending where it starts.
+    pub cycle: Vec<&'static str>,
+}
+
+impl fmt::Display for LockOrderViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ViolationKind::Cycle => write!(
+                f,
+                "lock-order cycle acquiring `{}` while holding [{}]: {}",
+                self.acquiring,
+                self.held.join(", "),
+                self.cycle.join(" -> "),
+            ),
+            ViolationKind::RendezvousWhileLocked => write!(
+                f,
+                "rendezvous wait on `{}` while holding [{}]: a peer needing \
+                 those locks can never reach the barrier",
+                self.acquiring,
+                self.held.join(", "),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LockOrderViolation {}
+
+/// Process-wide registry of violations noted by the infallible lock paths
+/// (`lock`/`read`/`write` record and proceed rather than failing their
+/// call sites). Deduplicated on insert so hot loops stay bounded.
+static VIOLATIONS: Mutex<Vec<LockOrderViolation>> = Mutex::new(Vec::new());
+
+/// Drains every violation recorded so far (empty when the `sanitize`
+/// feature is off — the wrappers then never check anything).
+pub fn take_violations() -> Vec<LockOrderViolation> {
+    std::mem::take(&mut *recover(VIOLATIONS.lock()))
+}
+
+/// Records `v` in the process-wide registry (deduplicated).
+pub(crate) fn record(v: LockOrderViolation) {
+    let mut reg = recover(VIOLATIONS.lock());
+    if !reg.contains(&v) {
+        reg.push(v);
+    }
+}
+
+#[cfg(feature = "sanitize")]
+pub(crate) use armed::{held_locks, on_acquire, on_acquired, on_release, on_rendezvous};
+
+#[cfg(feature = "sanitize")]
+mod armed {
+    use super::{record, LockOrderViolation, ViolationKind};
+    use crate::recover;
+    use std::cell::RefCell;
+    use std::sync::Mutex;
+
+    /// The process-wide acquisition-order graph: `(held, acquired)` edges.
+    static EDGES: Mutex<Vec<(&'static str, &'static str)>> = Mutex::new(Vec::new());
+
+    thread_local! {
+        /// Lock names this thread currently holds, outermost first.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Locks the calling thread currently holds, outermost first.
+    pub(crate) fn held_locks() -> Vec<&'static str> {
+        HELD.with(|h| h.borrow().clone())
+    }
+
+    /// Shortest path `from -> .. -> to` in `edges`, if any (BFS).
+    fn path(
+        edges: &[(&'static str, &'static str)],
+        from: &'static str,
+        to: &'static str,
+    ) -> Option<Vec<&'static str>> {
+        let mut frontier = vec![vec![from]];
+        let mut seen = vec![from];
+        while let Some(trail) = frontier.pop() {
+            let last = *trail.last()?;
+            if last == to {
+                return Some(trail);
+            }
+            for &(a, b) in edges {
+                if a == last && !seen.contains(&b) {
+                    seen.push(b);
+                    let mut next = trail.clone();
+                    next.push(b);
+                    frontier.insert(0, next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Pre-acquisition check for `name`: records the new order-graph
+    /// edges, or returns the violation the acquisition would commit.
+    /// Called *before* blocking, so a cyclic acquisition can be refused
+    /// (or noted) instead of deadlocking.
+    pub(crate) fn on_acquire(name: &'static str) -> Option<LockOrderViolation> {
+        let held = held_locks();
+        let mut edges = recover(EDGES.lock());
+        for &h in &held {
+            if h == name {
+                return Some(LockOrderViolation {
+                    kind: ViolationKind::Cycle,
+                    acquiring: name,
+                    held,
+                    cycle: vec![name, name],
+                });
+            }
+            if edges.contains(&(h, name)) {
+                continue;
+            }
+            if let Some(mut cyc) = path(&edges, name, h) {
+                cyc.push(name);
+                return Some(LockOrderViolation {
+                    kind: ViolationKind::Cycle,
+                    acquiring: name,
+                    held,
+                    cycle: cyc,
+                });
+            }
+            edges.push((h, name));
+        }
+        None
+    }
+
+    /// The acquisition of `name` succeeded; push it on the held stack.
+    pub(crate) fn on_acquired(name: &'static str) {
+        HELD.with(|h| h.borrow_mut().push(name));
+    }
+
+    /// A guard for `name` dropped; pop its innermost occurrence.
+    pub(crate) fn on_release(name: &'static str) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(at) = held.iter().rposition(|&n| n == name) {
+                held.remove(at);
+            }
+        });
+    }
+
+    /// Pre-wait check for barrier `name`: waiting while holding any lock
+    /// is a rendezvous wait-cycle hazard; note it (the wait itself still
+    /// proceeds — peers are owed the arrival).
+    pub(crate) fn on_rendezvous(name: &'static str) {
+        let held = held_locks();
+        if !held.is_empty() {
+            record(LockOrderViolation {
+                kind: ViolationKind::RendezvousWhileLocked,
+                acquiring: name,
+                held,
+                cycle: Vec::new(),
+            });
+        }
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+mod disarmed {
+    use super::LockOrderViolation;
+
+    #[inline(always)]
+    pub(crate) fn on_acquire(_name: &'static str) -> Option<LockOrderViolation> {
+        None
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_acquired(_name: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn on_release(_name: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn on_rendezvous(_name: &'static str) {}
+
+    /// Disarmed builds never track anything.
+    pub(crate) fn held_locks() -> Vec<&'static str> {
+        Vec::new()
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+pub(crate) use disarmed::{held_locks, on_acquire, on_acquired, on_release, on_rendezvous};

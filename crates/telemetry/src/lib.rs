@@ -1,8 +1,9 @@
 //! Metrics registry and per-iteration span timeline for the Neo training stack.
 //!
-//! This crate is deliberately **zero-external-dependency** (std only) so every
-//! other crate in the workspace can depend on it without cycles or build-cost
-//! creep. It provides:
+//! This crate is deliberately free of external dependencies (std plus the
+//! equally std-only `neo-sync` lock wrappers) so every other crate in the
+//! workspace can depend on it without cycles or build-cost creep. It
+//! provides:
 //!
 //! - a thread-safe metrics registry: monotonically increasing **counters**,
 //!   per-iteration **gauge series**, and **histograms** with fixed log2
@@ -37,8 +38,9 @@ pub use metrics::{Histogram, NUM_BUCKETS};
 pub use summary::TelemetrySummary;
 
 use metrics::Store;
+use neo_sync::{OrderedMutex, OrderedMutexGuard};
 use std::fmt;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One recorded phase interval: rank + iteration + name + wall-clock bounds.
@@ -72,7 +74,7 @@ impl SpanRecord {
 
 struct Inner {
     epoch: Instant,
-    store: Mutex<Store>,
+    store: OrderedMutex<Store>,
 }
 
 impl Inner {
@@ -80,10 +82,10 @@ impl Inner {
         u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
-    fn store(&self) -> std::sync::MutexGuard<'_, Store> {
+    fn store(&self) -> OrderedMutexGuard<'_, Store> {
         // A panic while holding the lock only loses telemetry, never
-        // correctness; recover instead of propagating the poison.
-        self.store.lock().unwrap_or_else(PoisonError::into_inner)
+        // correctness; OrderedMutex recovers from the poison itself.
+        self.store.lock()
     }
 }
 
@@ -121,7 +123,7 @@ impl TelemetrySink {
         Self {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
-                store: Mutex::new(Store::default()),
+                store: OrderedMutex::new("telemetry.store", Store::default()),
             })),
         }
     }

@@ -1,0 +1,772 @@
+//! Rules `lock_order` and `lock_unwrap`: the concurrency half of the
+//! workspace invariants.
+//!
+//! `lock_order` extracts every `Mutex`/`RwLock`/`Condvar` (and
+//! `OrderedMutex`/`OrderedRwLock`) field or binding in the workspace,
+//! then scans each function body for **nested acquisitions**: taking
+//! lock `B` while a guard for lock `A` is still live records the
+//! order-graph edge `A → B`. Calls to same-crate functions made while a
+//! guard is held are expanded **one level**: if `f` calls `g` while
+//! holding `A` and `g` acquires `B`, the edge `A → B` is recorded at the
+//! call site. Edges are inserted into one global graph in deterministic
+//! (path, line) order; the first edge that closes a cycle — two code
+//! paths that nest the same locks in opposite orders, i.e. a potential
+//! deadlock — is diagnosed at its source line, waivable with
+//! `// lint: allow(lock_order) — <reason>`.
+//!
+//! This is the static face of the runtime validator in `neo-sync`: the
+//! linter proves the *written* nesting acyclic on every path it can see,
+//! the `sanitize`-armed [`neo_sync::OrderedMutex`] wrappers check the
+//! *executed* nesting (including through trait objects and closures the
+//! token scan cannot follow).
+//!
+//! Known over/under-approximations, deliberate for a token-level linter:
+//! guards returned from helper functions are not tracked as held by the
+//! caller (under), and a callee's acquisitions are assumed reachable on
+//! every call (over — waive the edge if a runtime invariant rules the
+//! path out).
+//!
+//! `lock_unwrap` bans `.lock().unwrap()`-style poison propagation:
+//! a panic on one trainer thread must not cascade into opaque poison
+//! panics on every other rank. Library code goes through
+//! `neo_sync::recover` or the ordered wrappers (which recover
+//! internally); the `sync` crate itself, where `recover` lives, is
+//! exempt.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::{is_ident_char, token_match, trailing_ident};
+use crate::scan::{Diagnostic, SourceFile};
+
+/// Types whose fields/bindings become lock-order graph nodes.
+const LOCK_TYPES: &[&str] = &[
+    "OrderedMutex",
+    "OrderedRwLock",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+];
+
+/// Guard-producing acquisition calls on a known lock binding.
+const ACQUIRE_TOKENS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Poison-propagating idioms banned by rule `lock_unwrap`.
+const LOCK_UNWRAP_TOKENS: &[&str] = &[
+    ".lock().unwrap()",
+    ".lock().expect(",
+    ".read().unwrap()",
+    ".read().expect(",
+    ".write().unwrap()",
+    ".write().expect(",
+    "PoisonError::into_inner",
+];
+
+/// Rule `lock_unwrap`: flags poison-propagating lock access in library
+/// code. `krate` is the crate directory name; `sync` is exempt (it
+/// implements the recovery helper these sites should use).
+pub fn check_lock_unwrap(krate: &str, file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if krate == "sync" {
+        return out;
+    }
+    for (ln, code) in file.code.iter().enumerate() {
+        if file.in_test[ln] {
+            continue;
+        }
+        for tok in LOCK_UNWRAP_TOKENS {
+            if token_match(code, tok).is_some() {
+                // consult the waiver only on an actual finding (stale_waiver)
+                if file.allows(ln, "lock_unwrap") {
+                    break;
+                }
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: ln + 1,
+                    rule: "lock_unwrap",
+                    message: format!(
+                        "`{tok}` propagates lock poison across threads; use \
+                         `neo_sync::recover` or an Ordered lock wrapper, or add \
+                         `// lint: allow(lock_unwrap) — <reason>`"
+                    ),
+                });
+                break; // one diagnostic per line is enough
+            }
+        }
+    }
+    out
+}
+
+/// Shortest directed path `from -> .. -> to` in `edges` (BFS), if any.
+pub fn path_between<N: PartialEq + Copy>(edges: &[(N, N)], from: N, to: N) -> Option<Vec<N>> {
+    let mut frontier = vec![vec![from]];
+    let mut seen = vec![from];
+    while let Some(trail) = frontier.pop() {
+        let last = *trail.last()?;
+        if last == to {
+            return Some(trail);
+        }
+        for &(a, b) in edges {
+            if a == last && !seen.contains(&b) {
+                seen.push(b);
+                let mut next = trail.clone();
+                next.push(b);
+                frontier.insert(0, next);
+            }
+        }
+    }
+    None
+}
+
+/// Whether adding the edge `from -> to` to `edges` would close a cycle.
+pub fn closes_cycle<N: PartialEq + Copy>(edges: &[(N, N)], from: N, to: N) -> bool {
+    from == to || path_between(edges, to, from).is_some()
+}
+
+/// One candidate order-graph edge with its source location.
+struct EdgeSite<'a> {
+    /// Crate-qualified lock names, `crate/field`.
+    from: String,
+    to: String,
+    file: &'a SourceFile,
+    /// 0-based line of the acquisition (or call) that creates the edge.
+    line: usize,
+    /// Callee name when the edge comes from one-level call expansion.
+    via: Option<String>,
+}
+
+/// Everything the per-crate scan learns.
+#[derive(Default)]
+struct CrateScan {
+    /// fn name → lock idents it acquires directly in its body.
+    fn_acquires: BTreeMap<String, BTreeSet<String>>,
+    /// Nested-acquisition edges: (held, acquired, file idx, 0-based line).
+    edges: Vec<(String, String, usize, usize)>,
+    /// Same-crate calls made while ≥1 guard was held:
+    /// (held locks, callee, file idx, 0-based line).
+    calls: Vec<(Vec<String>, String, usize, usize)>,
+}
+
+/// Rule `lock_order`: builds the global lock-acquisition graph over every
+/// crate's sources and diagnoses the first edge closing each cycle.
+pub fn check_lock_order(crates: &[(String, Vec<SourceFile>)]) -> Vec<Diagnostic> {
+    let mut candidates: Vec<EdgeSite<'_>> = Vec::new();
+
+    for (krate, files) in crates {
+        let fields = lock_fields(files);
+        if fields.is_empty() {
+            continue;
+        }
+        let fns = crate_fns(files);
+        let mut scan = CrateScan::default();
+        for (idx, file) in files.iter().enumerate() {
+            scan_file(idx, file, &fields, &fns, &mut scan);
+        }
+        let qual = |lock: &str| format!("{krate}/{lock}");
+        for (from, to, fi, ln) in &scan.edges {
+            candidates.push(EdgeSite {
+                from: qual(from),
+                to: qual(to),
+                file: &files[*fi],
+                line: *ln,
+                via: None,
+            });
+        }
+        // one-level call expansion: the callee's direct acquisitions
+        // happen while the caller's guards are held
+        for (held, callee, fi, ln) in &scan.calls {
+            let Some(acquired) = scan.fn_acquires.get(callee) else {
+                continue;
+            };
+            for to in acquired {
+                for from in held {
+                    candidates.push(EdgeSite {
+                        from: qual(from),
+                        to: qual(to),
+                        file: &files[*fi],
+                        line: *ln,
+                        via: Some(callee.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    // deterministic insertion order so the diagnosed closing edge is stable
+    candidates.sort_by(|a, b| {
+        (&a.file.path, a.line, &a.from, &a.to).cmp(&(&b.file.path, b.line, &b.from, &b.to))
+    });
+
+    let mut edges: Vec<(String, String)> = Vec::new();
+    let mut out = Vec::new();
+    for c in candidates {
+        if edges.iter().any(|(f, t)| *f == c.from && *t == c.to) {
+            continue;
+        }
+        let view: Vec<(&str, &str)> = edges
+            .iter()
+            .map(|(f, t)| (f.as_str(), t.as_str()))
+            .collect();
+        if closes_cycle(&view, c.from.as_str(), c.to.as_str())
+            && !c.file.allows(c.line, "lock_order")
+        {
+            let via = match &c.via {
+                Some(callee) => format!(" (via call to `{callee}`)"),
+                None => String::new(),
+            };
+            let message = if c.from == c.to {
+                format!(
+                    "acquires `{}` while already holding it{via}; a non-reentrant \
+                     lock self-deadlocks here",
+                    c.to
+                )
+            } else {
+                let mut cyc: Vec<&str> = path_between(&view, c.to.as_str(), c.from.as_str())
+                    .unwrap_or_else(|| vec![c.to.as_str(), c.from.as_str()]);
+                cyc.push(c.to.as_str());
+                format!(
+                    "acquiring `{}` while holding `{}` closes the lock-order cycle \
+                     {}{via}; another interleaving of these paths deadlocks — nest \
+                     in one global order or add `// lint: allow(lock_order) — <reason>`",
+                    c.to,
+                    c.from,
+                    cyc.join(" -> "),
+                )
+            };
+            out.push(Diagnostic {
+                path: c.file.path.clone(),
+                line: c.line + 1,
+                rule: "lock_order",
+                message,
+            });
+            continue; // keep the graph acyclic so later diagnostics stay precise
+        }
+        edges.push((c.from, c.to));
+    }
+    out
+}
+
+/// Identifiers bound to a lock type anywhere in `files`: struct fields,
+/// statics, params, and let bindings (`name: Mutex<..>` / `name =
+/// Mutex::new(..)`), with qualified-path and `&`/`&mut` prefixes walked
+/// back exactly like the `hash_iter` extraction.
+fn lock_fields(files: &[SourceFile]) -> BTreeSet<String> {
+    let mut fields = BTreeSet::new();
+    for file in files {
+        for (ln, code) in file.code.iter().enumerate() {
+            if file.in_test[ln] {
+                continue;
+            }
+            for ty in LOCK_TYPES {
+                let mut from = 0;
+                while let Some(rel) = code[from..].find(ty) {
+                    let at = from + rel;
+                    from = at + ty.len();
+                    // boundary: `Mutex` inside `OrderedMutex` is not a match
+                    if code[..at].chars().next_back().is_some_and(is_ident_char)
+                        || code[at + ty.len()..]
+                            .chars()
+                            .next()
+                            .is_some_and(is_ident_char)
+                    {
+                        continue;
+                    }
+                    if let Some(name) = binding_before(&code[..at]) {
+                        fields.insert(name);
+                    }
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// The identifier bound at the end of `prefix` when it shapes like
+/// `.. name: <TY` or `.. name = <TY`, walking back over qualified-path
+/// segments (`std::sync::`) and reference sigils.
+fn binding_before(prefix: &str) -> Option<String> {
+    let mut prefix = prefix.trim_end();
+    while let Some(p) = prefix.strip_suffix("::") {
+        let seg = p.trim_end();
+        let start = seg
+            .rfind(|c: char| !is_ident_char(c))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        if start == seg.len() {
+            return None; // `::` not preceded by an identifier segment
+        }
+        prefix = seg[..start].trim_end();
+    }
+    loop {
+        let before = prefix;
+        prefix = prefix.trim_end_matches(['&', ' ']).trim_end();
+        if let Some(p) = prefix.strip_suffix("mut") {
+            if p.is_empty() || p.ends_with([' ', '&', '(']) {
+                prefix = p.trim_end();
+            }
+        }
+        if prefix == before {
+            break;
+        }
+    }
+    let lead = prefix
+        .strip_suffix(':')
+        .or_else(|| prefix.strip_suffix('='))?;
+    trailing_ident(lead)
+}
+
+/// Names of every function defined in the crate's library code.
+fn crate_fns(files: &[SourceFile]) -> BTreeSet<String> {
+    let mut fns = BTreeSet::new();
+    for file in files {
+        for (ln, code) in file.code.iter().enumerate() {
+            if file.in_test[ln] {
+                continue;
+            }
+            let mut from = 0;
+            while let Some(rel) = token_match(&code[from..], "fn ") {
+                let at = from + rel + "fn ".len();
+                from = at;
+                let name: String = code[at..]
+                    .chars()
+                    .take_while(|c| is_ident_char(*c))
+                    .collect();
+                if !name.is_empty() {
+                    fns.insert(name);
+                }
+            }
+        }
+    }
+    fns
+}
+
+/// A live guard binding inside a function body.
+struct Guard {
+    /// Bound variable, when the acquisition was a `let`; temporaries are
+    /// released within their own statement and never enter the stack.
+    var: Option<String>,
+    lock: String,
+    /// Brace depth the binding lives at; popped when its block closes.
+    depth: usize,
+}
+
+/// Positional events on one source line, processed left to right.
+enum Event {
+    Open,
+    Close,
+    Semi,
+    FnDef(String),
+    Acquire { lock: String, var: Option<String> },
+    Call(String),
+    Drop(String),
+}
+
+/// Scans one file's function bodies for nested acquisitions and
+/// calls-while-held, accumulating into `scan`.
+fn scan_file(
+    file_idx: usize,
+    file: &SourceFile,
+    fields: &BTreeSet<String>,
+    fns: &BTreeSet<String>,
+    scan: &mut CrateScan,
+) {
+    let mut depth = 0usize;
+    let mut pending_fn: Option<String> = None;
+    // (fn name, depth of its body's opening brace)
+    let mut open_fns: Vec<(String, usize)> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+
+    for (ln, code) in file.code.iter().enumerate() {
+        let events = if file.in_test[ln] {
+            // depth bookkeeping only: test items still open/close braces
+            brace_events(code)
+        } else {
+            line_events(code, fields, fns, open_fns.last().map(|(n, _)| n.as_str()))
+        };
+        for (_, ev) in events {
+            match ev {
+                Event::Open => {
+                    depth += 1;
+                    if let Some(name) = pending_fn.take() {
+                        open_fns.push((name, depth));
+                    }
+                }
+                Event::Close => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.depth <= depth);
+                    open_fns.retain(|(_, d)| *d <= depth);
+                }
+                Event::Semi => {
+                    pending_fn = None; // trait/extern signature without a body
+                }
+                Event::FnDef(name) => pending_fn = Some(name),
+                Event::Acquire { lock, var } => {
+                    if open_fns.is_empty() {
+                        continue;
+                    }
+                    let mut held: Vec<&str> = guards.iter().map(|g| g.lock.as_str()).collect();
+                    held.dedup();
+                    for h in held {
+                        scan.edges.push((h.to_owned(), lock.clone(), file_idx, ln));
+                    }
+                    if let Some((fname, _)) = open_fns.last() {
+                        scan.fn_acquires
+                            .entry(fname.clone())
+                            .or_default()
+                            .insert(lock.clone());
+                    }
+                    if var.is_some() {
+                        guards.push(Guard { var, lock, depth });
+                    }
+                }
+                Event::Call(callee) => {
+                    if guards.is_empty() {
+                        continue;
+                    }
+                    let mut held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                    held.dedup();
+                    scan.calls.push((held, callee, file_idx, ln));
+                }
+                Event::Drop(var) => {
+                    guards.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                }
+            }
+        }
+    }
+}
+
+/// Brace positions only (for `#[cfg(test)]` regions).
+fn brace_events(code: &str) -> Vec<(usize, Event)> {
+    code.char_indices()
+        .filter_map(|(i, c)| match c {
+            '{' => Some((i, Event::Open)),
+            '}' => Some((i, Event::Close)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// All events on `code`, sorted by column. `current_fn` suppresses
+/// self-recursive call edges.
+fn line_events(
+    code: &str,
+    fields: &BTreeSet<String>,
+    fns: &BTreeSet<String>,
+    current_fn: Option<&str>,
+) -> Vec<(usize, Event)> {
+    let mut events = brace_events(code);
+    for (i, c) in code.char_indices() {
+        if c == ';' {
+            events.push((i, Event::Semi));
+        }
+    }
+
+    // fn definitions
+    let mut from = 0;
+    while let Some(rel) = token_match(&code[from..], "fn ") {
+        let at = from + rel + "fn ".len();
+        from = at;
+        let name: String = code[at..]
+            .chars()
+            .take_while(|c| is_ident_char(*c))
+            .collect();
+        if !name.is_empty() {
+            events.push((at, Event::FnDef(name)));
+        }
+    }
+
+    // acquisitions on known lock bindings
+    let mut acquire_at: Vec<usize> = Vec::new();
+    for tok in ACQUIRE_TOKENS {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(tok) {
+            let at = from + rel;
+            from = at + tok.len();
+            let Some(recv) = trailing_ident(&code[..at]) else {
+                continue;
+            };
+            if !fields.contains(&recv) {
+                continue;
+            }
+            acquire_at.push(at);
+            events.push((
+                at,
+                Event::Acquire {
+                    lock: recv,
+                    var: let_binding_before(code, at),
+                },
+            ));
+        }
+    }
+
+    // drop(var) releases
+    let mut from = 0;
+    while let Some(rel) = token_match(&code[from..], "drop(") {
+        let at = from + rel + "drop(".len();
+        from = at;
+        let var: String = code[at..]
+            .chars()
+            .take_while(|c| is_ident_char(*c))
+            .collect();
+        if !var.is_empty() && code[at + var.len()..].starts_with(')') {
+            events.push((at, Event::Drop(var)));
+        }
+    }
+
+    // same-crate calls (free `f(..)` and method `.f(..)` forms)
+    for f in fns {
+        if Some(f.as_str()) == current_fn {
+            continue; // recursion: the callee's locks are this fn's own
+        }
+        // free form: `f(..)` not preceded by `.` (that is the method form)
+        // and not the `fn f(` definition itself
+        let free = format!("{f}(");
+        let mut from = 0;
+        while let Some(rel) = token_match(&code[from..], &free) {
+            let at = from + rel;
+            from = at + free.len();
+            if code[..at].ends_with("fn ") || code[..at].ends_with('.') {
+                continue;
+            }
+            events.push((at, Event::Call(f.clone())));
+        }
+        // method form: `.f(..)`, unless that position is an acquisition on
+        // a lock field (`.lock()` where the crate also defines `fn lock`)
+        let method = format!(".{f}(");
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(&method) {
+            let at = from + rel;
+            from = at + method.len();
+            if acquire_at.contains(&at) {
+                continue;
+            }
+            events.push((at, Event::Call(f.clone())));
+        }
+    }
+
+    events.sort_by_key(|(i, _)| *i);
+    events
+}
+
+/// When the statement containing column `at` binds its value (`let name =
+/// ...<at>`), the bound variable name.
+fn let_binding_before(code: &str, at: usize) -> Option<String> {
+    // statement starts after the last `;` or `{` before `at`
+    let prefix = &code[..at];
+    let start = prefix.rfind([';', '{']).map(|i| i + 1).unwrap_or(0);
+    let stmt = &prefix[start..];
+    let let_at = token_match(stmt, "let ")?;
+    let eq = stmt[let_at..].find('=').map(|i| let_at + i)?;
+    // `==`, `>=`, `<=`, `!=`, `=>` are not bindings
+    let next = stmt[eq + 1..].chars().next();
+    let prev = stmt[..eq].chars().next_back();
+    if next == Some('=') || next == Some('>') || matches!(prev, Some('=' | '>' | '<' | '!')) {
+        return None;
+    }
+    trailing_ident(&stmt[..eq])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::{any, collection, proptest, Strategy};
+    use std::path::Path;
+
+    fn krate(name: &str, texts: &[&str]) -> (String, Vec<SourceFile>) {
+        let files = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| SourceFile::parse(Path::new(&format!("crates/{name}/src/f{i}.rs")), t))
+            .collect();
+        (name.to_owned(), files)
+    }
+
+    const TWO_LOCKS: &str = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n";
+
+    #[test]
+    fn opposite_nesting_closes_a_cycle() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn one(s: &S) {{\n    let ga = s.a.lock();\n    let gb = s.b.lock();\n}}\n\
+             fn two(s: &S) {{\n    let gb = s.b.lock();\n    let ga = s.a.lock();\n}}\n"
+        );
+        let diags = check_lock_order(&[krate("demo", &[&src])]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lock_order");
+        assert_eq!(diags[0].line, 8, "closing edge in fn two");
+        assert!(diags[0].message.contains("demo/a"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("demo/a -> demo/b -> demo/a"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_nesting_and_sequential_blocks_are_clean() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn one(s: &S) {{\n    let ga = s.a.lock();\n    let gb = s.b.lock();\n}}\n\
+             fn two(s: &S) {{\n    let ga = s.a.lock();\n    let gb = s.b.lock();\n}}\n\
+             fn seq(s: &S) {{\n    {{ let g = s.a.lock(); }}\n    {{ let g = s.a.lock(); }}\n}}\n"
+        );
+        assert!(check_lock_order(&[krate("demo", &[&src])]).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn one(s: &S) {{\n    let ga = s.a.lock();\n    drop(ga);\n    let gb = s.b.lock();\n}}\n\
+             fn two(s: &S) {{\n    let gb = s.b.lock();\n    drop(gb);\n    let ga = s.a.lock();\n}}\n"
+        );
+        assert!(check_lock_order(&[krate("demo", &[&src])]).is_empty());
+    }
+
+    #[test]
+    fn reacquiring_a_held_lock_is_a_self_cycle() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn one(s: &S) {{\n    let g1 = s.a.lock();\n    let g2 = s.a.lock();\n}}\n"
+        );
+        let diags = check_lock_order(&[krate("demo", &[&src])]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("while already holding it"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn one_level_call_expansion_finds_the_cycle() {
+        // `inverted` establishes b -> a directly (earlier line); `outer`
+        // holds a across a call to `helper`, which acquires b — the call
+        // edge a -> b closes the cycle at the call site.
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn inverted(s: &S) {{\n    let gb = s.b.lock();\n    let ga = s.a.lock();\n}}\n\
+             fn helper(s: &S) {{\n    let gb = s.b.lock();\n}}\n\
+             fn outer(s: &S) {{\n    let ga = s.a.lock();\n    helper(s);\n}}\n"
+        );
+        let diags = check_lock_order(&[krate("demo", &[&src])]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("via call to `helper`"),
+            "{}",
+            diags[0].message
+        );
+        assert_eq!(diags[0].line, 11, "diagnosed at the call site");
+    }
+
+    #[test]
+    fn waiver_on_the_closing_edge_suppresses() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn one(s: &S) {{\n    let ga = s.a.lock();\n    let gb = s.b.lock();\n}}\n\
+             fn two(s: &S) {{\n    let gb = s.b.lock();\n\
+             \x20   // lint: allow(lock_order) — b is private to this fn here\n\
+             \x20   let ga = s.a.lock();\n}}\n"
+        );
+        assert!(check_lock_order(&[krate("demo", &[&src])]).is_empty());
+    }
+
+    #[test]
+    fn crates_do_not_share_lock_names() {
+        // the same field name in two crates is two graph nodes
+        let one = format!(
+            "{TWO_LOCKS}\
+             fn f(s: &S) {{\n    let ga = s.a.lock();\n    let gb = s.b.lock();\n}}\n"
+        );
+        let two = format!(
+            "{TWO_LOCKS}\
+             fn f(s: &S) {{\n    let gb = s.b.lock();\n    let ga = s.a.lock();\n}}\n"
+        );
+        let diags = check_lock_order(&[krate("left", &[&one]), krate("right", &[&two])]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn rwlock_and_static_bindings_are_tracked() {
+        let src = "static REG: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n\
+                   struct S { table: RwLock<u32> }\n\
+                   fn f(s: &S) {\n    let g = s.table.read();\n    let r = REG.lock();\n}\n\
+                   fn g(s: &S) {\n    let r = REG.lock();\n    let g = s.table.write();\n}\n";
+        let diags = check_lock_order(&[krate("demo", &[src])]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("demo/REG"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn lock_unwrap_flags_poison_propagation() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n\
+                   \x20   *m.lock().unwrap()\n\
+                   }\n\
+                   // lint: allow(lock_unwrap) — migrating this file next pass\n\
+                   fn g(m: &std::sync::Mutex<u32>) -> u32 {\n\
+                   \x20   *m.lock().expect(\"poisoned\") // lint: allow(lock_unwrap) — same\n\
+                   }\n";
+        let f = SourceFile::parse(Path::new("crates/demo/src/lib.rs"), src);
+        let diags = check_lock_unwrap("demo", &f);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        assert!(check_lock_unwrap("sync", &f).is_empty(), "sync is exempt");
+    }
+
+    /// Independent reachability oracle: boolean transitive closure.
+    fn reachable(n: usize, edges: &[(usize, usize)], from: usize, to: usize) -> bool {
+        let mut reach = vec![vec![false; n]; n];
+        for &(a, b) in edges {
+            reach[a][b] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if reach[i][k] && reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+        reach[from][to]
+    }
+
+    proptest! {
+        /// Random acquisition DAG (every edge i < j, so acyclic by
+        /// construction) plus one extra edge (u, v): `closes_cycle`
+        /// reports a cycle iff u == v or v already reaches u — verified
+        /// against an independent transitive-closure oracle.
+        #[test]
+        fn closing_edge_detected_iff_it_closes_a_cycle(
+            pairs in collection::vec((0usize..8, 0usize..8), 0..24),
+            u in 0usize..8,
+            v in 0usize..8,
+        ) {
+            let n = 8;
+            let dag: Vec<(usize, usize)> = pairs
+                .into_iter()
+                .filter(|(a, b)| a < b)
+                .collect();
+            let want = u == v || reachable(n, &dag, v, u);
+            proptest::prop_assert_eq!(closes_cycle(&dag, u, v), want);
+            // and the path a cycle report is built from actually exists
+            if let Some(p) = path_between(&dag, v, u) {
+                proptest::prop_assert_eq!(p[0], v);
+                proptest::prop_assert_eq!(*p.last().unwrap(), u);
+                for w in p.windows(2) {
+                    proptest::prop_assert!(dag.contains(&(w[0], w[1])));
+                }
+            }
+        }
+    }
+
+    // keep the imports exercised even if proptest internals change
+    #[test]
+    fn strategy_shim_smoke() {
+        let _ = any::<bool>();
+        let _ = (0usize..4).prop_map(|x| x + 1);
+    }
+}

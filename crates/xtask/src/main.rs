@@ -21,6 +21,25 @@
 //! 6. **metric_names** — metric registrations name their metric via the
 //!    constants/helpers in `crates/telemetry/src/metric.rs`, never an
 //!    inline string literal.
+//! 7. **lock_order** — every nested `Mutex`/`RwLock` acquisition (including
+//!    one level of intra-crate call expansion) must respect a single global
+//!    lock order per crate; an edge that closes a cycle in the
+//!    lock-acquisition graph is a potential deadlock and is rejected unless
+//!    waived with `// lint: allow(lock_order) — <reason>`.
+//! 8. **lock_unwrap** — no `.lock().unwrap()` / `.read().expect(...)` /
+//!    `PoisonError::into_inner` poison-propagation idioms outside
+//!    `crates/sync`; code must use the `OrderedMutex`/`OrderedRwLock`
+//!    wrappers, whose `lock()` recovers from poisoning by construction.
+//! 9. **stale_waiver** — every `// lint: allow(<rule>) — <reason>`
+//!    annotation must name a known rule and actually suppress a finding;
+//!    waivers that no longer fire are flagged so they cannot rot in place.
+//!
+//! `cargo run --release -p neo-xtask -- interleave [--seeds N] [--seed S]
+//! [--iters K]` runs the seeded schedule-perturbation harness: for each
+//! seed it arms the `neo-sync` chaos layer, trains the overlapped (Fig. 9)
+//! trainer at w ∈ {2, 4}, and asserts the result is bitwise identical to a
+//! serial reference and free of deadlock (watchdog) and of runtime
+//! lock-order violations. See `interleave.rs`.
 //!
 //! `cargo run -p neo-xtask -- json-check [--min-phases N] <files...>`
 //! validates telemetry exports produced by `--telemetry`: each file must
@@ -60,6 +79,8 @@
 #![forbid(unsafe_code)]
 #![deny(warnings)]
 
+mod interleave;
+mod lockorder;
 mod rules;
 mod scan;
 
@@ -71,6 +92,20 @@ use scan::{Diagnostic, SourceFile};
 
 /// Crates whose sources must not iterate hash containers (rule `hash_iter`).
 const DETERMINISM_CRITICAL: &[&str] = &["collectives", "sharding", "embeddings", "trainer"];
+
+/// Every rule the linter knows; `stale_waiver` checks waivers against this
+/// list, so adding a rule here is what makes its waivers legal.
+const ALL_RULES: &[&str] = &[
+    "panic",
+    "hash_iter",
+    "crate_header",
+    "props_cover",
+    "span_balance",
+    "metric_names",
+    "lock_order",
+    "lock_unwrap",
+    "stale_waiver",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,7 +122,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: neo-xtask lint [--root <dir>] \
      | neo-xtask json-check [--min-phases N] <files...> \
      | neo-xtask bench [--label L] [--out FILE] [--quick] [--best-of N] \
-       [--min-with FILE] [--check BASELINE] [--tolerance PCT]";
+       [--min-with FILE] [--check BASELINE] [--tolerance PCT] \
+     | neo-xtask interleave [--seeds N] [--seed S] [--iters K]";
 
 /// Dispatches to a subcommand; returns the number of problems found.
 fn run(args: &[String]) -> Result<usize, String> {
@@ -95,6 +131,7 @@ fn run(args: &[String]) -> Result<usize, String> {
         Some("lint") => run_lint(&args[1..]),
         Some("json-check") => run_json_check(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
+        Some("interleave") => interleave::run_interleave(&args[1..]),
         _ => Err(USAGE.into()),
     }
 }
@@ -127,10 +164,7 @@ fn run_lint(args: &[String]) -> Result<usize, String> {
         println!("{d}");
     }
     if diags.is_empty() {
-        println!(
-            "neo-xtask lint: ok (panic, hash_iter, crate_header, props_cover, \
-             span_balance, metric_names)"
-        );
+        println!("neo-xtask lint: ok ({})", ALL_RULES.join(", "));
     } else {
         println!("neo-xtask lint: {} violation(s)", diags.len());
     }
@@ -434,10 +468,16 @@ fn run_bench(args: &[String]) -> Result<usize, String> {
     Ok(problems.len())
 }
 
-/// Runs all six rules over the workspace at `root`.
+/// Runs all nine rules over the workspace at `root`.
+///
+/// Every source file is parsed exactly once and shared across the rules,
+/// so the waiver-usage marks [`SourceFile::allows`] records accumulate and
+/// the trailing `stale_waiver` pass sees which annotations really fired.
 fn lint_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let mut diags = Vec::new();
 
+    // parse every crate's sources once: (crate name, parsed files)
+    let mut crates: Vec<(String, Vec<SourceFile>)> = Vec::new();
     for crate_dir in crate_dirs(root)? {
         let name = crate_dir
             .file_name()
@@ -448,46 +488,63 @@ fn lint_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
         if !src.is_dir() {
             continue;
         }
+        let mut paths = Vec::new();
+        collect_rs(&src, &mut paths).map_err(|e| format!("walking {}: {e}", src.display()))?;
+        paths.sort();
         let mut files = Vec::new();
-        collect_rs(&src, &mut files).map_err(|e| format!("walking {}: {e}", src.display()))?;
-        files.sort();
-
-        let hash_critical = DETERMINISM_CRITICAL.contains(&name.as_str());
-        for path in &files {
-            let file = load(root, path)?;
-            diags.extend(rules::check_panics(&file));
-            diags.extend(rules::check_span_balance(&file));
-            diags.extend(rules::check_metric_names(&file));
-            if hash_critical {
-                diags.extend(rules::check_hash_iteration(&file));
-            }
+        for path in &paths {
+            files.push(load(root, path)?);
         }
+        crates.push((name, files));
+    }
 
-        // crate root header check (lib.rs for libraries, main.rs for binaries)
-        for root_file in ["lib.rs", "main.rs"] {
-            let candidate = src.join(root_file);
-            if candidate.is_file() {
-                let file = load(root, &candidate)?;
-                diags.extend(rules::check_crate_header(&file));
+    for (name, files) in &crates {
+        let hash_critical = DETERMINISM_CRITICAL.contains(&name.as_str());
+        for file in files {
+            diags.extend(rules::check_panics(file));
+            diags.extend(rules::check_span_balance(file));
+            diags.extend(rules::check_metric_names(file));
+            diags.extend(lockorder::check_lock_unwrap(name, file));
+            if hash_critical {
+                diags.extend(rules::check_hash_iteration(file));
+            }
+            // crate root header (lib.rs for libraries, main.rs for binaries)
+            if file.path.ends_with("src/lib.rs") || file.path.ends_with("src/main.rs") {
+                diags.extend(rules::check_crate_header(file));
             }
         }
     }
 
+    // whole-crate lock-acquisition graphs (rule `lock_order`)
+    diags.extend(lockorder::check_lock_order(&crates));
+
     // props coverage of the collectives process-group API
     let group_path = root.join("crates/collectives/src/group.rs");
-    let props_path = root.join("crates/collectives/tests/props.rs");
     if group_path.is_file() {
-        let group = load(root, &group_path)?;
-        if props_path.is_file() {
-            let props = load(root, &props_path)?;
-            diags.extend(rules::check_props_coverage(&group, &props));
-        } else {
-            diags.push(Diagnostic {
+        let group = crates
+            .iter()
+            .flat_map(|(_, files)| files)
+            .find(|f| f.path == rel(root, &group_path));
+        let props_path = root.join("crates/collectives/tests/props.rs");
+        match (group, props_path.is_file()) {
+            (Some(group), true) => {
+                let props = load(root, &props_path)?;
+                diags.extend(rules::check_props_coverage(group, &props));
+            }
+            (Some(_), false) => diags.push(Diagnostic {
                 path: rel(root, &group_path),
                 line: 1,
                 rule: "props_cover",
                 message: "crates/collectives/tests/props.rs is missing".into(),
-            });
+            }),
+            (None, _) => {}
+        }
+    }
+
+    // stale waivers last, once every other rule has marked what it used
+    for (_, files) in &crates {
+        for file in files {
+            diags.extend(file.stale_waivers(ALL_RULES));
         }
     }
 

@@ -6,6 +6,7 @@
 //! (where `// lint: allow(...)` annotations live), and whether the line
 //! sits inside a `#[cfg(test)]`-gated region.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -22,6 +23,10 @@ pub struct SourceFile {
     pub comments: Vec<String>,
     /// Whether each line is inside a `#[cfg(test)]` item.
     pub in_test: Vec<bool>,
+    /// Which annotation lines have suppressed at least one finding this
+    /// run (interior-mutated by [`SourceFile::allows`]); feeds the
+    /// `stale_waiver` rule.
+    used_waivers: RefCell<Vec<bool>>,
 }
 
 /// A single rule violation at a source location.
@@ -64,26 +69,78 @@ impl SourceFile {
         let raw: Vec<String> = text.lines().map(str::to_owned).collect();
         let (code, comments) = strip(&raw);
         let in_test = mark_test_regions(&code);
+        let used_waivers = RefCell::new(vec![false; raw.len()]);
         SourceFile {
             path: path.to_path_buf(),
             raw,
             code,
             comments,
             in_test,
+            used_waivers,
         }
     }
 
     /// Whether `line` (0-based) carries a `// lint: allow(rule) — reason`
     /// annotation for `rule`, either trailing the line itself or on a
     /// comment-only line immediately above (a trailing annotation covers
-    /// only its own line).
+    /// only its own line). A successful consult marks the annotation line
+    /// *used* so the `stale_waiver` rule can report waivers that no longer
+    /// suppress anything.
     pub fn allows(&self, line: usize, rule: &str) -> bool {
         if annotation_of(&self.comments[line]).is_some_and(|r| r == rule) {
+            self.used_waivers.borrow_mut()[line] = true;
             return true;
         }
-        line > 0
+        if line > 0
             && self.code[line - 1].trim().is_empty()
             && annotation_of(&self.comments[line - 1]).is_some_and(|r| r == rule)
+        {
+            self.used_waivers.borrow_mut()[line - 1] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Rule `stale_waiver`: annotations that suppressed nothing in this
+    /// run (the code they excused has been fixed or moved) or that name a
+    /// rule the linter does not have. Call only *after* every other rule
+    /// has scanned the file — `allows` marks consumed annotations as it
+    /// runs. Doc comments (`///`, `//!`) are skipped: they may legally
+    /// *describe* the annotation grammar without waiving anything.
+    pub fn stale_waivers(&self, known_rules: &[&str]) -> Vec<Diagnostic> {
+        let used = self.used_waivers.borrow();
+        let mut out = Vec::new();
+        for (ln, comment) in self.comments.iter().enumerate() {
+            let t = comment.trim_start();
+            if t.starts_with("///") || t.starts_with("//!") || self.in_test[ln] {
+                continue;
+            }
+            let Some(rule) = annotation_of(comment) else {
+                continue;
+            };
+            if !known_rules.contains(&rule) {
+                out.push(Diagnostic {
+                    path: self.path.clone(),
+                    line: ln + 1,
+                    rule: "stale_waiver",
+                    message: format!(
+                        "waiver names unknown rule `{rule}` (known: {})",
+                        known_rules.join(", ")
+                    ),
+                });
+            } else if !used[ln] {
+                out.push(Diagnostic {
+                    path: self.path.clone(),
+                    line: ln + 1,
+                    rule: "stale_waiver",
+                    message: format!(
+                        "`lint: allow({rule})` no longer suppresses any finding; \
+                         remove the stale waiver"
+                    ),
+                });
+            }
+        }
+        out
     }
 }
 
@@ -120,6 +177,7 @@ fn strip(raw: &[String]) -> (Vec<String>, Vec<String>) {
     for line in raw {
         let mut code = String::with_capacity(line.len());
         let mut comment = String::new();
+        let mut str_continues = false;
         let chars: Vec<char> = line.chars().collect();
         let mut i = 0;
         while i < chars.len() {
@@ -183,6 +241,10 @@ fn strip(raw: &[String]) -> (Vec<String>, Vec<String>) {
                         if i + 1 < chars.len() {
                             code.push(' ');
                             i += 1;
+                        } else {
+                            // trailing `\`: the literal continues on the
+                            // next line, whose text is still string content
+                            str_continues = true;
                         }
                         i += 1;
                     } else if c == '"' {
@@ -233,9 +295,11 @@ fn strip(raw: &[String]) -> (Vec<String>, Vec<String>) {
                 }
             }
         }
-        // an unterminated normal string cannot span lines in valid Rust
-        // unless escaped; treat line end as terminating to stay robust
-        if mode == Mode::Str {
+        // Without a trailing `\` continuation, treat line end as
+        // terminating an open normal string: this repo's style always
+        // escapes multi-line literals, and terminating keeps one
+        // mis-detected quote from poisoning the rest of the file.
+        if mode == Mode::Str && !str_continues {
             mode = Mode::Normal;
         }
         code_lines.push(code);
@@ -326,6 +390,24 @@ mod tests {
         assert_eq!(f.code[1], "let y = 1;");
     }
 
+    /// A literal continued with a trailing `\` stays string content on the
+    /// next line: no phantom comments (`//` in message text) and no brace
+    /// miscounting from `{}` placeholders.
+    #[test]
+    fn escaped_string_continuations_stay_in_string_mode() {
+        let f = parse(
+            "let m = format!(\"add {x} or \\\n     `// lint: allow(panic) — x`\");\nlet y = 2;",
+        );
+        assert!(f.comments[1].is_empty(), "comments: {:?}", f.comments[1]);
+        assert!(!f.code[1].contains('`'), "code view: {:?}", f.code[1]);
+        assert_eq!(f.code[2], "let y = 2;");
+        assert!(
+            !f.code[0].contains('{'),
+            "placeholder blanked: {:?}",
+            f.code[0]
+        );
+    }
+
     #[test]
     fn raw_strings_and_chars_are_blanked() {
         let f =
@@ -395,5 +477,38 @@ mod tests {
         assert!(f.allows(2, "panic"));
         assert!(!f.allows(3, "panic"));
         assert!(!f.allows(1, "hash_iter"), "rule name must match");
+    }
+
+    #[test]
+    fn stale_waivers_reports_unused_and_unknown_rules() {
+        let text = "// lint: allow(panic) — consumed below\n\
+                    x.unwrap();\n\
+                    // lint: allow(panic) — nothing left under this one\n\
+                    let y = 1;\n\
+                    // lint: allow(made_up) — no such rule\n\
+                    let z = 2;\n";
+        let f = parse(text);
+        // simulate the panic rule consuming the first waiver
+        assert!(f.allows(1, "panic"));
+        let diags = f.stale_waivers(&["panic", "hash_iter"]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("no longer suppresses"));
+        assert_eq!(diags[1].line, 5);
+        assert!(diags[1].message.contains("unknown rule `made_up`"));
+    }
+
+    #[test]
+    fn stale_waivers_skips_doc_comments_and_tests() {
+        let text = "//! Docs may show `lint: allow(panic) — reason` verbatim.\n\
+                    /// Same for `lint: allow(hash_iter) — reason` items.\n\
+                    fn lib() {}\n\
+                    #[cfg(test)]\n\
+                    mod t {\n\
+                        // lint: allow(panic) — tests are exempt anyway\n\
+                        fn t() { x.unwrap(); }\n\
+                    }\n";
+        let f = parse(text);
+        assert!(f.stale_waivers(&["panic", "hash_iter"]).is_empty());
     }
 }

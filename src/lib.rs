@@ -18,6 +18,7 @@
 //! | [`perfmodel`] | `neo-perfmodel` | §5.1 Eq. 1 roofline, Appendix A |
 //! | [`telemetry`] | `neo-telemetry` | §5.2 per-iteration breakdowns, Fig. 14 |
 //! | [`prof`] | `neo-prof` | cross-rank critical path, exposed comm, bench suite |
+//! | [`sync`] | `neo-sync` | ordered locks + schedule-chaos injector (infra) |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub use neo_netsim as netsim;
 pub use neo_perfmodel as perfmodel;
 pub use neo_prof as prof;
 pub use neo_sharding as sharding;
+pub use neo_sync as sync;
 pub use neo_telemetry as telemetry;
 pub use neo_tensor as tensor;
 pub use neo_trainer as trainer;
