@@ -4,9 +4,10 @@
 # Every gate is mandatory; the script stops at the first failure:
 #   1. formatting        (cargo fmt --check)
 #   2. clippy            (warnings are errors)
-#   3. neo-xtask lint    (panic / hash_iter / crate_header / props_cover /
-#                         span_balance / metric_names / lock_order /
-#                         lock_unwrap / stale_waiver)
+#   3. neo-xtask lint    (13-rule neo-lint engine; emits results/lint.json +
+#                         results/lint.sarif and diffs waived counts against
+#                         the committed results/lint_baseline.json so new
+#                         findings fail even when hidden behind waivers)
 #   4. tier-1 tests      (root-package build + tests, the ROADMAP gate)
 #   5. workspace tests   (all crates)
 #   6. sanitizer tests   (numeric sanitizer + lock-order runtime validator
@@ -26,8 +27,13 @@ cargo fmt --all -- --check
 echo "==> [2/9] cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> [3/9] cargo run -p neo-xtask -- lint"
-cargo run -q -p neo-xtask -- lint
+echo "==> [3/9] cargo run -p neo-xtask -- lint (json + sarif + baseline diff)"
+cargo run -q -p neo-xtask -- lint \
+    --json results/lint.json \
+    --sarif results/lint.sarif \
+    --baseline results/lint_baseline.json
+# the emitted artifacts must at minimum be well-formed JSON
+cargo run -q -p neo-xtask -- json-check results/lint.json results/lint.sarif
 
 echo "==> [4/9] tier-1: cargo build --release && cargo test -q"
 cargo build --release

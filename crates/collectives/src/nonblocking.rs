@@ -77,6 +77,9 @@ impl Lane {
                 comm: Communicator::lane_endpoint(rank, shared),
                 rec: RankRecorder::disabled(),
             };
+            // The job-queue recv IS the lane's idle state: it blocks only
+            // when there is no posted collective to overlap.
+            // lint: allow(comm_lane_blocking) — idle-state job-queue recv
             while let Ok(job) = rx.recv() {
                 if matches!(job(&mut ctx), LaneStatus::Failed) {
                     // The lane-side rendezvous may be desynchronized
@@ -85,6 +88,7 @@ impl Lane {
                     // sender: dropping an unrun job drops its result
                     // sender, so its waiter observes LaneClosed instead
                     // of blocking on a message that never comes.
+                    // lint: allow(comm_lane_blocking) — post-failure drain; the lane is already dead, blocking cannot cost overlap
                     while let Ok(dead) = rx.recv() {
                         drop(dead);
                     }
@@ -152,6 +156,9 @@ impl<R> CommHandle<R> {
     pub fn wait(self) -> Result<R, CollectiveError> {
         chaos::yield_point(chaos::site::WAIT);
         let t0 = self.telemetry.now_ns();
+        // wait() is the caller-side rendezvous by contract: the trainer
+        // invokes it at the last overlap point, off the lane thread.
+        // lint: allow(comm_lane_blocking) — caller-side rendezvous, not on the lane
         let res = match self.rx.recv() {
             Ok(r) => r,
             Err(_) => Err(CollectiveError::LaneClosed { op: self.op }),

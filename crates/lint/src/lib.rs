@@ -1,0 +1,472 @@
+//! # neo-lint — token-stream static analysis for the workspace
+//!
+//! The linting engine behind `neo-xtask lint` and ci.sh gate 3. Every
+//! source file is tokenized once ([`token`]), wrapped in a [`SourceFile`]
+//! with derived code/comment/test line views and waiver spans
+//! ([`source`]), and shared across all rules; a cross-crate
+//! [`SymbolIndex`] ([`symbols`]) gives rules the workspace's public
+//! surface. Rules implement [`Rule`] and are registered in
+//! [`all_rules`]; [`lint`] runs them all plus the trailing
+//! `stale_waiver` pass, and [`output`] renders the report as text, JSON
+//! (`neo-lint/1`), SARIF 2.1.0, or the CI waiver baseline.
+//!
+//! The thirteen rules (see DESIGN.md for the full table):
+//!
+//!  1. **panic** — no panicking calls in library code
+//!  2. **hash_iter** — no hash-map iteration in determinism-critical crates
+//!  3. **crate_header** — crate roots carry `#![forbid(unsafe_code)]` +
+//!     `#![deny(warnings)]` and a `//!` header
+//!  4. **props_cover** — every pub fn of the collectives group API is
+//!     named in the property-test suite
+//!  5. **span_balance** — `.span(..)` guards bind a live variable
+//!  6. **metric_names** — metric-call string literals use the taxonomy
+//!     prefixes
+//!  7. **lock_order** — global lock-acquisition graph stays acyclic
+//!  8. **lock_unwrap** — no lock-poison propagation outside `sync`
+//!  9. **determinism** — no hidden run-varying inputs outside the
+//!     measurement crates
+//! 10. **comm_lane_blocking** — nothing blocking reachable from the
+//!     comm-lane worker
+//! 11. **telemetry_taxonomy** — `phase::`/`metric::` references resolve
+//!     against neo-telemetry's exports; no span string literals
+//! 12. **discarded_result** — no silently dropped `Result` from the
+//!     collectives/trainer/dataio public APIs
+//! 13. **stale_waiver** — every `// lint: allow(..)` annotation names a
+//!     real rule and still suppresses something
+//!
+//! Findings are waived in place with `// lint: allow(<rule>) — <reason>`;
+//! waiver consumption is tracked per token span so the `stale_waiver`
+//! rule can retire annotations the code has outgrown.
+
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+
+pub mod lockorder;
+pub mod newrules;
+pub mod output;
+pub mod rules;
+pub mod source;
+pub mod symbols;
+pub mod token;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use source::{Diagnostic, SourceFile};
+pub use symbols::SymbolIndex;
+
+/// Every rule name, in documentation order. `stale_waiver` runs inside
+/// [`lint`] after the other twelve so it sees which waivers fired.
+pub const RULE_NAMES: &[&str] = &[
+    "panic",
+    "hash_iter",
+    "crate_header",
+    "props_cover",
+    "span_balance",
+    "metric_names",
+    "lock_order",
+    "lock_unwrap",
+    "determinism",
+    "comm_lane_blocking",
+    "telemetry_taxonomy",
+    "discarded_result",
+    "stale_waiver",
+];
+
+/// Crates where replayed runs must be bitwise identical, so hash-map
+/// iteration order (arbitrary and run-varying) is banned outright.
+pub const DETERMINISM_CRITICAL: &[&str] = &["collectives", "sharding", "embeddings", "trainer"];
+
+/// Rule metadata for reports (JSON `rules` array, SARIF driver rules).
+#[derive(Debug, Clone)]
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// Metadata for all thirteen rules, in [`RULE_NAMES`] order.
+pub fn rule_infos() -> Vec<RuleInfo> {
+    let mut infos: Vec<RuleInfo> = all_rules()
+        .iter()
+        .map(|r| RuleInfo {
+            name: r.name(),
+            summary: r.summary(),
+        })
+        .collect();
+    infos.push(RuleInfo {
+        name: "stale_waiver",
+        summary: "every lint waiver names a real rule and still suppresses a finding",
+    });
+    infos
+}
+
+/// The parsed workspace: every crate's sources tokenized once, plus the
+/// cross-crate symbol index and the collectives property-test suite.
+pub struct Workspace {
+    pub root: PathBuf,
+    /// `(crate directory name, parsed files)`, sorted by crate name.
+    pub crates: Vec<(String, Vec<SourceFile>)>,
+    pub symbols: SymbolIndex,
+    /// `crates/collectives/tests/props.rs`, when present.
+    pub props: Option<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads every `crates/*` directory with a `src/` (plus the root
+    /// facade package when `root` has both `Cargo.toml` and `src/`).
+    /// Paths in diagnostics are relative to `root`.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut crate_dirs = Vec::new();
+        let crates_dir = root.join("crates");
+        let entries = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+            let path = entry.path();
+            if path.is_dir() && path.join("src").is_dir() {
+                crate_dirs.push(path);
+            }
+        }
+        if root.join("Cargo.toml").is_file() && root.join("src").is_dir() {
+            crate_dirs.push(root.to_path_buf());
+        }
+        crate_dirs.sort();
+
+        let mut crates = Vec::new();
+        for dir in crate_dirs {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("")
+                .to_owned();
+            let src = dir.join("src");
+            let mut paths = Vec::new();
+            collect_rs(&src, &mut paths).map_err(|e| format!("walking {}: {e}", src.display()))?;
+            paths.sort();
+            let mut files = Vec::new();
+            for path in &paths {
+                files.push(load_file(root, path)?);
+            }
+            crates.push((name, files));
+        }
+
+        let props_path = root.join("crates/collectives/tests/props.rs");
+        let props = if props_path.is_file() {
+            Some(load_file(root, &props_path)?)
+        } else {
+            None
+        };
+
+        let symbols = SymbolIndex::build(&crates);
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            crates,
+            symbols,
+            props,
+        })
+    }
+
+    /// All parsed files, props suite included.
+    pub fn files(&self) -> impl Iterator<Item = &SourceFile> {
+        self.crates
+            .iter()
+            .flat_map(|(_, files)| files)
+            .chain(self.props.iter())
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn load_file(root: &Path, path: &Path) -> Result<SourceFile, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    Ok(SourceFile::parse(rel, &text))
+}
+
+/// One lint rule over the whole workspace.
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    /// One-line summary for reports.
+    fn summary(&self) -> &'static str;
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic>;
+}
+
+/// Shorthand for rules that run file-by-file.
+fn per_file(ws: &Workspace, f: impl Fn(&str, &SourceFile) -> Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (name, files) in &ws.crates {
+        for file in files {
+            out.extend(f(name, file));
+        }
+    }
+    out
+}
+
+struct PanicRule;
+impl Rule for PanicRule {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+    fn summary(&self) -> &'static str {
+        "no panicking calls (unwrap/expect/panic!/unchecked indexing escapes) in library code"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        per_file(ws, |_, f| rules::check_panics(f))
+    }
+}
+
+struct HashIterRule;
+impl Rule for HashIterRule {
+    fn name(&self) -> &'static str {
+        "hash_iter"
+    }
+    fn summary(&self) -> &'static str {
+        "no hash-map iteration in determinism-critical crates (order is run-varying)"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        per_file(ws, |krate, f| {
+            if DETERMINISM_CRITICAL.contains(&krate) {
+                rules::check_hash_iteration(f)
+            } else {
+                Vec::new()
+            }
+        })
+    }
+}
+
+struct CrateHeaderRule;
+impl Rule for CrateHeaderRule {
+    fn name(&self) -> &'static str {
+        "crate_header"
+    }
+    fn summary(&self) -> &'static str {
+        "crate roots carry #![forbid(unsafe_code)], #![deny(warnings)], and a //! header"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        per_file(ws, |_, f| {
+            if f.path.ends_with("src/lib.rs") || f.path.ends_with("src/main.rs") {
+                rules::check_crate_header(f)
+            } else {
+                Vec::new()
+            }
+        })
+    }
+}
+
+struct PropsCoverRule;
+impl Rule for PropsCoverRule {
+    fn name(&self) -> &'static str {
+        "props_cover"
+    }
+    fn summary(&self) -> &'static str {
+        "every pub fn of the collectives group API is exercised by the property suite"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let group_path = Path::new("crates/collectives/src/group.rs");
+        let Some(group) = ws.files().find(|f| f.path == group_path) else {
+            return Vec::new();
+        };
+        match &ws.props {
+            Some(props) => rules::check_props_coverage(group, props),
+            None => vec![Diagnostic {
+                path: group_path.to_path_buf(),
+                line: 1,
+                rule: "props_cover",
+                message: "crates/collectives/tests/props.rs is missing".into(),
+            }],
+        }
+    }
+}
+
+struct SpanBalanceRule;
+impl Rule for SpanBalanceRule {
+    fn name(&self) -> &'static str {
+        "span_balance"
+    }
+    fn summary(&self) -> &'static str {
+        "span guards bind a live variable (a temporary closes the span immediately)"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        per_file(ws, |_, f| rules::check_span_balance(f))
+    }
+}
+
+struct MetricNamesRule;
+impl Rule for MetricNamesRule {
+    fn name(&self) -> &'static str {
+        "metric_names"
+    }
+    fn summary(&self) -> &'static str {
+        "metric-call string literals stay inside the taxonomy prefixes"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        per_file(ws, |_, f| rules::check_metric_names(f))
+    }
+}
+
+struct LockOrderRule;
+impl Rule for LockOrderRule {
+    fn name(&self) -> &'static str {
+        "lock_order"
+    }
+    fn summary(&self) -> &'static str {
+        "the workspace lock-acquisition graph stays acyclic (no written deadlock)"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        lockorder::check_lock_order(&ws.crates)
+    }
+}
+
+struct LockUnwrapRule;
+impl Rule for LockUnwrapRule {
+    fn name(&self) -> &'static str {
+        "lock_unwrap"
+    }
+    fn summary(&self) -> &'static str {
+        "no lock-poison propagation (.lock().unwrap()) outside the sync crate"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        per_file(ws, lockorder::check_lock_unwrap)
+    }
+}
+
+struct DeterminismRule;
+impl Rule for DeterminismRule {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+    fn summary(&self) -> &'static str {
+        "no hidden run-varying inputs (clocks, thread ids, randomized hashing) outside measurement crates"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        per_file(ws, |krate, f| {
+            newrules::check_determinism(krate, f, DETERMINISM_CRITICAL.contains(&krate))
+        })
+    }
+}
+
+struct CommLaneRule;
+impl Rule for CommLaneRule {
+    fn name(&self) -> &'static str {
+        "comm_lane_blocking"
+    }
+    fn summary(&self) -> &'static str {
+        "nothing blocking (recv/sleep/wait/nested locking) reachable from the comm-lane worker"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        lockorder::check_comm_lane_blocking(&ws.crates)
+    }
+}
+
+struct TaxonomyRule;
+impl Rule for TaxonomyRule {
+    fn name(&self) -> &'static str {
+        "telemetry_taxonomy"
+    }
+    fn summary(&self) -> &'static str {
+        "phase::/metric:: references resolve against neo-telemetry's taxonomy exports"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let telemetry = ws.symbols.of("telemetry");
+        per_file(ws, |krate, f| {
+            newrules::check_telemetry_taxonomy(krate, f, &telemetry)
+        })
+    }
+}
+
+struct DiscardedResultRule;
+impl Rule for DiscardedResultRule {
+    fn name(&self) -> &'static str {
+        "discarded_result"
+    }
+    fn summary(&self) -> &'static str {
+        "no silently dropped Result from the collectives/trainer/dataio public APIs"
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut result_fns: BTreeMap<String, String> = BTreeMap::new();
+        for krate in ["collectives", "trainer", "dataio"] {
+            for f in &ws.symbols.of(krate).fns {
+                if f.returns_result && !newrules::AMBIGUOUS_RESULT_FNS.contains(&f.name.as_str()) {
+                    result_fns.insert(f.name.clone(), krate.to_owned());
+                }
+            }
+        }
+        per_file(ws, |_, f| newrules::check_discarded_result(f, &result_fns))
+    }
+}
+
+/// The twelve registered rules, in [`RULE_NAMES`] order. `stale_waiver`
+/// is not in the registry: it must run after every other rule has marked
+/// the waivers it consumed, so [`lint`] runs it as a trailing pass.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PanicRule),
+        Box::new(HashIterRule),
+        Box::new(CrateHeaderRule),
+        Box::new(PropsCoverRule),
+        Box::new(SpanBalanceRule),
+        Box::new(MetricNamesRule),
+        Box::new(LockOrderRule),
+        Box::new(LockUnwrapRule),
+        Box::new(DeterminismRule),
+        Box::new(CommLaneRule),
+        Box::new(TaxonomyRule),
+        Box::new(DiscardedResultRule),
+    ]
+}
+
+/// The finished lint run: diagnostics sorted by (path, line, rule), plus
+/// the count of findings each rule's waivers suppressed.
+pub struct LintReport {
+    pub diags: Vec<Diagnostic>,
+    pub waived: BTreeMap<String, usize>,
+}
+
+/// Runs every registered rule plus the trailing `stale_waiver` pass.
+pub fn lint(ws: &Workspace) -> LintReport {
+    let mut diags = Vec::new();
+    for rule in all_rules() {
+        diags.extend(rule.check(ws));
+    }
+    for file in ws.files() {
+        diags.extend(file.stale_waivers(RULE_NAMES));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let mut waived: BTreeMap<String, usize> = BTreeMap::new();
+    for file in ws.files() {
+        for rule in file.consumed_waivers() {
+            *waived.entry(rule).or_default() += 1;
+        }
+    }
+    LintReport { diags, waived }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_rule_names() {
+        let mut names: Vec<&str> = all_rules().iter().map(|r| r.name()).collect();
+        names.push("stale_waiver");
+        assert_eq!(names, RULE_NAMES, "registry order drifted from RULE_NAMES");
+        let infos = rule_infos();
+        assert_eq!(infos.len(), RULE_NAMES.len());
+        for (info, name) in infos.iter().zip(RULE_NAMES) {
+            assert_eq!(info.name, *name);
+            assert!(!info.summary.is_empty());
+        }
+    }
+}

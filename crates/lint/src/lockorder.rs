@@ -1,5 +1,5 @@
-//! Rules `lock_order` and `lock_unwrap`: the concurrency half of the
-//! workspace invariants.
+//! Rules `lock_order`, `lock_unwrap`, and `comm_lane_blocking`: the
+//! concurrency half of the workspace invariants.
 //!
 //! `lock_order` extracts every `Mutex`/`RwLock`/`Condvar` (and
 //! `OrderedMutex`/`OrderedRwLock`) field or binding in the workspace,
@@ -22,9 +22,12 @@
 //!
 //! Known over/under-approximations, deliberate for a token-level linter:
 //! guards returned from helper functions are not tracked as held by the
-//! caller (under), and a callee's acquisitions are assumed reachable on
+//! caller (under); a callee's acquisitions are assumed reachable on
 //! every call (over — waive the edge if a runtime invariant rules the
-//! path out).
+//! path out); and a `let` that **shadows** a guard binding with a
+//! non-guard value ends the guard's tracked liveness (under — the real
+//! guard lives until scope end, but treating it as held is the
+//! false-positive class this rule used to produce).
 //!
 //! `lock_unwrap` bans `.lock().unwrap()`-style poison propagation:
 //! a panic on one trainer thread must not cascade into opaque poison
@@ -32,11 +35,22 @@
 //! `neo_sync::recover` or the ordered wrappers (which recover
 //! internally); the `sync` crate itself, where `recover` lives, is
 //! exempt.
+//!
+//! `comm_lane_blocking` guards the Fig. 9 overlap: the comm-lane worker
+//! in `collectives/nonblocking.rs` is the thread that hides collective
+//! latency behind compute, so anything that can block it — a channel
+//! `recv`, a `sleep`, a condvar wait, or acquiring a lock while already
+//! holding a guard — re-serializes exactly the communication the
+//! overlapped schedule exists to hide. The reachable set is the
+//! functions defined in `nonblocking.rs` plus one level of same-crate
+//! call-edge expansion (functions those bodies name), mirroring
+//! `lock_order`'s expansion depth. The lane's own job-queue `recv` *is*
+//! its idle state and carries a standing waiver.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::rules::{is_ident_char, token_match, trailing_ident};
-use crate::scan::{Diagnostic, SourceFile};
+use crate::source::{Diagnostic, SourceFile};
 
 /// Types whose fields/bindings become lock-order graph nodes.
 const LOCK_TYPES: &[&str] = &[
@@ -59,6 +73,16 @@ const LOCK_UNWRAP_TOKENS: &[&str] = &[
     ".write().unwrap()",
     ".write().expect(",
     "PoisonError::into_inner",
+];
+
+/// Calls that park the executing thread (rule `comm_lane_blocking`).
+const BLOCKING_TOKENS: &[&str] = &[
+    ".recv()",
+    ".recv_timeout(",
+    "thread::sleep(",
+    ".wait(",
+    ".wait_while(",
+    ".wait_timeout(",
 ];
 
 /// Rule `lock_unwrap`: flags poison-propagating lock access in library
@@ -245,6 +269,151 @@ pub fn check_lock_order(crates: &[(String, Vec<SourceFile>)]) -> Vec<Diagnostic>
     out
 }
 
+/// Rule `comm_lane_blocking`: no blocking call — channel `recv`, `sleep`,
+/// condvar wait, or lock acquisition while already holding a guard — in a
+/// function reachable from the comm-lane worker (`nonblocking.rs` in the
+/// collectives crate, plus one level of same-crate call-edge expansion).
+pub fn check_comm_lane_blocking(crates: &[(String, Vec<SourceFile>)]) -> Vec<Diagnostic> {
+    let Some((_, files)) = crates.iter().find(|(k, _)| k == "collectives") else {
+        return Vec::new();
+    };
+    let is_lane_file = |f: &SourceFile| {
+        f.path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n == "nonblocking.rs")
+    };
+    if !files.iter().any(&is_lane_file) {
+        return Vec::new();
+    }
+    let all_fns = crate_fns(files);
+
+    // reachable set: every fn defined in nonblocking.rs …
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    for file in files.iter().filter(|f| is_lane_file(f)) {
+        reachable.extend(crate_fns(std::slice::from_ref(file)));
+        // … plus one call-edge level: same-crate fns its bodies name
+        for (ln, code) in file.code.iter().enumerate() {
+            if file.in_test[ln] {
+                continue;
+            }
+            for name in &all_fns {
+                let pat = format!("{name}(");
+                let mut from = 0;
+                while let Some(rel) = token_match(&code[from..], &pat) {
+                    let at = from + rel;
+                    from = at + pat.len();
+                    if code[..at].ends_with("fn ") {
+                        continue; // the definition, not a call
+                    }
+                    reachable.insert(name.clone());
+                    break;
+                }
+            }
+        }
+    }
+
+    // scan every collectives file for blocking sites inside reachable fns
+    let fields = lock_fields(files);
+    let no_calls = BTreeSet::new();
+    let mut out = Vec::new();
+    for file in files {
+        let mut depth = 0usize;
+        let mut pending_fn: Option<String> = None;
+        let mut open_fns: Vec<(String, usize)> = Vec::new();
+        let mut guards: Vec<Guard> = Vec::new();
+
+        for (ln, code) in file.code.iter().enumerate() {
+            let mut events = if file.in_test[ln] {
+                brace_events(code)
+            } else {
+                line_events(code, &fields, &no_calls, None)
+            };
+            if !file.in_test[ln] {
+                for tok in BLOCKING_TOKENS {
+                    let mut from = 0;
+                    while let Some(rel) = code[from..].find(tok) {
+                        let at = from + rel;
+                        from = at + tok.len();
+                        events.push((at, Event::Blocking(tok)));
+                    }
+                }
+                events.sort_by_key(|(i, _)| *i);
+            }
+            for (_, ev) in events {
+                match ev {
+                    Event::Open => {
+                        depth += 1;
+                        if let Some(name) = pending_fn.take() {
+                            open_fns.push((name, depth));
+                        }
+                    }
+                    Event::Close => {
+                        depth = depth.saturating_sub(1);
+                        guards.retain(|g| g.depth <= depth);
+                        open_fns.retain(|(_, d)| *d <= depth);
+                    }
+                    Event::Semi => pending_fn = None,
+                    Event::FnDef(name) => pending_fn = Some(name),
+                    Event::Acquire { lock, var } => {
+                        let on_lane = open_fns.last().is_some_and(|(n, _)| reachable.contains(n));
+                        if on_lane && !guards.is_empty() && !file.allows(ln, "comm_lane_blocking") {
+                            let fname = open_fns.last().map(|(n, _)| n.as_str()).unwrap_or("?");
+                            out.push(Diagnostic {
+                                path: file.path.clone(),
+                                line: ln + 1,
+                                rule: "comm_lane_blocking",
+                                message: format!(
+                                    "acquires `{lock}` while already holding a guard in \
+                                     `{fname}`, which is reachable from the comm-lane \
+                                     worker; a contended lock here stalls the lane and \
+                                     re-exposes the communication the overlap hides — \
+                                     restructure, or add \
+                                     `// lint: allow(comm_lane_blocking) — <reason>`"
+                                ),
+                            });
+                        }
+                        if var.is_some() {
+                            guards.push(Guard { var, lock, depth });
+                        }
+                    }
+                    Event::Let(name) => {
+                        guards.retain(|g| g.var.as_deref() != Some(name.as_str()));
+                    }
+                    Event::Drop(var) => {
+                        guards.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                    }
+                    Event::Blocking(tok) => {
+                        let Some((fname, _)) = open_fns.last() else {
+                            continue;
+                        };
+                        if !reachable.contains(fname) {
+                            continue;
+                        }
+                        if file.allows(ln, "comm_lane_blocking") {
+                            continue;
+                        }
+                        out.push(Diagnostic {
+                            path: file.path.clone(),
+                            line: ln + 1,
+                            rule: "comm_lane_blocking",
+                            message: format!(
+                                "`{tok}` blocks `{fname}`, which is reachable from the \
+                                 comm-lane worker; the lane must stay non-blocking to \
+                                 hide collective latency (Fig. 9 overlap) — move the \
+                                 wait off-lane, or add \
+                                 `// lint: allow(comm_lane_blocking) — <reason>`"
+                            ),
+                        });
+                    }
+                    Event::Call(_) => {}
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Identifiers bound to a lock type anywhere in `files`: struct fields,
 /// statics, params, and let bindings (`name: Mutex<..>` / `name =
 /// Mutex::new(..)`), with qualified-path and `&`/`&mut` prefixes walked
@@ -355,9 +524,17 @@ enum Event {
     Close,
     Semi,
     FnDef(String),
-    Acquire { lock: String, var: Option<String> },
+    Acquire {
+        lock: String,
+        var: Option<String>,
+    },
     Call(String),
     Drop(String),
+    /// A non-acquisition `let <name> = …` — shadows (and for tracking
+    /// purposes releases) any live guard bound to the same name.
+    Let(String),
+    /// A blocking call token (only emitted by `comm_lane_blocking`).
+    Blocking(&'static str),
 }
 
 /// Scans one file's function bodies for nested acquisitions and
@@ -426,9 +603,15 @@ fn scan_file(
                     held.dedup();
                     scan.calls.push((held, callee, file_idx, ln));
                 }
+                Event::Let(name) => {
+                    // a later `let` of the same name shadows the guard
+                    // binding; stop tracking it (documented under-approx.)
+                    guards.retain(|g| g.var.as_deref() != Some(name.as_str()));
+                }
                 Event::Drop(var) => {
                     guards.retain(|g| g.var.as_deref() != Some(var.as_str()));
                 }
+                Event::Blocking(_) => {}
             }
         }
     }
@@ -476,6 +659,7 @@ fn line_events(
 
     // acquisitions on known lock bindings
     let mut acquire_at: Vec<usize> = Vec::new();
+    let mut acquired_vars: Vec<String> = Vec::new();
     for tok in ACQUIRE_TOKENS {
         let mut from = 0;
         while let Some(rel) = code[from..].find(tok) {
@@ -488,14 +672,30 @@ fn line_events(
                 continue;
             }
             acquire_at.push(at);
-            events.push((
-                at,
-                Event::Acquire {
-                    lock: recv,
-                    var: let_binding_before(code, at),
-                },
-            ));
+            let var = let_binding_before(code, at);
+            if let Some(v) = &var {
+                acquired_vars.push(v.clone());
+            }
+            events.push((at, Event::Acquire { lock: recv, var }));
         }
+    }
+
+    // shadowing `let` rebinds: a `let name = …` whose value is NOT a lock
+    // acquisition ends the tracked liveness of a same-named guard
+    let mut from = 0;
+    while let Some(rel) = token_match(&code[from..], "let ") {
+        let at = from + rel;
+        from = at + "let ".len();
+        let Some(eq) = non_comparison_eq(&code[at..]) else {
+            continue;
+        };
+        let Some(name) = trailing_ident(&code[at..at + eq]) else {
+            continue;
+        };
+        if acquired_vars.contains(&name) {
+            continue; // the Acquire event already manages this binding
+        }
+        events.push((at, Event::Let(name)));
     }
 
     // drop(var) releases
@@ -547,6 +747,18 @@ fn line_events(
     events
 }
 
+/// Byte offset (within `stmt`) of the first `=` that is a plain
+/// assignment, skipping `==`, `>=`, `<=`, `!=`, and `=>`.
+fn non_comparison_eq(stmt: &str) -> Option<usize> {
+    let eq = stmt.find('=')?;
+    let next = stmt[eq + 1..].chars().next();
+    let prev = stmt[..eq].chars().next_back();
+    if next == Some('=') || next == Some('>') || matches!(prev, Some('=' | '>' | '<' | '!')) {
+        return None;
+    }
+    Some(eq)
+}
+
 /// When the statement containing column `at` binds its value (`let name =
 /// ...<at>`), the bound variable name.
 fn let_binding_before(code: &str, at: usize) -> Option<String> {
@@ -555,13 +767,7 @@ fn let_binding_before(code: &str, at: usize) -> Option<String> {
     let start = prefix.rfind([';', '{']).map(|i| i + 1).unwrap_or(0);
     let stmt = &prefix[start..];
     let let_at = token_match(stmt, "let ")?;
-    let eq = stmt[let_at..].find('=').map(|i| let_at + i)?;
-    // `==`, `>=`, `<=`, `!=`, `=>` are not bindings
-    let next = stmt[eq + 1..].chars().next();
-    let prev = stmt[..eq].chars().next_back();
-    if next == Some('=') || next == Some('>') || matches!(prev, Some('=' | '>' | '<' | '!')) {
-        return None;
-    }
+    let eq = non_comparison_eq(&stmt[let_at..]).map(|i| let_at + i)?;
     trailing_ident(&stmt[..eq])
 }
 
@@ -578,6 +784,16 @@ mod tests {
             .map(|(i, t)| SourceFile::parse(Path::new(&format!("crates/{name}/src/f{i}.rs")), t))
             .collect();
         (name.to_owned(), files)
+    }
+
+    fn collectives(texts: &[(&str, &str)]) -> (String, Vec<SourceFile>) {
+        let files = texts
+            .iter()
+            .map(|(fname, t)| {
+                SourceFile::parse(Path::new(&format!("crates/collectives/src/{fname}")), t)
+            })
+            .collect();
+        ("collectives".to_owned(), files)
     }
 
     const TWO_LOCKS: &str = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n";
@@ -620,6 +836,36 @@ mod tests {
              fn two(s: &S) {{\n    let gb = s.b.lock();\n    drop(gb);\n    let ga = s.a.lock();\n}}\n"
         );
         assert!(check_lock_order(&[krate("demo", &[&src])]).is_empty());
+    }
+
+    /// The PR 6 false-positive class: a guard binding shadowed by a later
+    /// non-guard `let` of the same name is no longer tracked as held.
+    #[test]
+    fn non_guard_shadowing_let_releases_the_guard() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn one(s: &S) {{\n    let g = s.a.lock();\n    let g = extract(g);\n    \
+             let h = s.b.lock();\n}}\n\
+             fn two(s: &S) {{\n    let gb = s.b.lock();\n    let ga = s.a.lock();\n}}\n"
+        );
+        let diags = check_lock_order(&[krate("demo", &[&src])]);
+        assert!(
+            diags.is_empty(),
+            "shadowed guard must not contribute an a->b edge: {diags:?}"
+        );
+    }
+
+    /// A shadowing `let` that is *itself* an acquisition keeps tracking:
+    /// re-locking through the same name still records edges.
+    #[test]
+    fn guard_shadowed_by_another_acquisition_stays_tracked() {
+        let src = format!(
+            "{TWO_LOCKS}\
+             fn one(s: &S) {{\n    let g = s.a.lock();\n    let g = s.b.lock();\n}}\n\
+             fn two(s: &S) {{\n    let g = s.b.lock();\n    let g = s.a.lock();\n}}\n"
+        );
+        let diags = check_lock_order(&[krate("demo", &[&src])]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
     }
 
     #[test]
@@ -714,6 +960,62 @@ mod tests {
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].line, 2);
         assert!(check_lock_unwrap("sync", &f).is_empty(), "sync is exempt");
+    }
+
+    #[test]
+    fn comm_lane_flags_blocking_calls_in_lane_fns() {
+        let lane = "pub fn worker(rx: &Receiver<Job>) {\n\
+                    \x20   while let Ok(job) = rx.recv() {\n\
+                    \x20       run(job);\n\
+                    \x20   }\n\
+                    }\n";
+        let other = "pub fn run(job: Job) {\n\
+                     \x20   std::thread::sleep(job.delay);\n\
+                     }\n\
+                     pub fn unrelated(rx: &Receiver<Job>) {\n\
+                     \x20   let _ = rx.recv();\n\
+                     }\n";
+        let diags = check_comm_lane_blocking(&[collectives(&[
+            ("nonblocking.rs", lane),
+            ("group.rs", other),
+        ])]);
+        // worker's recv + run's sleep (one call level); `unrelated` is not
+        // reachable from the lane and stays unflagged
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains(".recv()")));
+        assert!(diags.iter().any(|d| d.message.contains("thread::sleep(")));
+        assert!(
+            !diags
+                .iter()
+                .any(|d| d.line == 4 && d.path.ends_with("group.rs")),
+            "unreachable fn must not be flagged: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn comm_lane_flags_lock_while_held_and_respects_waivers() {
+        let lane = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                    pub fn worker(s: &S, rx: &Receiver<Job>) {\n\
+                    \x20   // lint: allow(comm_lane_blocking) — the job-queue recv IS the idle state\n\
+                    \x20   while let Ok(job) = rx.recv() {\n\
+                    \x20       let ga = s.a.lock();\n\
+                    \x20       let gb = s.b.lock();\n\
+                    \x20   }\n\
+                    }\n";
+        let diags = check_comm_lane_blocking(&[collectives(&[("nonblocking.rs", lane)])]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(
+            diags[0].line, 6,
+            "the nested acquisition, not the waived recv"
+        );
+        assert!(diags[0].message.contains("while already holding"));
+    }
+
+    #[test]
+    fn comm_lane_ignores_crates_without_a_lane() {
+        let src = "pub fn f(rx: &Receiver<u32>) { let _ = rx.recv(); }\n";
+        let diags = check_comm_lane_blocking(&[collectives(&[("group.rs", src)])]);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     /// Independent reachability oracle: boolean transitive closure.

@@ -1,0 +1,456 @@
+//! The three cross-crate rules added with the token-stream engine:
+//! `determinism`, `telemetry_taxonomy`, and `discarded_result`.
+//!
+//! `determinism` protects bitwise reproducibility, the property the
+//! paper's §6 numeric-parity methodology rests on: training twice with
+//! the same seed must produce identical traces. Wall-clock reads
+//! (`Instant::now`, `SystemTime`), thread identity (`thread::current`,
+//! `ThreadId`), randomized hashing (`RandomState`, `DefaultHasher`), and
+//! host-dependent parallelism probes are all hidden inputs that vary
+//! across runs. Telemetry, profiling, and benchmark crates are exempt
+//! (measuring time is their job), as is `sync/src/chaos.rs` (seeded
+//! chaos injection owns its randomness). The rule also flags
+//! order-sensitive folds over hash-map iteration in non-critical crates;
+//! in the `DETERMINISM_CRITICAL` crates `hash_iter` already bans the
+//! iteration itself.
+//!
+//! `telemetry_taxonomy` keeps the span/metric namespace closed: every
+//! `phase::X` / `metric::X` reference must resolve to a symbol actually
+//! exported by `neo-telemetry`'s taxonomy modules, and `.span(...)` may
+//! not be fed a bare string literal — names live in the taxonomy, not at
+//! call sites, so cross-rank trace alignment and `neo-prof`'s
+//! critical-path analysis can rely on one closed vocabulary. This
+//! extends the literal-prefix `metric_names` rule with symbol-level
+//! resolution.
+//!
+//! `discarded_result` bans silently dropping a `Result` from the public
+//! collectives/trainer/dataio APIs (`let _ = group.all_reduce(..)` or a
+//! bare `group.all_reduce(..);` statement): a swallowed collective error
+//! desynchronizes ranks, which surfaces minutes later as a hang in a
+//! *different* collective. Handle it, `?` it, or waive it with a reason.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{matching_paren, token_match};
+use crate::source::{Diagnostic, SourceFile};
+use crate::symbols::CrateSymbols;
+use crate::token::is_ident_char;
+
+/// Crates whose purpose is measurement; wall-clock reads are their job.
+const DETERMINISM_EXEMPT: &[&str] = &["telemetry", "prof", "bench", "xtask"];
+
+/// Tokens that read hidden run-varying inputs.
+const NONDET_TOKENS: &[&str] = &[
+    "Instant::now(",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread::current(",
+    "ThreadId",
+    "RandomState",
+    "DefaultHasher",
+    "available_parallelism(",
+];
+
+/// Order-sensitive reductions: folding hash-map iteration through one of
+/// these bakes the (arbitrary) iteration order into the numeric result.
+const FOLD_TOKENS: &[&str] = &[".fold(", ".sum(", ".product(", ".reduce("];
+
+/// Rule `determinism`: bans hidden run-varying inputs outside the
+/// measurement crates. `hash_critical` is whether `krate` is already
+/// covered by the stricter `hash_iter` rule (which bans hash-map
+/// iteration wholesale, so the fold check would double-report).
+pub fn check_determinism(krate: &str, file: &SourceFile, hash_critical: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if DETERMINISM_EXEMPT.contains(&krate) {
+        return out;
+    }
+    if krate == "sync" && file.path.to_str().is_some_and(|p| p.ends_with("chaos.rs")) {
+        return out; // seeded chaos injection owns its randomness
+    }
+    for (ln, code) in file.code.iter().enumerate() {
+        if file.in_test[ln] {
+            continue;
+        }
+        for tok in NONDET_TOKENS {
+            if token_match(code, tok).is_none() {
+                continue;
+            }
+            if file.allows(ln, "determinism") {
+                break;
+            }
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: ln + 1,
+                rule: "determinism",
+                message: format!(
+                    "`{tok}` is a hidden run-varying input; seeded runs must be \
+                     bitwise reproducible (§6 numeric parity) — thread it through \
+                     config/telemetry instead, or add \
+                     `// lint: allow(determinism) — <reason>`"
+                ),
+            });
+            break;
+        }
+    }
+    if !hash_critical {
+        for name in crate::rules::hash_idents(file) {
+            for (ln, code) in file.code.iter().enumerate() {
+                if file.in_test[ln] || !crate::rules::iterates_ident(code, &name) {
+                    continue;
+                }
+                if !FOLD_TOKENS.iter().any(|t| code.contains(t)) {
+                    continue;
+                }
+                if file.allows(ln, "determinism") {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: ln + 1,
+                    rule: "determinism",
+                    message: format!(
+                        "order-sensitive fold over hash-map `{name}` iteration; the \
+                         iteration order is arbitrary, so the reduction is not \
+                         reproducible — collect and sort first, use a BTreeMap, or \
+                         add `// lint: allow(determinism) — <reason>`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule `telemetry_taxonomy`: `phase::X` / `metric::X` references must
+/// resolve against `neo-telemetry`'s taxonomy exports, and `.span(...)`
+/// must name its phase via the taxonomy, not a string literal.
+/// `telemetry` is the crate being resolved against and is exempt.
+pub fn check_telemetry_taxonomy(
+    krate: &str,
+    file: &SourceFile,
+    telemetry: &CrateSymbols,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if krate == "telemetry" {
+        return out;
+    }
+    let known: BTreeMap<&str, Vec<String>> = ["phase", "metric"]
+        .iter()
+        .map(|m| {
+            let mut names: Vec<String> = telemetry
+                .consts_in(m)
+                .iter()
+                .map(|c| c.name.clone())
+                .collect();
+            names.extend(telemetry.fns_in(m).iter().map(|f| f.name.clone()));
+            (*m, names)
+        })
+        .collect();
+    if known.values().all(|v| v.is_empty()) {
+        return out; // no taxonomy in scope (fixture workspaces)
+    }
+
+    for (ln, code) in file.code.iter().enumerate() {
+        if file.in_test[ln] {
+            continue;
+        }
+        for (module, names) in &known {
+            let pat = format!("{module}::");
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(&pat) {
+                let at = from + rel;
+                from = at + pat.len();
+                // `my_phase::` is a different path segment, not the module
+                if code[..at].chars().next_back().is_some_and(is_ident_char) {
+                    continue;
+                }
+                let referenced: String = code[at + pat.len()..]
+                    .chars()
+                    .take_while(|c| is_ident_char(*c))
+                    .collect();
+                // empty: brace imports (`phase::{A, B}`) or a nested path —
+                // the members are checked where they are used
+                if referenced.is_empty() || names.contains(&referenced) {
+                    continue;
+                }
+                if file.allows(ln, "telemetry_taxonomy") {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: ln + 1,
+                    rule: "telemetry_taxonomy",
+                    message: format!(
+                        "`{module}::{referenced}` is not exported by neo-telemetry's \
+                         `{module}` taxonomy module; add the symbol to the taxonomy \
+                         (one closed vocabulary keeps cross-rank traces alignable) \
+                         or add `// lint: allow(telemetry_taxonomy) — <reason>`"
+                    ),
+                });
+            }
+        }
+
+        // `.span("...")`: the phase name must come from the taxonomy
+        if code.contains("fn span(") {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(".span(") {
+            let at = from + rel;
+            let open = at + ".span(".len() - 1;
+            from = open + 1;
+            let Some(close) = matching_paren(code, open) else {
+                continue;
+            };
+            if !code[open..close].contains('"') {
+                continue;
+            }
+            if file.allows(ln, "telemetry_taxonomy") {
+                continue;
+            }
+            let literal = file
+                .tokens
+                .iter()
+                .filter(|t| t.line == ln)
+                .find_map(|t| t.str_value())
+                .unwrap_or_default();
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: ln + 1,
+                rule: "telemetry_taxonomy",
+                message: format!(
+                    "`.span(\"{literal}\")` names the phase with a string literal; \
+                     use a `neo_telemetry::phase` constant so the vocabulary stays \
+                     closed, or add `// lint: allow(telemetry_taxonomy) — <reason>`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Fn names the rule refuses to index: they collide with ubiquitous
+/// std/inherent methods (`Barrier::wait`, `Vec::append`,
+/// `SpanGuard::finish`, channel `send`, …), and a token-level matcher
+/// has no receiver types to tell them apart. Dropping a `Result` from
+/// one of these workspace APIs goes unlinted — the price of zero false
+/// positives on every `vec.append(..)` in the tree.
+pub const AMBIGUOUS_RESULT_FNS: &[&str] = &[
+    "wait", "append", "finish", "send", "recv", "join", "push", "insert", "write", "read", "next",
+    "take", "get", "new", "open", "create", "load", "save", "split", "concat",
+];
+
+/// Rule `discarded_result`: a `Result` returned by a public
+/// collectives/trainer/dataio API must not be dropped with `let _ =` or
+/// a bare `call(..);` statement. `result_fns` maps fn name → defining
+/// crate (built from the symbol index by the registry, minus
+/// [`AMBIGUOUS_RESULT_FNS`]).
+pub fn check_discarded_result(
+    file: &SourceFile,
+    result_fns: &BTreeMap<String, String>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (ln, code) in file.code.iter().enumerate() {
+        if file.in_test[ln] || code.contains("fn ") {
+            continue;
+        }
+        for (name, krate) in result_fns {
+            let pat = format!("{name}(");
+            let Some(at) = token_match(code, &pat) else {
+                continue;
+            };
+            let underscore_eq = ["let _ =", "let _="]
+                .iter()
+                .find_map(|p| code.find(p).map(|i| i + p.len()));
+            let dropped = if let Some(eq_end) = underscore_eq.filter(|&e| e <= at) {
+                // the discarded call must be the statement's OUTERMOST
+                // expression: `let _ = tx.send(train(..))` discards `send`'s
+                // value, not `train`'s
+                !code[eq_end..at].contains('(')
+                    && matching_paren(code, at + pat.len() - 1)
+                        .is_some_and(|close| code[close + 1..].trim() == ";")
+            } else {
+                // bare statement: `recv.call(args);` with nothing consuming
+                // the value — no `=`, no control-flow keyword, and the call
+                // closes directly into `;`
+                let bare_stmt = matching_paren(code, at + pat.len() - 1)
+                    .is_some_and(|close| code[close + 1..].trim() == ";");
+                let prefix = &code[..at];
+                bare_stmt
+                    && !prefix.contains('=')
+                    && !["return", "match", "if", "while", "else"]
+                        .iter()
+                        .any(|kw| token_match(prefix, kw).is_some())
+            };
+            if !dropped {
+                continue;
+            }
+            if file.allows(ln, "discarded_result") {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: ln + 1,
+                rule: "discarded_result",
+                message: format!(
+                    "discards the `Result` of `{krate}::{name}`; a swallowed error \
+                     here desynchronizes ranks and hangs a later collective — \
+                     handle or `?`-propagate it, or add \
+                     `// lint: allow(discarded_result) — <reason>`"
+                ),
+            });
+            break; // one diagnostic per line
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymbolIndex;
+    use std::path::Path;
+
+    fn parse(path: &str, text: &str) -> SourceFile {
+        SourceFile::parse(Path::new(path), text)
+    }
+
+    #[test]
+    fn determinism_flags_clock_reads_outside_measurement_crates() {
+        let src = "fn tick() {\n    let t0 = std::time::Instant::now();\n}\n\
+                   fn seeded() {\n\
+                   \x20   // lint: allow(determinism) — converted to ns offset at ingest\n\
+                   \x20   let t1 = std::time::Instant::now();\n}\n\
+                   #[cfg(test)]\nmod t {\n    fn f() { let t = std::time::Instant::now(); }\n}\n";
+        let f = parse("crates/trainer/src/lib.rs", src);
+        let diags = check_determinism("trainer", &f, true);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        assert!(check_determinism("telemetry", &f, false).is_empty());
+        assert!(check_determinism("prof", &f, false).is_empty());
+    }
+
+    #[test]
+    fn determinism_exempts_chaos_module_and_flags_hash_folds() {
+        let chaos = parse(
+            "crates/sync/src/chaos.rs",
+            "fn jitter() { let t = std::time::Instant::now(); }\n",
+        );
+        assert!(check_determinism("sync", &chaos, false).is_empty());
+
+        let fold = parse(
+            "crates/netsim/src/lib.rs",
+            "use std::collections::HashMap;\n\
+             fn total(m: &HashMap<u32, f32>) -> f32 {\n\
+             \x20   m.values().fold(0.0, |a, b| a + b)\n\
+             }\n\
+             fn count(m: &HashMap<u32, f32>) -> usize {\n\
+             \x20   m.values().count()\n\
+             }\n",
+        );
+        let diags = check_determinism("netsim", &fold, false);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(
+            diags[0].line, 3,
+            "the fold, not the order-insensitive count"
+        );
+        // critical crates defer to hash_iter for the whole iteration
+        assert!(check_determinism("netsim", &fold, true).is_empty());
+    }
+
+    fn taxonomy() -> crate::symbols::CrateSymbols {
+        let phase = parse(
+            "crates/telemetry/src/phase.rs",
+            "pub const ITERATION: &str = \"iteration\";\n\
+             pub const ALLTOALL_FWD: &str = \"alltoall_fwd\";\n\
+             pub fn is_known(name: &str) -> bool { true }\n",
+        );
+        let metric = parse(
+            "crates/telemetry/src/metric.rs",
+            "pub const TRAIN_LOSS: &str = \"train/loss\";\n\
+             pub fn comm_bytes(lane: &str) -> String { String::new() }\n",
+        );
+        SymbolIndex::build(&[("telemetry".to_owned(), vec![phase, metric])]).of("telemetry")
+    }
+
+    #[test]
+    fn taxonomy_resolves_references_and_flags_unknowns() {
+        let src = "use neo_telemetry::phase;\n\
+                   fn f(t: &Telemetry) {\n\
+                   \x20   let _s = t.span(phase::ITERATION);\n\
+                   \x20   let _s = t.span(phase::WARMUP);\n\
+                   \x20   t.counter_add(metric::TRAIN_LOSS, 1);\n\
+                   \x20   t.counter_add(&metric::comm_bytes(\"grad\"), 1);\n\
+                   \x20   let other = my_phase::WARMUP;\n\
+                   }\n";
+        let f = parse("crates/trainer/src/lib.rs", src);
+        let diags = check_telemetry_taxonomy("trainer", &f, &taxonomy());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+        assert!(
+            diags[0].message.contains("phase::WARMUP"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn taxonomy_flags_span_string_literals() {
+        let src = "fn f(t: &Telemetry) {\n\
+                   \x20   let _s = t.span(\"fwd_custom\");\n\
+                   \x20   let _s = t.span(phase::ITERATION);\n\
+                   }\n\
+                   impl T {\n    pub fn span(&self, name: &str) -> Span { Span }\n}\n";
+        let f = parse("crates/trainer/src/lib.rs", src);
+        let diags = check_telemetry_taxonomy("trainer", &f, &taxonomy());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        assert!(
+            diags[0].message.contains("fwd_custom"),
+            "{}",
+            diags[0].message
+        );
+        // the telemetry crate itself, and workspaces without a taxonomy, pass
+        assert!(check_telemetry_taxonomy("telemetry", &f, &taxonomy()).is_empty());
+        assert!(
+            check_telemetry_taxonomy("trainer", &f, &Default::default()).is_empty(),
+            "no taxonomy in scope: rule stands down"
+        );
+    }
+
+    fn result_fns() -> BTreeMap<String, String> {
+        [("all_reduce", "collectives"), ("next_batch", "dataio")]
+            .into_iter()
+            .map(|(f, k)| (f.to_owned(), k.to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn discarded_result_flags_let_underscore_and_bare_statements() {
+        let src = "fn step(g: &mut Group, buf: &mut [f32]) -> Result<(), E> {\n\
+                   \x20   let _ = g.all_reduce(buf);\n\
+                   \x20   g.all_reduce(buf);\n\
+                   \x20   g.all_reduce(buf)?;\n\
+                   \x20   let out = g.all_reduce(buf);\n\
+                   \x20   // lint: allow(discarded_result) — shutdown path, error logged upstream\n\
+                   \x20   let _ = g.all_reduce(buf);\n\
+                   \x20   if g.all_reduce(buf).is_err() { return Err(E); }\n\
+                   \x20   let _ = tx.send(g.all_reduce(buf));\n\
+                   \x20   Ok(())\n\
+                   }\n";
+        let f = parse("crates/trainer/src/lib.rs", src);
+        let diags = check_discarded_result(&f, &result_fns());
+        let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 3], "{diags:?}");
+    }
+
+    #[test]
+    fn discarded_result_ignores_tests_and_definitions() {
+        let src = "pub fn all_reduce(buf: &mut [f32]) -> Result<(), E> { Ok(()) }\n\
+                   #[cfg(test)]\nmod t {\n\
+                   \x20   fn f(g: &mut Group) { let _ = g.all_reduce(&mut []); }\n\
+                   }\n";
+        let f = parse("crates/collectives/src/group.rs", src);
+        assert!(check_discarded_result(&f, &result_fns()).is_empty());
+    }
+}

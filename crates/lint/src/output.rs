@@ -1,0 +1,327 @@
+//! Machine-readable output: `lint --json`, SARIF 2.1.0, and the waived-
+//! findings baseline the CI gate diffs against.
+//!
+//! All three emitters are hand-rolled (the workspace is offline; no
+//! serde). The JSON report is the stable interchange format
+//! (`"schema": "neo-lint/1"`); SARIF is for editor/forge ingestion; the
+//! baseline records **waived** finding counts per rule so that a newly
+//! waived finding still fails CI — unwaived findings fail the lint exit
+//! code directly, so only the waived population can drift silently.
+//! Parsing reuses `neo_telemetry::json`, the same recursive-descent
+//! parser the trace tooling uses.
+
+use std::collections::BTreeMap;
+
+use crate::source::Diagnostic;
+use crate::{LintReport, RuleInfo, RULE_NAMES};
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+        esc(&d.path.display().to_string()),
+        d.line,
+        d.rule,
+        esc(&d.message),
+    )
+}
+
+fn waived_json(waived: &BTreeMap<String, usize>) -> String {
+    let entries: Vec<String> = waived
+        .iter()
+        .map(|(rule, n)| format!("\"{}\": {n}", esc(rule)))
+        .collect();
+    format!("{{{}}}", entries.join(", "))
+}
+
+/// The `lint --json` report.
+pub fn to_json(report: &LintReport, infos: &[RuleInfo]) -> String {
+    let rules: Vec<String> = infos
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"summary\": \"{}\"}}",
+                r.name,
+                esc(r.summary)
+            )
+        })
+        .collect();
+    let findings: Vec<String> = report
+        .diags
+        .iter()
+        .map(|d| format!("    {}", finding_json(d)))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"neo-lint/1\",\n  \"rules\": [\n{}\n  ],\n  \
+         \"findings\": [{}],\n  \"waived\": {}\n}}\n",
+        rules.join(",\n"),
+        if findings.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}\n  ", findings.join(",\n"))
+        },
+        waived_json(&report.waived),
+    )
+}
+
+/// SARIF 2.1.0 (Static Analysis Results Interchange Format): one run,
+/// one result per finding, rule metadata in the tool.driver component.
+pub fn to_sarif(report: &LintReport, infos: &[RuleInfo]) -> String {
+    let rules: Vec<String> = infos
+        .iter()
+        .map(|r| {
+            format!(
+                "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                r.name,
+                esc(r.summary)
+            )
+        })
+        .collect();
+    let results: Vec<String> = report
+        .diags
+        .iter()
+        .map(|d| {
+            let idx = infos
+                .iter()
+                .position(|r| r.name == d.rule)
+                .map(|i| i as i64)
+                .unwrap_or(-1);
+            let uri = d.path.display().to_string().replace('\\', "/");
+            format!(
+                "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
+                 \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+                 {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": \
+                 {{\"startLine\": {}}}}}}}]}}",
+                d.rule,
+                idx,
+                esc(&d.message),
+                esc(&uri),
+                d.line,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \"tool\": {{\n        \"driver\": {{\n          \
+         \"name\": \"neo-lint\",\n          \
+         \"informationUri\": \"https://example.invalid/neo-dlrm/lint\",\n          \
+         \"version\": \"{}\",\n          \"rules\": [\n{}\n          ]\n        }}\n      }},\n      \
+         \"results\": [{}]\n    }}\n  ]\n}}\n",
+        env!("CARGO_PKG_VERSION"),
+        rules.join(",\n"),
+        if results.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}\n      ", results.join(",\n"))
+        },
+    )
+}
+
+/// The committed baseline: waived finding counts per rule.
+pub fn baseline_json(report: &LintReport) -> String {
+    format!(
+        "{{\n  \"schema\": \"neo-lint-baseline/1\",\n  \"waived\": {}\n}}\n",
+        waived_json(&report.waived)
+    )
+}
+
+/// Outcome of diffing a report against a committed baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Regressions that must fail the gate (waived count grew).
+    pub problems: Vec<String>,
+    /// Improvements worth folding into the baseline (waived count shrank).
+    pub notes: Vec<String>,
+}
+
+/// Diffs the report's waived counts against `baseline_text` (the
+/// committed `lint_baseline.json`). A rule whose waived count grew is a
+/// gate failure: somebody added a waiver without updating the baseline,
+/// which is exactly the review checkpoint the baseline exists to force.
+pub fn diff_baseline(report: &LintReport, baseline_text: &str) -> Result<BaselineDiff, String> {
+    let root = neo_telemetry::json::parse(baseline_text)
+        .map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    if root.get("schema").and_then(|s| s.as_str()) != Some("neo-lint-baseline/1") {
+        return Err("baseline schema is not neo-lint-baseline/1".to_owned());
+    }
+    let waived = root
+        .get("waived")
+        .ok_or_else(|| "baseline has no `waived` object".to_owned())?;
+    let mut diff = BaselineDiff::default();
+    for rule in RULE_NAMES {
+        let base = waived
+            .get(rule)
+            .and_then(|v| v.as_f64())
+            .map(|v| v as usize)
+            .unwrap_or(0);
+        let cur = report.waived.get(*rule).copied().unwrap_or(0);
+        if cur > base {
+            diff.problems.push(format!(
+                "rule `{rule}`: {cur} waived finding(s), baseline allows {base} — \
+                 new waivers need review; regenerate with `lint --write-baseline` \
+                 after sign-off"
+            ));
+        } else if cur < base {
+            diff.notes.push(format!(
+                "rule `{rule}`: {cur} waived finding(s), baseline allows {base} — \
+                 tighten the baseline with `lint --write-baseline`"
+            ));
+        }
+    }
+    // unknown rules in the baseline are stale entries, not regressions
+    if let Some(obj) = waived.as_object() {
+        for (key, _) in obj {
+            if !RULE_NAMES.contains(&key.as_str()) {
+                diff.notes
+                    .push(format!("baseline entry `{key}` matches no known rule"));
+            }
+        }
+    }
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn report() -> LintReport {
+        LintReport {
+            diags: vec![Diagnostic {
+                path: PathBuf::from("crates/demo/src/lib.rs"),
+                line: 7,
+                rule: "panic",
+                message: "`.unwrap()` with \"quotes\" and a \\ backslash".to_owned(),
+            }],
+            waived: [("lock_order".to_owned(), 2usize)].into_iter().collect(),
+        }
+    }
+
+    fn infos() -> Vec<RuleInfo> {
+        vec![
+            RuleInfo {
+                name: "panic",
+                summary: "no panicking calls in library code",
+            },
+            RuleInfo {
+                name: "lock_order",
+                summary: "lock acquisition graph must stay acyclic",
+            },
+        ]
+    }
+
+    #[test]
+    fn json_report_parses_and_round_trips_fields() {
+        let text = to_json(&report(), &infos());
+        let root = neo_telemetry::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            root.get("schema").and_then(|s| s.as_str()),
+            Some("neo-lint/1")
+        );
+        let findings = root.get("findings").and_then(|f| f.as_array()).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("rule").and_then(|r| r.as_str()),
+            Some("panic")
+        );
+        assert_eq!(findings[0].get("line").and_then(|l| l.as_f64()), Some(7.0));
+        assert_eq!(
+            findings[0].get("message").and_then(|m| m.as_str()),
+            Some("`.unwrap()` with \"quotes\" and a \\ backslash")
+        );
+        assert_eq!(
+            root.get("waived")
+                .and_then(|w| w.get("lock_order"))
+                .and_then(|n| n.as_f64()),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn sarif_parses_with_required_2_1_0_fields() {
+        let text = to_sarif(&report(), &infos());
+        let root = neo_telemetry::json::parse(&text).expect("valid JSON");
+        assert_eq!(root.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+        assert!(root
+            .get("$schema")
+            .and_then(|s| s.as_str())
+            .unwrap()
+            .contains("sarif-schema-2.1.0"));
+        let runs = root.get("runs").and_then(|r| r.as_array()).unwrap();
+        let driver = runs[0].get("tool").and_then(|t| t.get("driver")).unwrap();
+        assert_eq!(
+            driver.get("name").and_then(|n| n.as_str()),
+            Some("neo-lint")
+        );
+        assert_eq!(
+            driver
+                .get("rules")
+                .and_then(|r| r.as_array())
+                .unwrap()
+                .len(),
+            2
+        );
+        let results = runs[0].get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(
+            results[0].get("ruleId").and_then(|r| r.as_str()),
+            Some("panic")
+        );
+        assert_eq!(
+            results[0].get("ruleIndex").and_then(|i| i.as_f64()),
+            Some(0.0)
+        );
+        let region = results[0]
+            .get("locations")
+            .and_then(|l| l.as_array())
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .unwrap();
+        assert_eq!(region.get("startLine").and_then(|l| l.as_f64()), Some(7.0));
+    }
+
+    #[test]
+    fn baseline_diff_flags_growth_and_notes_shrinkage() {
+        let rep = report(); // lock_order: 2 waived
+        let base = "{\n  \"schema\": \"neo-lint-baseline/1\",\n  \
+                    \"waived\": {\"lock_order\": 1, \"panic\": 3, \"ghost_rule\": 1}\n}\n";
+        let diff = diff_baseline(&rep, base).expect("parses");
+        assert_eq!(diff.problems.len(), 1, "{:?}", diff.problems);
+        assert!(diff.problems[0].contains("lock_order"));
+        assert!(
+            diff.notes.iter().any(|n| n.contains("panic")),
+            "{:?}",
+            diff.notes
+        );
+        assert!(diff.notes.iter().any(|n| n.contains("ghost_rule")));
+    }
+
+    #[test]
+    fn baseline_round_trip_is_clean() {
+        let rep = report();
+        let diff = diff_baseline(&rep, &baseline_json(&rep)).expect("parses");
+        assert!(diff.problems.is_empty(), "{:?}", diff.problems);
+        assert!(diff.notes.is_empty(), "{:?}", diff.notes);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(diff_baseline(&report(), "not json").is_err());
+        assert!(diff_baseline(&report(), "{\"schema\": \"other/1\"}").is_err());
+    }
+}

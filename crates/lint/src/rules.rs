@@ -1,4 +1,4 @@
-//! The nine workspace invariants, as pure functions over [`SourceFile`]s.
+//! The six file-local invariants, as pure functions over [`SourceFile`]s.
 //!
 //! Rule names (used in `// lint: allow(<rule>) — <reason>` annotations):
 //!
@@ -12,18 +12,16 @@
 //! |               | calls are balanced per file                                 |
 //! | `metric_names`| metric registrations use `neo_telemetry::metric` constants/ |
 //! |               | helpers, not inline string literals                         |
-//! | `lock_order`  | the global lock-acquisition graph (nested guards plus one   |
-//! |               | level of intra-crate calls-while-held) is acyclic           |
-//! | `lock_unwrap` | no `.lock().unwrap()`-style poison propagation; use         |
-//! |               | `neo_sync::recover` or the ordered wrappers                 |
-//! | `stale_waiver`| every `lint: allow(...)` annotation still suppresses a      |
-//! |               | finding and names a rule that exists                        |
 //!
-//! `lock_order` and `lock_unwrap` live in [`crate::lockorder`];
-//! `stale_waiver` is [`SourceFile::stale_waivers`], run after every other
-//! rule so consumed annotations are already marked.
+//! `lock_order`, `lock_unwrap`, and `comm_lane_blocking` live in
+//! [`crate::lockorder`]; `determinism`, `telemetry_taxonomy`, and
+//! `discarded_result` in [`crate::newrules`]; `stale_waiver` is
+//! [`SourceFile::stale_waivers`], run after every other rule so consumed
+//! annotations are already marked. The [`crate::Rule`] registry in the
+//! crate root wires all thirteen together.
 
-use crate::scan::{Diagnostic, SourceFile};
+use crate::source::{Diagnostic, SourceFile};
+pub use crate::token::is_ident_char;
 
 /// Panic-family tokens banned in library code (rule `panic`).
 const PANIC_TOKENS: &[&str] = &[
@@ -46,12 +44,8 @@ const ITER_TOKENS: &[&str] = &[
     ".drain(",
 ];
 
-pub(crate) fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
 /// Whether `hay` contains `needle` starting at a non-identifier boundary.
-pub(crate) fn token_match(hay: &str, needle: &str) -> Option<usize> {
+pub fn token_match(hay: &str, needle: &str) -> Option<usize> {
     // the boundary requirement only applies to needles that begin with an
     // identifier char (`panic!`); `.unwrap()` is always preceded by its
     // receiver and needs no boundary
@@ -103,15 +97,7 @@ pub fn check_panics(file: &SourceFile) -> Vec<Diagnostic> {
 /// struct fields, fn params), then flag iteration through any of them or
 /// directly on a hash-typed expression.
 pub fn check_hash_iteration(file: &SourceFile) -> Vec<Diagnostic> {
-    let mut idents: Vec<String> = Vec::new();
-    for (ln, code) in file.code.iter().enumerate() {
-        if file.in_test[ln] {
-            continue;
-        }
-        idents.extend(hash_bound_idents(code));
-    }
-    idents.sort();
-    idents.dedup();
+    let idents = hash_idents(file);
 
     let mut out = Vec::new();
     for (ln, code) in file.code.iter().enumerate() {
@@ -140,6 +126,22 @@ pub fn check_hash_iteration(file: &SourceFile) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// Every identifier bound to a hash-typed value in `file`'s library code,
+/// sorted and deduplicated. Shared with the `determinism` rule's
+/// hash-order-fold check.
+pub(crate) fn hash_idents(file: &SourceFile) -> Vec<String> {
+    let mut idents: Vec<String> = Vec::new();
+    for (ln, code) in file.code.iter().enumerate() {
+        if file.in_test[ln] {
+            continue;
+        }
+        idents.extend(hash_bound_idents(code));
+    }
+    idents.sort();
+    idents.dedup();
+    idents
 }
 
 /// Identifiers bound to a hash-typed value on this line: `name: HashMap<..>`
@@ -197,7 +199,7 @@ fn hash_bound_idents(code: &str) -> Vec<String> {
 
 /// The identifier that ends `text` (after stripping generic/type noise),
 /// if any. `"let mut plan"` → `plan`; `"pub counts"` → `counts`.
-pub(crate) fn trailing_ident(text: &str) -> Option<String> {
+pub fn trailing_ident(text: &str) -> Option<String> {
     let trimmed = text.trim_end();
     let start = trimmed
         .rfind(|c: char| !is_ident_char(c))
@@ -216,7 +218,7 @@ pub(crate) fn trailing_ident(text: &str) -> Option<String> {
 
 /// Whether `code` iterates `name`: `name.iter()`, `name.keys()`, …, or
 /// `for x in &name {` / `for x in name {`.
-fn iterates_ident(code: &str, name: &str) -> bool {
+pub(crate) fn iterates_ident(code: &str, name: &str) -> bool {
     for tok in ITER_TOKENS {
         let pat = format!("{name}{tok}");
         if token_match(code, &pat).is_some() {
@@ -303,21 +305,7 @@ pub fn check_span_balance(file: &SourceFile) -> Vec<Diagnostic> {
         // find the `)` matching the `(` of `.span(`; if the call is followed
         // by `;` it is a statement whose result vanishes unless bound
         let open = at + ".span(".len() - 1;
-        let mut depth = 0usize;
-        let mut close = None;
-        for (i, c) in code[open..].char_indices() {
-            match c {
-                '(' => depth += 1,
-                ')' => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        close = Some(open + i);
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
+        let close = matching_paren(code, open);
         let ends_as_statement = close.is_some_and(|c| code[c + 1..].trim_start().starts_with(';'));
         let discarded_binding = before.contains("let _ =") || before.contains("let _=");
         let bare_statement = ends_as_statement && !before.contains('=');
@@ -348,6 +336,25 @@ pub fn check_span_balance(file: &SourceFile) -> Vec<Diagnostic> {
     out
 }
 
+/// Byte offset of the `)` matching the `(` at byte offset `open`, scanning
+/// within one line; `None` when the call spans lines.
+pub(crate) fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in code[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(open + i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// Metric-registration calls governed by rule `metric_names`.
 const METRIC_CALLS: &[&str] = &[".counter_add(", ".gauge_push(", ".histogram_observe("];
 
@@ -373,21 +380,7 @@ pub fn check_metric_names(file: &SourceFile) -> Vec<Diagnostic> {
                 continue;
             }
             let open = at + call.len() - 1;
-            let mut depth = 0usize;
-            let mut end = code.len();
-            for (i, c) in code[open..].char_indices() {
-                match c {
-                    '(' => depth += 1,
-                    ')' => {
-                        depth = depth.saturating_sub(1);
-                        if depth == 0 {
-                            end = open + i;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-            }
+            let end = matching_paren(code, open).unwrap_or(code.len());
             if code[open..end].contains('"') {
                 // consult the waiver only on an actual finding (stale_waiver)
                 if file.allows(ln, "metric_names") {
@@ -496,6 +489,12 @@ mod tests {
     #[test]
     fn panic_rule_ignores_strings_and_comments() {
         let f = file("let s = \"don't panic!\"; // .unwrap() in comment\n");
+        assert!(check_panics(&f).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_ignores_raw_strings() {
+        let f = file("let s = r#\"x.unwrap() and panic!(..) examples\"#;\n");
         assert!(check_panics(&f).is_empty());
     }
 

@@ -1,33 +1,19 @@
-//! Line-level source model for the linter.
+//! Per-file source model derived from the token stream.
 //!
-//! Loads a `.rs` file and produces, per line: the raw text, a *code view*
-//! with comments and string/char literal contents blanked out (so token
-//! scans cannot false-positive inside docs or literals), the comment text
-//! (where `// lint: allow(...)` annotations live), and whether the line
-//! sits inside a `#[cfg(test)]`-gated region.
+//! [`SourceFile::parse`] tokenizes the file once (see [`crate::token`])
+//! and derives the views every rule consumes: per-line *code* text with
+//! comment and literal contents blanked (equal char width to the raw
+//! line, so columns always line up), per-line comment text (where
+//! `// lint: allow(...)` annotations live), a `#[cfg(test)]`-region mask,
+//! and the parsed waiver list with **per-token-span** consumption
+//! tracking — a waiver is a specific comment token, and `allows` marks
+//! that token consumed, which is what the `stale_waiver` rule audits.
 
 use std::cell::RefCell;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// A parsed source file ready for rule scans.
-#[derive(Debug)]
-pub struct SourceFile {
-    /// Workspace-relative path, used in diagnostics.
-    pub path: PathBuf,
-    /// Original lines.
-    pub raw: Vec<String>,
-    /// Lines with comments and literal contents replaced by spaces.
-    pub code: Vec<String>,
-    /// Comment text of each line (empty when the line has none).
-    pub comments: Vec<String>,
-    /// Whether each line is inside a `#[cfg(test)]` item.
-    pub in_test: Vec<bool>,
-    /// Which annotation lines have suppressed at least one finding this
-    /// run (interior-mutated by [`SourceFile::allows`]); feeds the
-    /// `stale_waiver` rule.
-    used_waivers: RefCell<Vec<bool>>,
-}
+use crate::token::{tokenize, Tok, TokKind};
 
 /// A single rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,87 +41,134 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Normal,
-    Str,
-    RawStr { hashes: usize },
-    BlockComment { depth: usize },
+/// One `// lint: allow(<rule>) — <reason>` annotation, anchored to the
+/// comment token that carries it.
+#[derive(Debug)]
+pub struct Waiver {
+    /// Rule the waiver names.
+    pub rule: String,
+    /// 0-based line of the annotation's comment token.
+    pub line: usize,
+    /// Whether the annotation sits on a comment-only line, in which case
+    /// it covers the *next* line rather than its own.
+    pub standalone: bool,
+    /// Doc comments (`///`, `//!`) may quote the grammar without waiving.
+    pub doc: bool,
+    /// Whether the annotation is inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A parsed source file ready for rule scans.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used in diagnostics.
+    pub path: PathBuf,
+    /// Original lines.
+    pub raw: Vec<String>,
+    /// Lines with comments and literal contents replaced by spaces.
+    pub code: Vec<String>,
+    /// Comment text of each line (empty when the line has none).
+    pub comments: Vec<String>,
+    /// Whether each line is inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// The full token stream (lossless; comments and literals included).
+    pub tokens: Vec<Tok>,
+    /// Parsed waiver annotations, in source order.
+    pub waivers: Vec<Waiver>,
+    /// Which waivers have suppressed at least one finding this run
+    /// (interior-mutated by [`SourceFile::allows`]); feeds `stale_waiver`.
+    used_waivers: RefCell<Vec<bool>>,
 }
 
 impl SourceFile {
     /// Parses `text` (the contents of `path`).
     pub fn parse(path: &Path, text: &str) -> SourceFile {
         let raw: Vec<String> = text.lines().map(str::to_owned).collect();
-        let (code, comments) = strip(&raw);
+        let tokens = tokenize(text);
+        let (code, comments) = render_views(&raw, &tokens);
         let in_test = mark_test_regions(&code);
-        let used_waivers = RefCell::new(vec![false; raw.len()]);
+        let waivers = extract_waivers(&tokens, &code, &in_test);
+        let used_waivers = RefCell::new(vec![false; waivers.len()]);
         SourceFile {
             path: path.to_path_buf(),
             raw,
             code,
             comments,
             in_test,
+            tokens,
+            waivers,
             used_waivers,
         }
     }
 
-    /// Whether `line` (0-based) carries a `// lint: allow(rule) — reason`
-    /// annotation for `rule`, either trailing the line itself or on a
-    /// comment-only line immediately above (a trailing annotation covers
-    /// only its own line). A successful consult marks the annotation line
-    /// *used* so the `stale_waiver` rule can report waivers that no longer
-    /// suppress anything.
+    /// Whether `line` (0-based) is covered by a waiver for `rule`: a
+    /// trailing annotation on the line itself, or a comment-only
+    /// annotation line immediately above. A successful consult marks that
+    /// waiver token *consumed* so `stale_waiver` can report annotations
+    /// that no longer suppress anything.
     pub fn allows(&self, line: usize, rule: &str) -> bool {
-        if annotation_of(&self.comments[line]).is_some_and(|r| r == rule) {
-            self.used_waivers.borrow_mut()[line] = true;
-            return true;
-        }
-        if line > 0
-            && self.code[line - 1].trim().is_empty()
-            && annotation_of(&self.comments[line - 1]).is_some_and(|r| r == rule)
-        {
-            self.used_waivers.borrow_mut()[line - 1] = true;
-            return true;
+        for (idx, w) in self.waivers.iter().enumerate() {
+            if w.rule != rule {
+                continue;
+            }
+            let covered = if w.standalone {
+                w.line + 1 == line
+            } else {
+                w.line == line
+            };
+            if covered {
+                self.used_waivers.borrow_mut()[idx] = true;
+                return true;
+            }
         }
         false
+    }
+
+    /// Waiver rules consumed in this file so far, one entry per consumed
+    /// annotation (for per-rule waived-finding accounting).
+    pub fn consumed_waivers(&self) -> Vec<String> {
+        let used = self.used_waivers.borrow();
+        self.waivers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| used[*i])
+            .map(|(_, w)| w.rule.clone())
+            .collect()
     }
 
     /// Rule `stale_waiver`: annotations that suppressed nothing in this
     /// run (the code they excused has been fixed or moved) or that name a
     /// rule the linter does not have. Call only *after* every other rule
-    /// has scanned the file — `allows` marks consumed annotations as it
-    /// runs. Doc comments (`///`, `//!`) are skipped: they may legally
+    /// has scanned the file — [`SourceFile::allows`] marks consumed
+    /// waivers as it runs. Doc comments are skipped: they may legally
     /// *describe* the annotation grammar without waiving anything.
     pub fn stale_waivers(&self, known_rules: &[&str]) -> Vec<Diagnostic> {
         let used = self.used_waivers.borrow();
         let mut out = Vec::new();
-        for (ln, comment) in self.comments.iter().enumerate() {
-            let t = comment.trim_start();
-            if t.starts_with("///") || t.starts_with("//!") || self.in_test[ln] {
+        for (idx, w) in self.waivers.iter().enumerate() {
+            if w.doc || w.in_test {
                 continue;
             }
-            let Some(rule) = annotation_of(comment) else {
-                continue;
-            };
-            if !known_rules.contains(&rule) {
+            if !known_rules.contains(&w.rule.as_str()) {
                 out.push(Diagnostic {
                     path: self.path.clone(),
-                    line: ln + 1,
+                    line: w.line + 1,
                     rule: "stale_waiver",
                     message: format!(
-                        "waiver names unknown rule `{rule}` (known: {})",
+                        "waiver names unknown rule `{}` (known: {})",
+                        w.rule,
                         known_rules.join(", ")
                     ),
                 });
-            } else if !used[ln] {
+            } else if !used[idx] {
                 out.push(Diagnostic {
                     path: self.path.clone(),
-                    line: ln + 1,
+                    line: w.line + 1,
                     rule: "stale_waiver",
                     message: format!(
-                        "`lint: allow({rule})` no longer suppresses any finding; \
-                         remove the stale waiver"
+                        "`lint: allow({})` no longer suppresses any finding; \
+                         remove the stale waiver",
+                        w.rule
                     ),
                 });
             }
@@ -168,167 +201,93 @@ pub fn annotation_of(comment: &str) -> Option<&str> {
     Some(rule)
 }
 
-/// Blanks comments and literal contents, returning (code, comment) views.
-fn strip(raw: &[String]) -> (Vec<String>, Vec<String>) {
-    let mut mode = Mode::Normal;
-    let mut code_lines = Vec::with_capacity(raw.len());
-    let mut comment_lines = Vec::with_capacity(raw.len());
-
-    for line in raw {
-        let mut code = String::with_capacity(line.len());
-        let mut comment = String::new();
-        let mut str_continues = false;
-        let chars: Vec<char> = line.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            match mode {
-                Mode::Normal => {
-                    let c = chars[i];
-                    let next = chars.get(i + 1).copied();
-                    if c == '/' && next == Some('/') {
-                        comment.push_str(&chars[i..].iter().collect::<String>());
-                        break; // rest of line is comment
-                    } else if c == '/' && next == Some('*') {
-                        mode = Mode::BlockComment { depth: 1 };
-                        code.push(' ');
-                        code.push(' ');
-                        i += 2;
-                    } else if c == '"' {
-                        code.push('"');
-                        mode = Mode::Str;
-                        i += 1;
-                    } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
-                        // raw string: r"..." or r#"..."# (any hash count)
-                        let mut j = i + 1;
-                        let mut hashes = 0;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            mode = Mode::RawStr { hashes };
-                            for _ in i..=j {
-                                code.push(' ');
-                            }
-                            i = j + 1;
-                        } else {
-                            code.push(c);
-                            i += 1;
-                        }
-                    } else if c == '\'' {
-                        // char literal vs lifetime: a literal closes within
-                        // a few chars ('x', '\n', '\u{..}'); a lifetime
-                        // never closes
-                        if let Some(len) = char_literal_len(&chars[i..]) {
-                            code.push(' ');
-                            for _ in 1..len {
-                                code.push(' ');
-                            }
-                            i += len;
-                        } else {
-                            code.push(c);
-                            i += 1;
-                        }
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
-                }
-                Mode::Str => {
-                    let c = chars[i];
-                    if c == '\\' {
-                        code.push(' ');
-                        if i + 1 < chars.len() {
-                            code.push(' ');
-                            i += 1;
-                        } else {
-                            // trailing `\`: the literal continues on the
-                            // next line, whose text is still string content
-                            str_continues = true;
-                        }
-                        i += 1;
-                    } else if c == '"' {
-                        code.push('"');
-                        mode = Mode::Normal;
-                        i += 1;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                Mode::RawStr { hashes } => {
-                    if chars[i] == '"' {
-                        let closing: bool = (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'));
-                        if closing {
-                            for _ in 0..=hashes {
-                                code.push(' ');
-                            }
-                            i += 1 + hashes;
-                            mode = Mode::Normal;
-                            continue;
-                        }
-                    }
-                    code.push(' ');
-                    i += 1;
-                }
-                Mode::BlockComment { depth } => {
-                    let c = chars[i];
-                    let next = chars.get(i + 1).copied();
-                    if c == '*' && next == Some('/') {
-                        comment.push_str("*/");
-                        i += 2;
-                        if depth == 1 {
-                            mode = Mode::Normal;
-                            code.push(' ');
-                            code.push(' ');
-                        } else {
-                            mode = Mode::BlockComment { depth: depth - 1 };
-                        }
-                    } else if c == '/' && next == Some('*') {
-                        comment.push_str("/*");
-                        mode = Mode::BlockComment { depth: depth + 1 };
-                        i += 2;
-                    } else {
-                        comment.push(c);
-                        i += 1;
-                    }
-                }
-            }
+/// Walks the comment tokens and materializes each annotation as a
+/// [`Waiver`] anchored to its token.
+fn extract_waivers(tokens: &[Tok], code: &[String], in_test: &[bool]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
         }
-        // Without a trailing `\` continuation, treat line end as
-        // terminating an open normal string: this repo's style always
-        // escapes multi-line literals, and terminating keeps one
-        // mis-detected quote from poisoning the rest of the file.
-        if mode == Mode::Str && !str_continues {
-            mode = Mode::Normal;
-        }
-        code_lines.push(code);
-        comment_lines.push(comment);
+        let Some(rule) = annotation_of(&t.text) else {
+            continue;
+        };
+        // the annotation anchors to the last line of the comment token
+        // (a multi-line block comment waives below itself)
+        let line = t.line + t.text.matches('\n').count();
+        let trimmed = t.text.trim_start();
+        out.push(Waiver {
+            rule: rule.to_owned(),
+            line,
+            standalone: code.get(line).is_some_and(|l| l.trim().is_empty()),
+            doc: trimmed.starts_with("///") || trimmed.starts_with("//!"),
+            in_test: in_test.get(line).copied().unwrap_or(false),
+        });
     }
-    (code_lines, comment_lines)
+    out
 }
 
-/// Length in chars of a char literal starting at `'`, or `None` for a
-/// lifetime.
-fn char_literal_len(chars: &[char]) -> Option<usize> {
-    match chars.get(1)? {
-        '\\' => {
-            // escaped: scan to the closing quote (bounded)
-            for (k, c) in chars.iter().enumerate().skip(2).take(10) {
-                if *c == '\'' {
-                    return Some(k + 1);
-                }
+/// Renders the per-line code and comment views from the token stream.
+///
+/// Code view: comments and literal interiors become spaces; string quotes
+/// are kept as `"` markers (rules use them to spot literal arguments);
+/// raw strings and char literals blank entirely. Every code line has the
+/// same char width as the raw line.
+fn render_views(raw: &[String], tokens: &[Tok]) -> (Vec<String>, Vec<String>) {
+    let mut code: Vec<String> = raw.iter().map(|l| " ".repeat(l.chars().count())).collect();
+    let mut comments: Vec<String> = vec![String::new(); raw.len()];
+    if raw.is_empty() {
+        return (code, comments);
+    }
+
+    for t in tokens {
+        for (seg_idx, seg) in t.text.split('\n').enumerate() {
+            let line = t.line + seg_idx;
+            if line >= raw.len() || seg.is_empty() {
+                continue;
             }
-            None
-        }
-        _ => {
-            if chars.get(2) == Some(&'\'') {
-                Some(3)
-            } else {
-                None // `'a` lifetime or `'static`
+            let col = if seg_idx == 0 { t.col } else { 0 };
+            match t.kind {
+                TokKind::Ws
+                | TokKind::Ident
+                | TokKind::Num
+                | TokKind::Punct
+                | TokKind::Lifetime => {
+                    splice(&mut code[line], col, seg);
+                }
+                TokKind::LineComment | TokKind::BlockComment => {
+                    comments[line].push_str(seg);
+                }
+                TokKind::Str => {
+                    // keep the quote markers, blank the body
+                    let n = seg.chars().count();
+                    let last_seg = t.text.split('\n').count() - 1 == seg_idx;
+                    let mut render: Vec<char> = vec![' '; n];
+                    if seg_idx == 0 {
+                        if let Some(q) = seg.chars().position(|c| c == '"') {
+                            render[q] = '"';
+                        }
+                    }
+                    if last_seg && t.text.ends_with('"') && n > 0 && !(seg_idx == 0 && n <= 1) {
+                        render[n - 1] = '"';
+                    }
+                    let rendered: String = render.into_iter().collect();
+                    splice(&mut code[line], col, &rendered);
+                }
+                TokKind::RawStr | TokKind::Char => {} // stays blank
             }
         }
     }
+    (code, comments)
+}
+
+/// Overwrites `line` starting at char column `col` with `text`.
+fn splice(line: &mut String, col: usize, text: &str) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out: String = chars.iter().take(col).collect();
+    out.push_str(text);
+    out.extend(chars.iter().skip(col + text.chars().count()));
+    *line = out;
 }
 
 /// Marks every line belonging to a `#[cfg(test)]`-gated item by tracking
@@ -390,6 +349,20 @@ mod tests {
         assert_eq!(f.code[1], "let y = 1;");
     }
 
+    #[test]
+    fn code_view_width_matches_raw() {
+        let f = parse(
+            "let s = r#\"wide raw\"#; /* c */ let c = '{';\nlet m = \"a\nmultiline b\"; end();",
+        );
+        for (raw, code) in f.raw.iter().zip(&f.code) {
+            assert_eq!(
+                raw.chars().count(),
+                code.chars().count(),
+                "{raw:?}/{code:?}"
+            );
+        }
+    }
+
     /// A literal continued with a trailing `\` stays string content on the
     /// next line: no phantom comments (`//` in message text) and no brace
     /// miscounting from `{}` placeholders.
@@ -406,6 +379,16 @@ mod tests {
             "placeholder blanked: {:?}",
             f.code[0]
         );
+    }
+
+    /// The tokenizer-level fix for the same class: a *plain* multi-line
+    /// string (no `\` continuation) also stays string content.
+    #[test]
+    fn plain_multiline_strings_stay_in_string_mode() {
+        let f = parse("let m = \"first\n// not a comment { } \nlast\";\nlet y = 2;");
+        assert!(f.comments[1].is_empty(), "comments: {:?}", f.comments[1]);
+        assert!(!f.code[1].contains('{'), "code view: {:?}", f.code[1]);
+        assert_eq!(f.code[3], "let y = 2;");
     }
 
     #[test]
@@ -426,10 +409,11 @@ mod tests {
     }
 
     #[test]
-    fn block_comments_span_lines() {
-        let f = parse("/* start\n.unwrap()\nstill comment */ let a = 1;");
+    fn nested_block_comments_span_lines() {
+        let f = parse("/* start /* nested\n.unwrap()\nstill */ comment */ let a = 1;");
         assert!(!f.code[1].contains(".unwrap()"));
-        assert!(f.code[2].contains("let a = 1;"));
+        assert!(f.code[2].contains("let a = 1;"), "{:?}", f.code[2]);
+        assert!(f.comments[0].contains("start"));
     }
 
     #[test]
@@ -477,6 +461,20 @@ mod tests {
         assert!(f.allows(2, "panic"));
         assert!(!f.allows(3, "panic"));
         assert!(!f.allows(1, "hash_iter"), "rule name must match");
+    }
+
+    #[test]
+    fn waivers_are_tracked_per_token_span() {
+        let text = "x.unwrap(); // lint: allow(panic) — token-anchored\n\
+                    // lint: allow(panic) — standalone, never consumed\n\
+                    let y = 1;\n";
+        let f = parse(text);
+        assert_eq!(f.waivers.len(), 2);
+        assert!(f.allows(0, "panic"));
+        assert_eq!(f.consumed_waivers(), vec!["panic".to_owned()]);
+        let stale = f.stale_waivers(&["panic"]);
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert_eq!(stale[0].line, 2, "the standalone waiver is the stale one");
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Cross-crate symbol index.
+//!
+//! Walks every crate's token streams once and records the `pub` surface:
+//! functions (with whether they return a `Result`), structs, and consts
+//! (with their string value when the initializer is a string literal).
+//! Rules consult the index for cross-crate checks: `telemetry_taxonomy`
+//! resolves `phase::X` / `metric::X` references against the constants
+//! and helpers actually exported by `neo-telemetry`'s taxonomy modules,
+//! and `discarded_result` knows which public collectives/trainer/dataio
+//! calls return a `Result` that must not be silently dropped.
+
+use std::collections::BTreeMap;
+
+use crate::source::SourceFile;
+use crate::token::{Tok, TokKind};
+
+/// A public function.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    pub name: String,
+    /// File stem the symbol is defined in (`phase`, `metric`, `group`, …).
+    pub module: String,
+    /// Whether the declared return type mentions a `Result` (including
+    /// aliases ending in `Result`).
+    pub returns_result: bool,
+}
+
+/// A public const (or static).
+#[derive(Debug, Clone)]
+pub struct ConstSym {
+    pub name: String,
+    pub module: String,
+    /// The initializer's string value when it is a string literal.
+    pub value: Option<String>,
+}
+
+/// Everything one crate exports.
+#[derive(Debug, Clone, Default)]
+pub struct CrateSymbols {
+    pub fns: Vec<FnSym>,
+    pub structs: Vec<String>,
+    pub consts: Vec<ConstSym>,
+}
+
+impl CrateSymbols {
+    /// Const names defined in `module` (a file stem).
+    pub fn consts_in(&self, module: &str) -> Vec<&ConstSym> {
+        self.consts.iter().filter(|c| c.module == module).collect()
+    }
+
+    /// Fn names defined in `module` (a file stem).
+    pub fn fns_in(&self, module: &str) -> Vec<&FnSym> {
+        self.fns.iter().filter(|f| f.module == module).collect()
+    }
+}
+
+/// Public symbols per crate, keyed by crate directory name.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolIndex {
+    pub crates: BTreeMap<String, CrateSymbols>,
+}
+
+impl SymbolIndex {
+    /// Builds the index over `(crate name, parsed files)` pairs.
+    pub fn build(crates: &[(String, Vec<SourceFile>)]) -> SymbolIndex {
+        let mut index = SymbolIndex::default();
+        for (name, files) in crates {
+            let entry = index.crates.entry(name.clone()).or_default();
+            for file in files {
+                scan_file(file, entry);
+            }
+        }
+        index
+    }
+
+    /// The symbols of `krate`, or an empty set when it is not indexed.
+    pub fn of(&self, krate: &str) -> CrateSymbols {
+        self.crates.get(krate).cloned().unwrap_or_default()
+    }
+}
+
+/// Significant (non-whitespace, non-comment) tokens with their stream
+/// positions, plus the in-test mask applied.
+fn significant(file: &SourceFile) -> Vec<&Tok> {
+    file.tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+            ) && !file.in_test.get(t.line).copied().unwrap_or(false)
+        })
+        .collect()
+}
+
+fn scan_file(file: &SourceFile, out: &mut CrateSymbols) {
+    let module = file
+        .path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("")
+        .to_owned();
+    let toks = significant(file);
+    let ident = |i: usize, s: &str| {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    };
+
+    let mut i = 0;
+    while i < toks.len() {
+        if !ident(i, "pub") {
+            i += 1;
+            continue;
+        }
+        // skip a visibility scope: `pub(crate)`, `pub(super)`, …
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            while j < toks.len() && toks[j].text != ")" {
+                j += 1;
+            }
+            j += 1;
+        }
+        if ident(j, "fn") {
+            if let Some(name_tok) = toks.get(j + 1).filter(|t| t.kind == TokKind::Ident) {
+                out.fns.push(FnSym {
+                    name: name_tok.text.clone(),
+                    module: module.clone(),
+                    returns_result: return_mentions_result(&toks, j + 2),
+                });
+            }
+        } else if ident(j, "struct") || ident(j, "enum") {
+            if let Some(name_tok) = toks.get(j + 1).filter(|t| t.kind == TokKind::Ident) {
+                out.structs.push(name_tok.text.clone());
+            }
+        } else if ident(j, "const") || ident(j, "static") {
+            if let Some(name_tok) = toks.get(j + 1).filter(|t| t.kind == TokKind::Ident) {
+                // value: first string-literal token before the closing `;`
+                let mut value = None;
+                let mut k = j + 2;
+                while k < toks.len() && toks[k].text != ";" {
+                    if let Some(v) = toks[k].str_value() {
+                        value = Some(v);
+                        break;
+                    }
+                    k += 1;
+                }
+                out.consts.push(ConstSym {
+                    name: name_tok.text.clone(),
+                    module: module.clone(),
+                    value,
+                });
+            }
+        }
+        i = j + 1;
+    }
+}
+
+/// Whether the fn signature starting after the name (at token `from`,
+/// normally the opening paren) declares a return type mentioning
+/// `Result` (or an alias ending in `Result`). Scans to the body `{` or
+/// declaration `;`, tracking paren nesting so closure types inside
+/// parameter lists do not confuse the arrow search.
+fn return_mentions_result(toks: &[&Tok], from: usize) -> bool {
+    let mut depth = 0i64;
+    let mut k = from;
+    while k < toks.len() {
+        let t = toks[k].text.as_str();
+        match t {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return false,
+            ";" if depth == 0 => return false,
+            "-" if depth == 0 && toks.get(k + 1).is_some_and(|n| n.text == ">") => {
+                k += 2;
+                // return type runs to the body brace / `;` / `where`
+                while k < toks.len() {
+                    let r = toks[k].text.as_str();
+                    if (r == "{" || r == ";" || r == "where") && depth == 0 {
+                        return false;
+                    }
+                    match r {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        _ => {}
+                    }
+                    if toks[k].kind == TokKind::Ident && r.ends_with("Result") {
+                        return true;
+                    }
+                    k += 1;
+                }
+                return false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn index_of(name: &str, module: &str, text: &str) -> CrateSymbols {
+        let f = SourceFile::parse(Path::new(&format!("crates/{name}/src/{module}.rs")), text);
+        SymbolIndex::build(&[(name.to_owned(), vec![f])]).of(name)
+    }
+
+    #[test]
+    fn consts_record_string_values_per_module() {
+        let syms = index_of(
+            "telemetry",
+            "phase",
+            "pub const ITERATION: &str = \"iteration\";\n\
+             pub const ALL: &[&str] = &[ITERATION];\n\
+             const PRIVATE: &str = \"hidden\";\n",
+        );
+        let consts = syms.consts_in("phase");
+        assert_eq!(consts.len(), 2, "{consts:?}");
+        assert_eq!(consts[0].name, "ITERATION");
+        assert_eq!(consts[0].value.as_deref(), Some("iteration"));
+        assert_eq!(consts[1].name, "ALL");
+        assert_eq!(consts[1].value, None);
+    }
+
+    #[test]
+    fn fns_record_result_returns() {
+        let syms = index_of(
+            "collectives",
+            "group",
+            "pub fn all_reduce(&mut self, buf: &mut [f32]) -> Result<(), CollectiveError> { Ok(()) }\n\
+             pub fn barrier(&mut self) { }\n\
+             pub fn quantize(&self) -> QuantResult<Vec<u16>> { todo() }\n\
+             pub(crate) fn helper() -> Result<u32, E> { Ok(1) }\n\
+             fn private() -> Result<u32, E> { Ok(1) }\n\
+             pub fn takes_closure(f: impl Fn(u32) -> Result<u32, E>) { }\n",
+        );
+        let result_fns: Vec<&str> = syms
+            .fns
+            .iter()
+            .filter(|f| f.returns_result)
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(result_fns, vec!["all_reduce", "quantize", "helper"]);
+        assert_eq!(syms.fns.len(), 5, "{:?}", syms.fns);
+    }
+
+    #[test]
+    fn structs_and_test_code_are_handled() {
+        let syms = index_of(
+            "demo",
+            "lib",
+            "pub struct Plan { }\npub enum Mode { A }\n\
+             #[cfg(test)]\nmod t { pub fn test_only() -> Result<(), E> { Ok(()) } }\n",
+        );
+        assert_eq!(syms.structs, vec!["Plan".to_owned(), "Mode".to_owned()]);
+        assert!(syms.fns.is_empty(), "test code is not indexed");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture comm lane that never parks.
+
+pub fn worker(rx: &Receiver<Job>, ctx: &mut Ctx) {
+    while let Ok(job) = rx.try_recv() {
+        job(ctx);
+    }
+}

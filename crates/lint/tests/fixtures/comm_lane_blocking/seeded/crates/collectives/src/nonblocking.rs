@@ -1,0 +1,7 @@
+//! Fixture comm lane.
+
+pub fn worker(rx: &Receiver<Job>, ctx: &mut Ctx) {
+    while let Ok(job) = rx.recv() {
+        job(ctx);
+    }
+}

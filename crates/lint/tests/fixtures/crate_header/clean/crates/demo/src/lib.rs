@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn f() -> u32 {
+    1
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Fixture crate missing the deny-warnings header.
+
+pub fn f() -> u32 {
+    1
+}

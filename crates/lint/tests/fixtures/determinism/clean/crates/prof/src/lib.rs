@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

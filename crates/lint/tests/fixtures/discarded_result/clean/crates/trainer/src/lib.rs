@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn step(g: &mut Group, buf: &mut [f32]) -> Result<(), Error> {
+    g.all_reduce(buf)?;
+    Ok(())
+}

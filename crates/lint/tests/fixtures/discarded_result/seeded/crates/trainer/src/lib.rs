@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn step(g: &mut Group, buf: &mut [f32]) {
+    let _ = g.all_reduce(buf);
+}

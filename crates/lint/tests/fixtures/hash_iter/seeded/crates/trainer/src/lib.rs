@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+use std::collections::HashMap;
+
+pub fn total(m: &HashMap<u32, f32>) -> f32 {
+    let mut acc = 0.0;
+    for v in m.values() {
+        acc += v;
+    }
+    acc
+}

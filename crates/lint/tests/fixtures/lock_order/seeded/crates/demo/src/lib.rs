@@ -1,0 +1,22 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+pub fn one(s: &S) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn two(s: &S) {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+    drop(ga);
+    drop(gb);
+}

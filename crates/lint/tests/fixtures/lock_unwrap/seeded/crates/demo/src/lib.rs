@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn read(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn record(t: &Telemetry, name: &str) {
+    t.counter_add(name, 1);
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn record(t: &Telemetry) {
+    t.counter_add("inline_metric_name", 1);
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,4 @@
+//! Property suite that forgot the new collective.
+
+#[test]
+fn barrier_is_covered() {}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(panic) — fixture exercises a consumed waiver
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+// lint: allow(panic) — nothing panics below any more
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

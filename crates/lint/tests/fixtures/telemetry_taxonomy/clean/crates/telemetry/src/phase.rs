@@ -1,0 +1,3 @@
+//! Fixture taxonomy.
+
+pub const ITERATION: &str = "iteration";

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+#![deny(warnings)]
+//! Fixture crate.
+
+pub fn step(rec: &Recorder) {
+    let _sp = rec.span(phase::WARMUP);
+}
